@@ -1,0 +1,25 @@
+"""Bench: the end-to-end campaign itself (build + four-month run).
+
+Measured once (pedantic single round) at a small scale so the benchmark
+suite stays fast; the analysis benches reuse the session-scoped large run.
+"""
+
+from conftest import emit
+
+from repro.simulation import Simulation
+
+
+def test_full_campaign_small_scale(benchmark):
+    def run():
+        sim = Simulation.build(scale=0.003, seed=1)
+        return sim, sim.run()
+
+    sim, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Full campaign at scale 0.003: "
+        f"{len(sim.population):,} domains, "
+        f"{len(result.initial.ip_records):,} addresses probed, "
+        f"{len(result.initial.vulnerable_ips()):,} vulnerable, "
+        f"{len(result.rounds)} longitudinal rounds"
+    )
+    assert result.rounds

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 2 (final patched/vulnerable distribution)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure2, render_figure2
+
+
+def test_figure2(benchmark, sim):
+    rows = benchmark(build_figure2, sim)
+    emit(render_figure2(rows))
+    all_row = rows[0]
+    # Paper shape: most initially vulnerable domains remain vulnerable.
+    assert all_row.vulnerable > all_row.patched

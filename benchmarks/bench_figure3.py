@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 3 (geographic distribution series)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure3, render_figure3
+
+
+def test_figure3(benchmark, sim):
+    figure = benchmark(build_figure3, sim)
+    emit(render_figure3(figure))
+    assert figure.cells

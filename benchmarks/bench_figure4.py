@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (vulnerable/patched by site ranking)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure4, render_figure4
+
+
+def test_figure4(benchmark, sim):
+    figure = benchmark(build_figure4, sim)
+    emit(render_figure4(figure))
+    assert len(figure.alexa) == 20

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 5 (conclusive results over time)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure5, render_figure5
+
+
+def test_figure5(benchmark, sim):
+    figure = benchmark(build_figure5, sim)
+    emit(render_figure5(figure))
+    assert len(figure.series) > 20  # 2-day rounds across two windows

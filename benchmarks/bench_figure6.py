@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 6 (vulnerability rates, first window)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure6, render_figure6
+
+
+def test_figure6(benchmark, sim):
+    figure = benchmark(build_figure6, sim)
+    emit(render_figure6(figure))
+    assert [s.group for s in figure.series] == [
+        "Alexa Top List", "Alexa 1000", "2-Week MX",
+    ]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 7 (vulnerability rates, full period)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure7, render_figure7
+
+
+def test_figure7(benchmark, sim):
+    figure = benchmark(build_figure7, sim)
+    emit(render_figure7(figure))
+    # Paper: just over 80% of inferable domains still vulnerable at end.
+    assert 0.6 < figure.final_vulnerable_fraction() < 0.95

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 8 (Alexa Top 1000 over time)."""
+
+from conftest import emit
+
+from repro.analysis import build_figure8, render_figure8
+
+
+def test_figure8(benchmark, sim):
+    figure = benchmark(build_figure8, sim)
+    emit(render_figure8(figure))
+    assert figure.initially_vulnerable >= 0

@@ -1,0 +1,11 @@
+"""Bench: regenerate the Section 7.7 private-notification funnel."""
+
+from conftest import emit
+
+from repro.analysis import build_notification_funnel, render_notification_funnel
+
+
+def test_notification_funnel(benchmark, sim):
+    funnel = benchmark(build_notification_funnel, sim)
+    emit(render_notification_funnel(funnel))
+    assert funnel.sent == funnel.delivered + funnel.bounced

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (overlap in domain measurement sets)."""
+
+from conftest import emit
+
+from repro.analysis import build_table1, render_table1
+
+
+def test_table1(benchmark, sim):
+    rows = benchmark(build_table1, sim.population)
+    emit(render_table1(rows))
+    assert len(rows) == 3

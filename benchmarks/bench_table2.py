@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 2 (most common TLDs per domain set)."""
+
+from conftest import emit
+
+from repro.analysis import build_table2, render_table2
+
+
+def test_table2(benchmark, sim):
+    rows = benchmark(build_table2, sim.population)
+    emit(render_table2(rows))
+    assert rows[0].alexa_tld == "com"

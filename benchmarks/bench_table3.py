@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 3 (NoMsg/BlankMsg outcomes by domain set)."""
+
+from conftest import emit
+
+from repro.analysis import build_table3, render_table3
+
+
+def test_table3(benchmark, sim, result):
+    columns = benchmark(build_table3, sim.population, result.initial)
+    emit(render_table3(columns))
+    assert [c.group for c in columns] == [
+        "Alexa Top List", "2-Week MX", "Top Email Providers",
+    ]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 4 (initial SPF results breakdown)."""
+
+from conftest import emit
+
+from repro.analysis import build_table4, render_table4
+
+
+def test_table4(benchmark, sim, result):
+    rows = benchmark(build_table4, sim.population, result.initial)
+    emit(render_table4(rows))
+    combined = rows[-1]
+    # Paper shape: ~1 in 6 measured addresses vulnerable.
+    assert 0.08 < combined.ips_vulnerable / combined.ips_measured < 0.30

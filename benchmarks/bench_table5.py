@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 5 (best/worst TLD patch rates)."""
+
+from conftest import emit
+
+from repro.analysis import build_table5, render_table5
+
+
+def test_table5(benchmark, sim):
+    table = benchmark(build_table5, sim)
+    emit(render_table5(table))
+    assert table.best or table.worst

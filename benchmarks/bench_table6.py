@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 6 (package-manager patch timeline)."""
+
+from conftest import emit
+
+from repro.analysis import build_table6, render_table6
+
+
+def test_table6(benchmark):
+    rows = benchmark(build_table6)
+    emit(render_table6(rows))
+    by_name = {r.manager: r for r in rows}
+    # Recorded history reproduces exactly.
+    assert by_name["Debian"].days_33912 == 1
+    assert by_name["Ubuntu"].days_33912 is None

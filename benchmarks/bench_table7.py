@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 7 (SPF macro-expansion behaviors by IP)."""
+
+from conftest import emit
+
+from repro.analysis import build_table7, render_table7
+from repro.core.fingerprint import ExpansionBehavior
+
+
+def test_table7(benchmark, result):
+    table = benchmark(build_table7, result.initial)
+    emit(render_table7(table))
+    assert table.behavior_counts[ExpansionBehavior.VULNERABLE_LIBSPF2] > 0

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+One full campaign (scale 0.02 — about 9,000 domains and 4,000 mail
+servers) is run once per benchmark session; each bench then measures its
+experiment's builder and *emits* the reproduced table/figure rows.
+Emitted blocks are printed in the terminal summary (past pytest's fd
+capture) and written to ``benchmarks/latest_results.txt`` so the
+regenerated artifacts can be diffed against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+import pytest
+
+from repro.simulation import Simulation
+
+BENCH_SCALE = 0.02
+BENCH_SEED = 20211011
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent / "latest_results.txt"
+
+_EMITTED: List[str] = []
+
+
+@pytest.fixture(scope="session")
+def sim():
+    simulation = Simulation.build(scale=BENCH_SCALE, seed=BENCH_SEED)
+    simulation.run()
+    return simulation
+
+
+@pytest.fixture(scope="session")
+def result(sim):
+    return sim.run()
+
+
+def emit(text: str) -> None:
+    """Queue reproduced rows for the end-of-run summary and results file."""
+    _EMITTED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced tables and figures")
+    for block in _EMITTED:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")
+    RESULTS_PATH.write_text("\n\n".join(_EMITTED) + "\n")
+    terminalreporter.write_line(f"(also written to {RESULTS_PATH})")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""An operator's scan: check *your own* mail domains for the vulnerability.
+
+Demonstrates the downstream-facing :class:`SpfVulnerabilityScanner` API —
+the productized form of the paper's technique.  An operator stands up the
+measurement DNS responder, points the scanner at their domains, and reads
+the per-server verdicts.  Zone data for the scanned infrastructure is
+authored as standard zone-file text.
+
+Run:  python examples/operator_scan.py
+"""
+
+from repro.clock import SimulatedClock
+from repro.core import SpfVulnerabilityScanner
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.internet.mta_fleet import PopulationDnsBackend
+from repro.smtp import Network, SmtpServer, SpfStack, SpfTiming
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    now = lambda: clock.now
+
+    # The scanner's own infrastructure: the special DNS zone that serves
+    # macro-bearing SPF policies and logs what each scanned server asks.
+    responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+    resolver = CachingResolver(clock=now)
+    resolver.register("spf-test.dns-lab.org", responder)
+
+    # The operator's estate: three mail domains on three servers, one of
+    # them still running the vulnerable libSPF2.
+    estate_dns = PopulationDnsBackend()
+    resolver.register(Name.root(), estate_dns)
+    network = Network(clock=now)
+    estate = {
+        "corp.example": ("10.1.0.1", "patched-libspf2"),
+        "shop.example": ("10.1.0.2", "vulnerable-libspf2"),
+        "lists.example": ("10.1.0.3", "rfc-compliant"),
+    }
+    for domain, (ip, behavior) in estate.items():
+        estate_dns.set_mx(domain, [(10, f"mx.{domain}")])
+        estate_dns.set_a(f"mx.{domain}", [ip])
+        network.register(
+            SmtpServer(
+                ip,
+                spf_stacks=[SpfStack.named(behavior, SpfTiming.ON_MAIL_FROM)],
+                resolver=StubResolver(resolver, identity=ip, clock=now),
+            )
+        )
+
+    scanner = SpfVulnerabilityScanner(
+        network,
+        responder,
+        clock=clock,
+        resolver=StubResolver(resolver, identity="scanner", clock=now),
+    )
+    report = scanner.scan_domains(sorted(estate))
+    print(report.summary())
+    print()
+    for domain in report.vulnerable_domains():
+        print(f"ACTION REQUIRED: {domain} validates SPF with vulnerable libSPF2")
+        print("  -> upgrade libSPF2 (CVE-2021-33912 / CVE-2021-33913) or switch libraries")
+
+
+if __name__ == "__main__":
+    main()

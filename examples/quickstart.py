@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: remotely detect a vulnerable mail server, benignly.
+
+Builds the minimal SPFail setup — a measurement DNS responder, two mail
+servers (one running vulnerable libSPF2, one patched), and the probing
+client — then shows how the vulnerable server betrays itself purely
+through the DNS queries it sends while validating SPF.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.clock import SimulatedClock
+from repro.core import LabelAllocator, VulnerabilityDetector
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.smtp import Network, SmtpClient, SmtpServer, SpfStack, SpfTiming
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    now = lambda: clock.now
+
+    # The measurement side: an authoritative DNS server for our test zone
+    # that serves the macro-bearing SPF policy and logs every query.
+    base = Name.from_text("spf-test.dns-lab.org")
+    responder = SpfTestResponder(base)
+    resolver = CachingResolver(clock=now)
+    resolver.register(base, responder)
+
+    # Two mail servers on a simulated network.  Their SPF validators do
+    # real RFC 7208 evaluation over the simulated DNS.
+    network = Network(clock=now)
+    for ip, behavior in (
+        ("203.0.113.10", "vulnerable-libspf2"),
+        ("203.0.113.20", "patched-libspf2"),
+    ):
+        network.register(
+            SmtpServer(
+                ip,
+                spf_stacks=[SpfStack.named(behavior, SpfTiming.ON_MAIL_FROM)],
+                resolver=StubResolver(resolver, identity=ip, clock=now),
+            )
+        )
+
+    # The prober: NoMsg/BlankMsg SMTP transactions with unique labels.
+    client = SmtpClient(network)
+    labels = LabelAllocator(base)
+    detector = VulnerabilityDetector(
+        client,
+        responder,
+        labels,
+        wait=lambda seconds: clock.advance_seconds(seconds),
+        now=now,
+    )
+
+    suite = labels.new_suite()
+    for ip in ("203.0.113.10", "203.0.113.20"):
+        result = detector.detect(ip, suite)
+        print(f"server {ip}: {result.outcome.value}")
+        for test_id in result.test_ids:
+            for prefix in responder.log.expansion_prefixes(suite, test_id):
+                print(f"  observed macro expansion: {prefix}")
+        print(f"  behaviors: {sorted(b.value for b in result.behaviors)}")
+        print()
+
+    print("The vulnerable server expanded %{d1r} into the duplicated,")
+    print("unreversed, untruncated pattern unique to libSPF2's bug —")
+    print("detected remotely, without delivering email or causing harm.")
+
+
+if __name__ == "__main__":
+    main()

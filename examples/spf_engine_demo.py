@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Using the SPF engine standalone (RFC 7208 over the DNS substrate).
+
+Publishes SPF policies — including macro-bearing ones — in simulated DNS
+zones and evaluates ``check_host()`` for various senders and client
+addresses, with different macro-expansion behaviors plugged in.
+
+Run:  python examples/spf_engine_demo.py
+"""
+
+import ipaddress
+
+from repro.dns import A, AAAA, AuthoritativeServer, CachingResolver, MX, Name, StubResolver, TXT, Zone
+from repro.spf import SpfEvaluator, behavior_by_name
+
+
+def main() -> None:
+    # Publish example.com's mail setup and SPF policy.
+    zone = Zone("example.com")
+    zone.add("example.com", TXT("v=spf1 mx a:relay.example.com ip4:192.0.2.0/28 include:thirdparty.net -all"))
+    zone.add("example.com", MX(10, "mail.example.com"))
+    zone.add("mail.example.com", A("198.51.100.25"))
+    zone.add("mail.example.com", AAAA("2001:db8::25"))
+    zone.add("relay.example.com", A("198.51.100.26"))
+
+    third = Zone("thirdparty.net")
+    third.add("thirdparty.net", TXT("v=spf1 ip4:203.0.113.0/24 ~all"))
+
+    macro_zone = Zone("macro.example")
+    macro_zone.add("macro.example", TXT("v=spf1 exists:%{ir}.%{v}.allow.macro.example -all"))
+    macro_zone.add("1.2.0.192.in-addr.allow.macro.example", A("127.0.0.2"))
+
+    server = AuthoritativeServer([zone, third, macro_zone])
+    resolver = CachingResolver()
+    for origin in ("example.com", "thirdparty.net", "macro.example"):
+        resolver.register(origin, server)
+    stub = StubResolver(resolver, identity="demo")
+
+    evaluator = SpfEvaluator(stub)
+    print("Policy evaluation for example.com:")
+    for ip, label in (
+        ("198.51.100.25", "the MX itself"),
+        ("198.51.100.26", "the relay"),
+        ("192.0.2.7", "inside the ip4 block"),
+        ("203.0.113.50", "third-party included sender"),
+        ("8.8.8.8", "a spoofer"),
+    ):
+        outcome = evaluator.check_host(
+            ipaddress.ip_address(ip), "example.com", "alice@example.com"
+        )
+        print(f"  {ip:<15} ({label:<28}) -> {outcome}")
+    print()
+
+    print("Macro policy (exists:%{ir}.%{v}.allow...) for macro.example:")
+    for ip in ("192.0.2.1", "192.0.2.2"):
+        outcome = evaluator.check_host(
+            ipaddress.ip_address(ip), "macro.example", "bob@macro.example"
+        )
+        print(f"  {ip:<15} -> {outcome}")
+    print()
+
+    print("The same macro policy through broken SPF implementations:")
+    for behavior_name in ("rfc-compliant", "no-expansion", "vulnerable-libspf2"):
+        evaluator = SpfEvaluator(stub, behavior=behavior_by_name(behavior_name))
+        outcome = evaluator.check_host(
+            ipaddress.ip_address("192.0.2.1"), "macro.example", "bob@macro.example"
+        )
+        print(f"  {behavior_name:<22} -> {outcome}")
+
+
+if __name__ == "__main__":
+    main()

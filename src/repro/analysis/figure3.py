@@ -1,0 +1,78 @@
+"""Figure 3 — geographic distribution of vulnerable and patched IPs.
+
+The paper renders two choropleth maps; this builder produces the
+underlying series: per geographic cell (and per country), the number of
+vulnerable addresses and the fraction that eventually patched.  Expected
+shape: vulnerable servers throughout populous regions with a European
+concentration; near-zero patching in China/Taiwan, Russia, and Central
+and South America; South Africa an outlier with majority patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..simulation import Simulation
+from .formatting import pct, render_table
+from .status import final_ip_status
+
+
+@dataclass
+class GeoCell:
+    cell: Tuple[int, int]
+    vulnerable: int = 0
+    patched: int = 0
+
+    @property
+    def patch_rate(self) -> float:
+        return self.patched / self.vulnerable if self.vulnerable else 0.0
+
+
+@dataclass
+class Figure3:
+    cells: Dict[Tuple[int, int], GeoCell]
+    countries: Dict[str, GeoCell]
+    cell_degrees: float
+
+
+def build_figure3(sim: Simulation, *, cell_degrees: float = 10.0) -> Figure3:
+    result = sim.run()
+    patched = final_ip_status(sim)
+    cells: Dict[Tuple[int, int], GeoCell] = {}
+    countries: Dict[str, GeoCell] = {}
+    for ip in result.initial.vulnerable_ips():
+        location = sim.geography.locate(ip)
+        if location is None:
+            continue
+        key = location.bucket(cell_degrees)
+        cell = cells.setdefault(key, GeoCell(cell=key))
+        country = countries.setdefault(
+            location.country, GeoCell(cell=(0, 0))
+        )
+        for bucket in (cell, country):
+            bucket.vulnerable += 1
+            if patched.get(ip) is True:
+                bucket.patched += 1
+    return Figure3(cells=cells, countries=countries, cell_degrees=cell_degrees)
+
+
+def render_figure3(figure: Figure3, *, top: int = 15) -> str:
+    ranked = sorted(
+        figure.countries.items(), key=lambda kv: (-kv[1].vulnerable, kv[0])
+    )[:top]
+    headers = ["Country", "Vulnerable IPs", "Patched", "Patch rate"]
+    body = [
+        [country, f"{cell.vulnerable:,}", f"{cell.patched:,}",
+         pct(cell.patched, cell.vulnerable)]
+        for country, cell in ranked
+    ]
+    rendered = render_table(
+        headers,
+        body,
+        title="Figure 3: Geographic distribution of vulnerable/patched IPs",
+    )
+    return rendered + (
+        f"\nGeographic cells with vulnerable IPs ({figure.cell_degrees}-degree "
+        f"buckets): {len(figure.cells)}"
+    )

@@ -1,0 +1,52 @@
+"""Figure 7 — vulnerability rates per domain list, full period.
+
+The same series as Figure 6 across both windows.  Expected shape: a
+visible drop right after the 2022-01-19 public disclosure (coinciding
+with the Debian package fix), largest in the Alexa Top List, ending with
+just over 80% of inferable domains still vulnerable.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List
+
+from ..clock import PUBLIC_DISCLOSURE
+from ..simulation import Simulation
+from .figure6 import VulnerabilitySeries, _series_for, render_vulnerability_series
+
+
+@dataclass
+class Figure7:
+    series: List[VulnerabilitySeries]
+    public_disclosure: _dt.datetime
+
+    def final_vulnerable_fraction(self) -> float:
+        """Share still vulnerable at the last round, across all sets."""
+        vulnerable = patched = 0
+        for s in self.series:
+            if s.points:
+                vulnerable += s.points[-1].vulnerable
+                patched += s.points[-1].patched
+        determinable = vulnerable + patched
+        return vulnerable / determinable if determinable else 0.0
+
+
+def build_figure7(sim: Simulation) -> Figure7:
+    engine = sim.inference()
+    return Figure7(
+        series=_series_for(sim, engine, None),
+        public_disclosure=PUBLIC_DISCLOSURE,
+    )
+
+
+def render_figure7(figure: Figure7) -> str:
+    rendered = render_vulnerability_series(
+        figure.series,
+        "Figure 7: Vulnerability rate per domain list (full period)",
+    )
+    return rendered + (
+        f"\nPublic disclosure: {figure.public_disclosure.date().isoformat()}"
+        f"\nStill vulnerable at end: {100.0 * figure.final_vulnerable_fraction():.0f}%"
+    )

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for analysis output.
+
+Every experiment builder pairs structured rows with a ``render_*``
+function producing the same row/column layout the paper prints, so bench
+output can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def pct(numerator: int, denominator: int) -> str:
+    """A paper-style percentage cell."""
+    if denominator == 0:
+        return "-"
+    value = 100.0 * numerator / denominator
+    if value and value < 1.0:
+        return f"{value:.1f}%"
+    return f"{value:.0f}%"
+
+
+def count_pct(numerator: int, denominator: int) -> str:
+    """``1,234 (12%)`` style cell."""
+    return f"{numerator:,} ({pct(numerator, denominator)})"
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], *, low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """An ASCII sparkline for a time series (figures 5-8 at a glance).
+
+    Values map onto ten density levels between ``low`` and ``high``
+    (defaulting to the series' own range).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    floor = min(values) if low is None else low
+    ceiling = max(values) if high is None else high
+    span = ceiling - floor
+    if span <= 0:
+        return _SPARK_LEVELS[-1] * len(values)
+    out = []
+    for value in values:
+        norm = (value - floor) / span
+        index = min(len(_SPARK_LEVELS) - 1, max(0, int(norm * (len(_SPARK_LEVELS) - 1))))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)

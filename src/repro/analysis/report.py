@@ -1,0 +1,120 @@
+"""Markdown experiment report: paper vs. measured, for every artifact.
+
+``generate_report(sim)`` produces the document that EXPERIMENTS.md is
+built from: a paper-target scorecard followed by every regenerated table
+and figure, plus run provenance (scale, seed, population sizes).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from ..simulation import Simulation
+from . import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+    build_figure7,
+    build_figure8,
+    build_notification_funnel,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    build_table6,
+    build_table7,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_notification_funnel,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+)
+from .paper_targets import TargetResult, evaluate_targets
+
+
+def _scorecard(results: List[TargetResult]) -> str:
+    lines = [
+        "| paper claim | source | paper | measured | band | ok |",
+        "|---|---|---|---|---|---|",
+    ]
+    for item in results:
+        target = item.target
+        measured = "-" if item.measured is None else f"{item.measured:.3f}"
+        check = "yes" if item.within_band else "NO"
+        lines.append(
+            f"| {target.description} | {target.source} | "
+            f"{target.paper_value:.3f} | {measured} | "
+            f"[{target.band[0]:.2f}, {target.band[1]:.2f}] | {check} |"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report") -> str:
+    """The full markdown report for one completed run."""
+    result = sim.run()
+    out = io.StringIO()
+    write = lambda *parts: print(*parts, file=out)
+
+    write(f"# {title}")
+    write()
+    write(
+        f"Run provenance: scale={sim.population.config.scale}, "
+        f"seed={sim.population.config.seed}; "
+        f"{len(sim.population):,} domains, {len(sim.fleet.units):,} hosting "
+        f"units, {len(sim.fleet.all_ips):,} addresses; "
+        f"{len(result.initial.ip_records):,} addresses probed, "
+        f"{len(result.initial.vulnerable_ips()):,} vulnerable "
+        f"({len(result.initial.vulnerable_domains()):,} domains); "
+        f"{len(result.rounds)} longitudinal rounds."
+    )
+    write()
+    write("## Paper-target scorecard")
+    write()
+    results = evaluate_targets(sim)
+    write(_scorecard(results))
+    write()
+
+    blocks = [
+        render_table1(build_table1(sim.population)),
+        render_table2(build_table2(sim.population)),
+        render_table3(build_table3(sim.population, result.initial)),
+        render_table4(build_table4(sim.population, result.initial)),
+        render_table5(build_table5(sim)),
+        render_table6(build_table6()),
+        render_table7(build_table7(result.initial)),
+        render_figure2(build_figure2(sim)),
+        render_figure3(build_figure3(sim)),
+        render_figure4(build_figure4(sim)),
+        render_figure5(build_figure5(sim)),
+        render_figure6(build_figure6(sim)),
+        render_figure7(build_figure7(sim)),
+        render_figure8(build_figure8(sim)),
+        render_notification_funnel(build_notification_funnel(sim)),
+    ]
+    write("## Regenerated artifacts")
+    write()
+    for block in blocks:
+        write("```")
+        write(block)
+        write("```")
+        write()
+    return out.getvalue()
+
+
+def targets_all_within_band(sim: Simulation) -> bool:
+    """True if every encoded paper claim lands in its tolerance band."""
+    return all(item.within_band for item in evaluate_targets(sim))

@@ -1,0 +1,51 @@
+"""Table 1 — overlap in domain measurement sets.
+
+Each cell is the number (and share) of domains in the row's set that also
+appear in the column's set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..internet.population import DomainPopulation, DomainSet
+from .formatting import count_pct, render_table
+
+_SETS: Tuple[Tuple[str, DomainSet], ...] = (
+    ("2-Week MX", DomainSet.TWO_WEEK_MX),
+    ("Alexa 1000", DomainSet.ALEXA_1000),
+    ("Alexa Top List", DomainSet.ALEXA_TOP_LIST),
+)
+
+
+@dataclass
+class Table1Row:
+    row_set: str
+    row_size: int
+    cells: Dict[str, int]  # column set name -> overlap count
+
+
+def build_table1(population: DomainPopulation) -> List[Table1Row]:
+    rows: List[Table1Row] = []
+    for row_name, row_set in _SETS:
+        cells = {
+            col_name: population.overlap(row_set, col_set)
+            for col_name, col_set in _SETS
+        }
+        rows.append(
+            Table1Row(row_set=row_name, row_size=population.set_size(row_set), cells=cells)
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    headers = ["Domain Set"] + [name for name, _ in _SETS]
+    body = [
+        [row.row_set]
+        + [count_pct(row.cells[name], row.row_size) for name, _ in _SETS]
+        for row in rows
+    ]
+    return render_table(
+        headers, body, title="Table 1: Overlap in domain measurement sets"
+    )

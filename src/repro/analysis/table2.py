@@ -1,0 +1,46 @@
+"""Table 2 — most common TLDs for the Alexa Top List and 2-Week MX sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..internet.population import DomainPopulation, DomainSet
+from .formatting import render_table
+
+
+@dataclass
+class Table2Row:
+    alexa_tld: str
+    alexa_count: int
+    two_week_tld: str
+    two_week_count: int
+
+
+def build_table2(population: DomainPopulation, *, top: int = 15) -> List[Table2Row]:
+    def ranked(domain_set: DomainSet) -> List[Tuple[str, int]]:
+        counts = population.tld_counts(domain_set)
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+    alexa = ranked(DomainSet.ALEXA_TOP_LIST)
+    two_week = ranked(DomainSet.TWO_WEEK_MX)
+    rows: List[Table2Row] = []
+    for i in range(max(len(alexa), len(two_week))):
+        a_tld, a_count = alexa[i] if i < len(alexa) else ("", 0)
+        t_tld, t_count = two_week[i] if i < len(two_week) else ("", 0)
+        rows.append(
+            Table2Row(
+                alexa_tld=a_tld, alexa_count=a_count,
+                two_week_tld=t_tld, two_week_count=t_count,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    headers = ["Alexa TLD", "Count", "2-Week TLD", "Count"]
+    body = [
+        [r.alexa_tld, f"{r.alexa_count:,}", r.two_week_tld, f"{r.two_week_count:,}"]
+        for r in rows
+    ]
+    return render_table(headers, body, title="Table 2: Most common TLDs per set")

@@ -1,0 +1,96 @@
+"""Table 5 — best/worst patch rates for TLDs with enough vulnerable domains.
+
+The paper lists the top and bottom five TLDs by patch rate among TLDs
+with at least 50 initially vulnerable domains.  The threshold scales with
+the simulated population so the table stays populated at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.campaign import DomainStatus
+from ..simulation import Simulation
+from .formatting import pct, render_table
+from .status import final_domain_status
+
+
+@dataclass
+class Table5Row:
+    tld: str
+    patched: int
+    initially_vulnerable: int
+
+    @property
+    def patch_rate(self) -> float:
+        return self.patched / self.initially_vulnerable if self.initially_vulnerable else 0.0
+
+
+@dataclass
+class Table5:
+    best: List[Table5Row]
+    worst: List[Table5Row]
+    com_reference: Optional[Table5Row]
+    threshold: int
+
+
+def build_table5(
+    sim: Simulation, *, min_vulnerable: Optional[int] = None, top: int = 5
+) -> Table5:
+    result = sim.run()
+    status = final_domain_status(sim)
+
+    by_tld: Dict[str, Table5Row] = {}
+    for name in result.initial.vulnerable_domains():
+        domain = sim.population.get(name)
+        if domain is None:
+            continue
+        row = by_tld.setdefault(domain.tld, Table5Row(domain.tld, 0, 0))
+        row.initially_vulnerable += 1
+        if status.get(name) == DomainStatus.PATCHED:
+            row.patched += 1
+
+    if min_vulnerable is None:
+        # Paper threshold 50 at full scale; keep proportional but useful.
+        min_vulnerable = max(3, int(round(50 * sim.population.config.scale)))
+
+    eligible = [r for r in by_tld.values() if r.initially_vulnerable >= min_vulnerable]
+    ranked = sorted(eligible, key=lambda r: (-r.patch_rate, r.tld))
+    return Table5(
+        best=ranked[:top],
+        worst=list(reversed(sorted(eligible, key=lambda r: (r.patch_rate, r.tld))[:top])),
+        com_reference=by_tld.get("com"),
+        threshold=min_vulnerable,
+    )
+
+
+def render_table5(table: Table5) -> str:
+    headers = ["TLD", "# Patched", "# Initially Vulnerable", "% Patched"]
+
+    def row(r: Table5Row) -> List[str]:
+        return [
+            f".{r.tld}",
+            f"{r.patched:,}",
+            f"{r.initially_vulnerable:,}",
+            pct(r.patched, r.initially_vulnerable),
+        ]
+
+    body = [row(r) for r in table.best]
+    body.append(["...", "", "", ""])
+    body.extend(row(r) for r in table.worst)
+    rendered = render_table(
+        headers,
+        body,
+        title=(
+            "Table 5: Best/worst patch rates for TLDs with "
+            f">= {table.threshold} initially vulnerable domains"
+        ),
+    )
+    if table.com_reference is not None:
+        ref = table.com_reference
+        rendered += (
+            f"\nReference .com: {ref.patched:,}/{ref.initially_vulnerable:,} "
+            f"({pct(ref.patched, ref.initially_vulnerable)}) patched"
+        )
+    return rendered

@@ -1,0 +1,78 @@
+"""Table 6 — package-manager patch timeline.
+
+This table is recorded history rather than a measurement, so it is
+reproduced directly from the encoded timeline in
+:mod:`repro.internet.package_managers` — verbatim paper data, ordered by
+days between disclosure and patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..internet.package_managers import (
+    PACKAGE_MANAGER_TIMELINE,
+    PackageManagerRecord,
+)
+from .formatting import render_table
+
+
+@dataclass
+class Table6Row:
+    manager: str
+    days_20314: Optional[int]
+    date_20314: Optional[str]
+    days_33912: Optional[int]
+    date_33912: Optional[str]
+    folded: bool
+
+
+def build_table6() -> List[Table6Row]:
+    rows = [
+        Table6Row(
+            manager=record.name,
+            days_20314=record.days_to_patch_20314(),
+            date_20314=(
+                record.cve_20314_patch.date().isoformat()
+                if record.cve_20314_patch
+                else None
+            ),
+            days_33912=record.days_to_patch_33912(),
+            date_33912=(
+                record.cve_33912_patch.date().isoformat()
+                if record.cve_33912_patch
+                else None
+            ),
+            folded=record.folded_into_20314,
+        )
+        for record in PACKAGE_MANAGER_TIMELINE
+    ]
+    return sorted(
+        rows, key=lambda r: (r.days_20314 is None, r.days_20314 or 0, r.manager)
+    )
+
+
+def _cell(days: Optional[int], date: Optional[str], folded: bool) -> str:
+    if days is None:
+        return "Unpatched"
+    star = "*" if folded else ""
+    return f"{days}{star} ({date})"
+
+
+def render_table6(rows: List[Table6Row]) -> str:
+    headers = ["Package Manager", "CVE-2021-20314", "CVE-2021-33912/13"]
+    body = [
+        [
+            r.manager,
+            _cell(r.days_20314, r.date_20314, False),
+            _cell(r.days_33912, r.date_33912, r.folded),
+        ]
+        for r in rows
+    ]
+    table = render_table(
+        headers,
+        body,
+        title="Table 6: Patch timeline for package managers (days from disclosure)",
+    )
+    return table + "\n*Patches included in CVE-2021-20314 fix"

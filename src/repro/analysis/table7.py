@@ -1,0 +1,82 @@
+"""Table 7 — behaviors in SPF macro expansion by IP address.
+
+How every conclusively measured address expanded the ``%{d1r}`` macro:
+RFC-compliant, the vulnerable libSPF2 pattern, no expansion at all,
+reversed-but-not-truncated, truncated-but-not-reversed, or something else
+— plus the addresses exhibiting two or more distinct patterns (multiple
+SPF stacks in the mail path, §7.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.campaign import InitialMeasurement
+from ..core.fingerprint import ExpansionBehavior
+from .formatting import count_pct, render_table
+
+_ORDER = (
+    ExpansionBehavior.RFC_COMPLIANT,
+    ExpansionBehavior.VULNERABLE_LIBSPF2,
+    ExpansionBehavior.NO_EXPANSION,
+    ExpansionBehavior.REVERSED_NOT_TRUNCATED,
+    ExpansionBehavior.TRUNCATED_NOT_REVERSED,
+    ExpansionBehavior.OTHER_ERRONEOUS,
+)
+
+_LABELS = {
+    ExpansionBehavior.RFC_COMPLIANT: "RFC-compliant expansion",
+    ExpansionBehavior.VULNERABLE_LIBSPF2: "Vulnerable libSPF2 expansion",
+    ExpansionBehavior.NO_EXPANSION: "No macro expansion (literal)",
+    ExpansionBehavior.REVERSED_NOT_TRUNCATED: "Reversed but not truncated",
+    ExpansionBehavior.TRUNCATED_NOT_REVERSED: "Truncated but not reversed",
+    ExpansionBehavior.OTHER_ERRONEOUS: "Other erroneous expansion",
+}
+
+
+@dataclass
+class Table7:
+    total_measured: int
+    behavior_counts: Dict[ExpansionBehavior, int]
+    multiple_patterns: int
+
+
+def build_table7(initial: InitialMeasurement) -> Table7:
+    counts: Dict[ExpansionBehavior, int] = {behavior: 0 for behavior in _ORDER}
+    total = 0
+    multiple = 0
+    for record in initial.ip_records.values():
+        if not record.outcome.spf_measured:
+            continue
+        total += 1
+        for behavior in record.behaviors:
+            counts[behavior] += 1
+        if len(record.behaviors) > 1:
+            multiple += 1
+    return Table7(
+        total_measured=total, behavior_counts=counts, multiple_patterns=multiple
+    )
+
+
+def render_table7(table: Table7) -> str:
+    headers = ["Behavior", "IP addresses", "% of measured"]
+    body = [
+        [
+            _LABELS[behavior],
+            f"{table.behavior_counts[behavior]:,}",
+            count_pct(table.behavior_counts[behavior], table.total_measured).split(" ")[-1].strip("()"),
+        ]
+        for behavior in _ORDER
+    ]
+    body.append(
+        [
+            "Multiple distinct patterns",
+            f"{table.multiple_patterns:,}",
+            count_pct(table.multiple_patterns, table.total_measured).split(" ")[-1].strip("()"),
+        ]
+    )
+    rendered = render_table(
+        headers, body, title="Table 7: Behaviors in SPF macro expansion by IP address"
+    )
+    return rendered + f"\nTotal conclusively measured: {table.total_measured:,}"

@@ -1,0 +1,388 @@
+"""The full measurement campaign (paper Sections 5.3 and 7).
+
+Timeline (all dates from :mod:`repro.clock`):
+
+- **2021-10-11** — initial measurement of every domain in both sets:
+  MX/A resolution, IP deduplication, NoMsg-then-BlankMsg detection;
+- **2021-10-26 → 2021-11-30** — first longitudinal window, a round every
+  2 days over the vulnerable + re-measurable addresses;
+- **2021-11-15** — private notification (via a pluggable notifier);
+- **2022-01-15 → 2022-02-14** — second window (public disclosure falls on
+  2022-01-19, driven by the patch-behavior model, not the campaign);
+- **final snapshot** — re-resolves MX records (catching servers that
+  moved) and re-measures every initially vulnerable domain.
+
+The domain→IP mapping is resolved once, before the initial measurement,
+and *frozen* for the longitudinal rounds — exactly the paper's
+methodology, and the reason its snapshot disagreed slightly with the
+longitudinal series for domains that changed MX records mid-campaign.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import clock as clockmod
+from ..clock import SimulatedClock
+from ..dns.name import Name
+from ..dns.resolver import CachingResolver, StubResolver
+from ..dns.server import SpfTestResponder
+from ..errors import ResolutionError
+from ..internet.mta_fleet import MtaFleet
+from ..internet.population import Domain, DomainPopulation, DomainSet
+from ..smtp.client import SmtpClient
+from ..smtp.transport import Network
+from .detector import (
+    DetectionOutcome,
+    DetectionResult,
+    ProbeMethod,
+    VulnerabilityDetector,
+)
+from .ethics import EthicsControls
+from .fingerprint import ExpansionBehavior
+from .labels import LabelAllocator
+
+
+class DomainStatus(enum.Enum):
+    """Domain-level classification (paper Section 5.1 rules)."""
+
+    VULNERABLE = "vulnerable"
+    PATCHED = "patched"
+    NOT_VULNERABLE = "not-vulnerable"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-level knobs."""
+
+    base_domain: str = "spf-test.dns-lab.org"
+    probe_client_ip: str = "198.51.100.7"
+    round_interval: _dt.timedelta = _dt.timedelta(days=2)
+    #: Simulated seconds budgeted per probe for clock advancement.
+    seconds_per_probe: float = 0.25
+    initial_measurement: _dt.datetime = clockmod.INITIAL_MEASUREMENT
+    window1_start: _dt.datetime = clockmod.LONGITUDINAL_START
+    window1_end: _dt.datetime = clockmod.MEASUREMENTS_PAUSED
+    notification_date: _dt.datetime = clockmod.PRIVATE_NOTIFICATION
+    window2_start: _dt.datetime = clockmod.MEASUREMENTS_RESUMED
+    window2_end: _dt.datetime = clockmod.FINAL_MEASUREMENT
+
+
+@dataclass
+class IpInitialRecord:
+    """One address's initial-measurement outcome."""
+
+    ip: str
+    result: DetectionResult
+
+    @property
+    def outcome(self) -> DetectionOutcome:
+        return self.result.outcome
+
+    @property
+    def behaviors(self) -> Set[ExpansionBehavior]:
+        return self.result.behaviors
+
+
+@dataclass
+class InitialMeasurement:
+    """The initial sweep's full results."""
+
+    date: _dt.datetime
+    domain_ips: Dict[str, List[str]]  # frozen domain -> address mapping
+    ip_records: Dict[str, IpInitialRecord]
+    domain_status: Dict[str, DomainStatus]
+
+    def vulnerable_ips(self) -> List[str]:
+        return [
+            ip
+            for ip, record in self.ip_records.items()
+            if record.outcome == DetectionOutcome.VULNERABLE
+        ]
+
+    def remeasurable_ips(self) -> List[str]:
+        """Inconclusive addresses that showed *some* SPF activity."""
+        return [
+            ip
+            for ip, record in self.ip_records.items()
+            if not record.outcome.spf_measured
+            and record.outcome
+            not in (DetectionOutcome.REFUSED,)
+            and record.result.queries_observed > 0
+        ]
+
+    def vulnerable_domains(self) -> List[str]:
+        return [
+            name
+            for name, status in self.domain_status.items()
+            if status == DomainStatus.VULNERABLE
+        ]
+
+
+@dataclass
+class MeasurementRound:
+    """One longitudinal round over the tracked addresses."""
+
+    date: _dt.datetime
+    results: Dict[str, DetectionOutcome]
+    methods: Dict[str, Optional[ProbeMethod]] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a full campaign produced."""
+
+    initial: InitialMeasurement
+    rounds: List[MeasurementRound]
+    snapshot_status: Dict[str, DomainStatus]
+    snapshot_date: Optional[_dt.datetime] = None
+    notification_report: Optional[object] = None
+
+
+#: Called at the notification date with the measured-vulnerable domains.
+NotifierFn = Callable[[Sequence[str], _dt.datetime], object]
+
+
+class MeasurementCampaign:
+    """Drives the whole measurement against a generated Internet."""
+
+    def __init__(
+        self,
+        population: DomainPopulation,
+        fleet: MtaFleet,
+        *,
+        config: Optional[CampaignConfig] = None,
+        clock: Optional[SimulatedClock] = None,
+        notifier: Optional[NotifierFn] = None,
+    ) -> None:
+        self.population = population
+        self.fleet = fleet
+        self.config = config or CampaignConfig()
+        self.clock = clock or SimulatedClock(start=self.config.initial_measurement)
+        self.notifier = notifier
+
+        base = Name.from_text(self.config.base_domain)
+        self.responder = SpfTestResponder(base)
+        self.resolver = CachingResolver(clock=lambda: self.clock.now)
+        self.resolver.register(base, self.responder)
+        self.resolver.register(Name.root(), self.fleet.dns_backend)
+
+        self.network: Network = fleet.build_network(
+            lambda: self.clock.now, self.resolver
+        )
+        self.labels = LabelAllocator(base)
+        self.ethics = EthicsControls()
+        self._stub = StubResolver(
+            self.resolver, identity="measurement", clock=lambda: self.clock.now
+        )
+        client = SmtpClient(self.network, client_ip=self.config.probe_client_ip)
+        self.detector = VulnerabilityDetector(
+            client,
+            self.responder,
+            self.labels,
+            ethics=self.ethics,
+            wait=lambda seconds: self.clock.advance(_dt.timedelta(seconds=seconds)),
+            now=lambda: self.clock.now,
+        )
+        #: preferred probe method per address, learned at initial time.
+        self._preferred: Dict[str, ProbeMethod] = {}
+        #: a representative hosted domain per address (RCPT TO targets).
+        self._ip_domain: Dict[str, str] = {}
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve_domain_ips(self, domains: Optional[Sequence[Domain]] = None) -> Dict[str, List[str]]:
+        """MX → A resolution for every domain (RFC 5321 target selection)."""
+        mapping: Dict[str, List[str]] = {}
+        for domain in domains if domains is not None else self.population.domains:
+            mapping[domain.name] = self._resolve_one(domain.name)
+        return mapping
+
+    def _resolve_one(self, domain_name: str) -> List[str]:
+        try:
+            exchanges = self._stub.get_mx(domain_name)
+            if exchanges:
+                addresses: List[str] = []
+                for _, exchange in exchanges:
+                    addresses.extend(
+                        str(a) for a in self._stub.get_addresses(exchange, want_ipv6=False)
+                    )
+                return addresses
+            # No MX: fall back to the domain's own A record (RFC 5321).
+            return [
+                str(a) for a in self._stub.get_addresses(domain_name, want_ipv6=False)
+            ]
+        except ResolutionError:
+            return []
+
+    # -- initial measurement ------------------------------------------------------
+
+    def run_initial(self) -> InitialMeasurement:
+        """The 2021-10-11 sweep over both domain sets."""
+        self.clock.advance_to(max(self.clock.now, self.config.initial_measurement))
+        domain_ips = self.resolve_domain_ips()
+
+        unique_ips: List[str] = []
+        seen: Set[str] = set()
+        for name, ips in domain_ips.items():
+            for ip in ips:
+                if ip not in seen:
+                    seen.add(ip)
+                    unique_ips.append(ip)
+                    self._ip_domain[ip] = name
+
+        suite = self.labels.new_suite()
+        ip_records: Dict[str, IpInitialRecord] = {}
+        for ip in unique_ips:
+            result = self.detector.detect(
+                ip, suite, recipient_domain=self._ip_domain.get(ip)
+            )
+            ip_records[ip] = IpInitialRecord(ip=ip, result=result)
+            if result.successful_method is not None:
+                self._preferred[ip] = result.successful_method
+            self.clock.advance(_dt.timedelta(seconds=self.config.seconds_per_probe))
+
+        domain_status = {
+            name: self._domain_status_from_ips(ips, ip_records)
+            for name, ips in domain_ips.items()
+        }
+        self.initial = InitialMeasurement(
+            date=self.config.initial_measurement,
+            domain_ips=domain_ips,
+            ip_records=ip_records,
+            domain_status=domain_status,
+        )
+        return self.initial
+
+    @staticmethod
+    def _domain_status_from_ips(
+        ips: List[str], records: Dict[str, IpInitialRecord]
+    ) -> DomainStatus:
+        """A domain is vulnerable if *any* of its addresses is."""
+        outcomes = [records[ip].outcome for ip in ips if ip in records]
+        if any(o == DetectionOutcome.VULNERABLE for o in outcomes):
+            return DomainStatus.VULNERABLE
+        if any(o.spf_measured for o in outcomes):
+            return DomainStatus.NOT_VULNERABLE
+        return DomainStatus.UNKNOWN
+
+    # -- longitudinal rounds ------------------------------------------------------
+
+    def tracked_ips(self) -> List[str]:
+        """Addresses contacted after the initial sweep (Section 6.1)."""
+        return self.initial.vulnerable_ips() + self.initial.remeasurable_ips()
+
+    def run_round(self, date: _dt.datetime, tracked: Sequence[str]) -> MeasurementRound:
+        """One longitudinal measurement round."""
+        self.clock.advance_to(max(self.clock.now, date))
+        self.ethics.reset_round()
+        suite = self.labels.new_suite()
+        results: Dict[str, DetectionOutcome] = {}
+        methods: Dict[str, Optional[ProbeMethod]] = {}
+        for ip in tracked:
+            result = self.detector.detect(
+                ip,
+                suite,
+                preferred_method=self._preferred.get(ip),
+                recipient_domain=self._ip_domain.get(ip),
+            )
+            results[ip] = result.outcome
+            methods[ip] = result.successful_method
+            if result.successful_method is not None:
+                self._preferred[ip] = result.successful_method
+            self.clock.advance(_dt.timedelta(seconds=self.config.seconds_per_probe))
+        return MeasurementRound(date=date, results=results, methods=methods)
+
+    def round_dates(self) -> List[_dt.datetime]:
+        """Every scheduled longitudinal round date (both windows)."""
+        dates: List[_dt.datetime] = []
+        for start, end in (
+            (self.config.window1_start, self.config.window1_end),
+            (self.config.window2_start, self.config.window2_end),
+        ):
+            current = start
+            while current <= end:
+                dates.append(current)
+                current += self.config.round_interval
+        return dates
+
+    # -- full run -----------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the entire campaign timeline."""
+        initial = self.run_initial()
+        tracked = self.tracked_ips()
+
+        rounds: List[MeasurementRound] = []
+        notified = False
+        notification_report: Optional[object] = None
+        for date in self.round_dates():
+            if (
+                not notified
+                and self.notifier is not None
+                and date >= self.config.notification_date
+            ):
+                self.clock.advance_to(max(self.clock.now, self.config.notification_date))
+                notification_report = self.notifier(
+                    initial.vulnerable_domains(), self.config.notification_date
+                )
+                notified = True
+            rounds.append(self.run_round(date, tracked))
+
+        snapshot_date = self.config.window2_end
+        snapshot = self.run_snapshot(snapshot_date)
+        return CampaignResult(
+            initial=initial,
+            rounds=rounds,
+            snapshot_status=snapshot,
+            snapshot_date=snapshot_date,
+            notification_report=notification_report,
+        )
+
+    # -- final snapshot --------------------------------------------------------------
+
+    def run_snapshot(self, date: _dt.datetime) -> Dict[str, DomainStatus]:
+        """Re-resolve MX records and re-measure initially vulnerable domains.
+
+        Fresh resolution picks up servers that moved mid-campaign, which
+        is why the paper's snapshot concluded on domains the longitudinal
+        series had lost (Section 7.2).
+        """
+        self.clock.advance_to(max(self.clock.now, date))
+        self.resolver.flush()  # pick up moved MX/A data
+        vulnerable = self.initial.vulnerable_domains()
+        suite = self.labels.new_suite()
+        status: Dict[str, DomainStatus] = {}
+        ip_cache: Dict[str, DetectionOutcome] = {}
+        for name in vulnerable:
+            ips = self._resolve_one(name)
+            outcomes: List[DetectionOutcome] = []
+            for ip in ips:
+                if ip not in ip_cache:
+                    result = self.detector.detect(
+                        ip,
+                        suite,
+                        preferred_method=self._preferred.get(ip),
+                        recipient_domain=self._ip_domain.get(ip, name),
+                    )
+                    ip_cache[ip] = result.outcome
+                    self.clock.advance(
+                        _dt.timedelta(seconds=self.config.seconds_per_probe)
+                    )
+                outcomes.append(ip_cache[ip])
+            status[name] = self._snapshot_status(outcomes)
+        return status
+
+    @staticmethod
+    def _snapshot_status(outcomes: List[DetectionOutcome]) -> DomainStatus:
+        if any(o == DetectionOutcome.VULNERABLE for o in outcomes):
+            return DomainStatus.VULNERABLE
+        if outcomes and all(o.spf_measured for o in outcomes):
+            return DomainStatus.PATCHED
+        if any(o.spf_measured for o in outcomes):
+            return DomainStatus.PATCHED  # conclusive and none vulnerable
+        return DomainStatus.UNKNOWN

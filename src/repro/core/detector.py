@@ -1,0 +1,254 @@
+"""Remote vulnerability detection for one mail server (paper Section 5.1).
+
+The five-step methodology:
+
+1. open an SMTP connection to the target MTA;
+2. advertise a MAIL FROM under a domain unique to this (round, server);
+3. terminate before/during message transmission (NoMsg), or transmit an
+   entirely empty message (BlankMsg);
+4. the measurement DNS server logs the SPF-triggered queries carrying the
+   unique labels;
+5. classify the server's SPF behavior from those queries.
+
+NoMsg is always attempted first (it guarantees no email is delivered);
+BlankMsg is used only when NoMsg elicited no SPF activity.  A curated
+username list (random string and ``noreply`` variants first) minimizes
+the chance a blank message reaches a human inbox.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..dns.server import SpfTestResponder
+from ..smtp.client import SmtpClient, TransactionKind, TransactionResult, TransactionStatus
+from .ethics import EthicsControls
+from .fingerprint import ExpansionBehavior, classify_prefixes
+from .labels import LabelAllocator
+
+#: Paper Section 6.3 — usernames tried, in order.
+PROBE_USERNAMES: Tuple[str, ...] = (
+    "mmj7yzdm0tbk",
+    "noreply",
+    "donotreply",
+    "no-reply",
+    "postmaster",
+    "abuse",
+    "admin",
+    "administrator",
+    "newsletters",
+    "alerts",
+    "info",
+    "auto-confirm",
+    "appointments",
+    "service",
+)
+
+
+class ProbeMethod(enum.Enum):
+    NOMSG = "nomsg"
+    BLANKMSG = "blankmsg"
+
+
+class DetectionOutcome(enum.Enum):
+    """One server's classification after a detection attempt."""
+
+    VULNERABLE = "vulnerable"
+    ERRONEOUS = "erroneous"  # mis-expands macros, but not the CVE pattern
+    COMPLIANT = "compliant"
+    NO_SPF = "no-spf"  # dialogue completed, no SPF lookup observed
+    REFUSED = "refused"  # TCP connection refused
+    SMTP_FAILED = "smtp-failed"  # dialogue broke before any SPF evidence
+    INCONCLUSIVE = "inconclusive"
+
+    @property
+    def spf_measured(self) -> bool:
+        return self in (
+            DetectionOutcome.VULNERABLE,
+            DetectionOutcome.ERRONEOUS,
+            DetectionOutcome.COMPLIANT,
+        )
+
+
+@dataclass
+class DetectionResult:
+    """Everything one detection attempt learned about one server."""
+
+    ip: str
+    suite: str
+    outcome: DetectionOutcome
+    behaviors: Set[ExpansionBehavior] = field(default_factory=set)
+    test_ids: List[str] = field(default_factory=list)
+    successful_method: Optional[ProbeMethod] = None
+    transactions: List[TransactionResult] = field(default_factory=list)
+    queries_observed: int = 0
+    #: Per-method outcome, for Table 3-style accounting.
+    method_outcomes: dict = field(default_factory=dict)
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return any(b.is_vulnerable for b in self.behaviors)
+
+    @property
+    def multiple_patterns(self) -> bool:
+        return len(self.behaviors) > 1
+
+
+class VulnerabilityDetector:
+    """Probes individual servers and classifies their SPF behavior."""
+
+    def __init__(
+        self,
+        client: SmtpClient,
+        responder: SpfTestResponder,
+        labels: LabelAllocator,
+        *,
+        ethics: Optional[EthicsControls] = None,
+        wait: Optional[Callable[[float], None]] = None,
+        now: Optional[Callable[[], _dt.datetime]] = None,
+        usernames: Sequence[str] = PROBE_USERNAMES,
+        max_greylist_retries: int = 2,
+    ) -> None:
+        self.client = client
+        self.responder = responder
+        self.labels = labels
+        self.ethics = ethics or EthicsControls()
+        self._wait = wait or (lambda seconds: None)
+        self._now = now or (lambda: _dt.datetime.now(tz=_dt.timezone.utc))
+        self.usernames = tuple(usernames)
+        self.max_greylist_retries = max_greylist_retries
+
+    # -- public API -----------------------------------------------------------
+
+    def detect(
+        self,
+        ip: str,
+        suite: str,
+        *,
+        preferred_method: Optional[ProbeMethod] = None,
+        recipient_domain: Optional[str] = None,
+    ) -> DetectionResult:
+        """Run the detection procedure against one server.
+
+        ``preferred_method`` short-circuits to whichever probe worked in a
+        previous round (the paper reused the successful approach).
+        ``recipient_domain`` is a domain the server hosts mail for — the
+        curated usernames are tried as RCPT recipients under it.
+        """
+        result = DetectionResult(ip=ip, suite=suite, outcome=DetectionOutcome.INCONCLUSIVE)
+        if preferred_method is not None:
+            methods = (preferred_method,)
+        else:
+            methods = (ProbeMethod.NOMSG, ProbeMethod.BLANKMSG)
+
+        for method in methods:
+            finished = self._run_method(result, ip, suite, method, recipient_domain)
+            result.method_outcomes[method] = result.outcome
+            if result.outcome.spf_measured:
+                result.successful_method = method
+                return result
+            if finished:  # refused / hard failure: no point trying further
+                return result
+        return result
+
+    # -- probe driving ------------------------------------------------------------
+
+    def _run_method(
+        self,
+        result: DetectionResult,
+        ip: str,
+        suite: str,
+        method: ProbeMethod,
+        recipient_domain: Optional[str],
+    ) -> bool:
+        """Try one probe method, iterating recipient usernames as needed.
+
+        Returns True if detection should stop entirely (hard failure),
+        False if the next method may still be tried.
+        """
+        test_id = self.labels.new_id(suite, ip)
+        result.test_ids.append(test_id)
+        domain = self.labels.mail_from_domain(suite, test_id)
+        sender = f"{self.usernames[0]}@{domain}"
+        rcpt_domain = recipient_domain or "recipient.invalid"
+        kind = (
+            TransactionKind.NOMSG if method == ProbeMethod.NOMSG else TransactionKind.BLANKMSG
+        )
+
+        greylist_retries = 0
+        username_index = 0
+        while username_index < len(self.usernames):
+            username = self.usernames[username_index]
+            self._respect_waits(ip)
+            transaction = self._transact(
+                ip, sender, f"{username}@{rcpt_domain}", kind
+            )
+            result.transactions.append(transaction)
+
+            if self._classify(result, suite, test_id):
+                return True
+
+            status = transaction.status
+            if status == TransactionStatus.REFUSED:
+                result.outcome = DetectionOutcome.REFUSED
+                return True
+            if status == TransactionStatus.GREYLISTED:
+                if greylist_retries >= self.max_greylist_retries:
+                    result.outcome = DetectionOutcome.SMTP_FAILED
+                    return True
+                greylist_retries += 1
+                self._wait(self.ethics.greylist_wait.total_seconds())
+                continue  # same username, after the 8-minute wait
+            if status == TransactionStatus.RCPT_REJECTED:
+                username_index += 1
+                continue  # walk the curated username list
+            if status in (TransactionStatus.FAILED, TransactionStatus.DROPPED):
+                result.outcome = DetectionOutcome.SMTP_FAILED
+                return True
+            # COMPLETED without SPF queries: this method cannot elicit
+            # validation from this server; the caller may try the next.
+            result.outcome = DetectionOutcome.NO_SPF
+            return False
+
+        # Every username was rejected without SPF evidence.
+        result.outcome = DetectionOutcome.SMTP_FAILED
+        return True
+
+    def _transact(
+        self, ip: str, sender: str, recipient: str, kind: TransactionKind
+    ) -> TransactionResult:
+        self.ethics.connection_opened(ip, self._now())
+        try:
+            return self.client.probe(ip, sender=sender, recipient=recipient, kind=kind)
+        finally:
+            self.ethics.connection_closed()
+
+    def _respect_waits(self, ip: str) -> None:
+        earliest = self.ethics.earliest_recontact(ip)
+        if earliest is not None:
+            now = self._now()
+            if earliest > now:
+                self._wait((earliest - now).total_seconds())
+
+    def _classify(self, result: DetectionResult, suite: str, test_id: str) -> bool:
+        """Update the result from the DNS log; True when conclusive."""
+        prefixes = self.responder.log.expansion_prefixes(suite, test_id)
+        result.queries_observed = len(self.responder.log.entries_for(suite, test_id))
+        if not prefixes:
+            return False
+        behaviors = classify_prefixes(prefixes, test_id, suite, self.responder.base)
+        if not behaviors:
+            # Only the control mechanism's query arrived — SPF ran, but
+            # the macro mechanism never produced a resolvable lookup.
+            return False
+        result.behaviors |= behaviors
+        if result.is_vulnerable:
+            result.outcome = DetectionOutcome.VULNERABLE
+        elif any(b.is_erroneous for b in result.behaviors):
+            result.outcome = DetectionOutcome.ERRONEOUS
+        else:
+            result.outcome = DetectionOutcome.COMPLIANT
+        return True

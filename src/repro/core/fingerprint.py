@@ -1,0 +1,106 @@
+"""Classifying observed macro expansions (paper Section 4.2).
+
+The measurement SPF policy's first mechanism is::
+
+    a:%{d1r}.<id>.<suite>.spf-test.dns-lab.org
+
+For a MAIL FROM domain ``<id>.<suite>.spf-test.dns-lab.org`` (labels
+``[id, suite, b1, ..., bk]`` where ``b1..bk`` is the measurement base),
+each SPF implementation expands ``%{d1r}`` differently, and the A/AAAA
+query it then issues carries the expansion as a prefix in front of
+``<id>.<suite>.<base>``:
+
+==============================  ===========================================
+expansion prefix observed        classification
+==============================  ===========================================
+``<id>``                         RFC-compliant
+``bk . bk ... b1 . suite . id``  **vulnerable libSPF2** (duplicated label,
+                                 unreversed, untruncated — unique)
+``bk ... b1 . suite . id``       reversed but not truncated
+``bk``                           truncated but not reversed
+``%{d1r}`` (literal)             no macro expansion at all
+``b`` (the control mechanism)    ignored — proves SPF processing continued
+anything else                    other erroneous expansion
+==============================  ===========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..dns.name import Name
+
+
+class ExpansionBehavior(enum.Enum):
+    """The observable SPF macro-expansion classes."""
+
+    RFC_COMPLIANT = "rfc-compliant"
+    VULNERABLE_LIBSPF2 = "vulnerable-libspf2"
+    NO_EXPANSION = "no-expansion"
+    REVERSED_NOT_TRUNCATED = "reversed-not-truncated"
+    TRUNCATED_NOT_REVERSED = "truncated-not-reversed"
+    OTHER_ERRONEOUS = "other-erroneous"
+
+    @property
+    def is_erroneous(self) -> bool:
+        return self != ExpansionBehavior.RFC_COMPLIANT
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return self == ExpansionBehavior.VULNERABLE_LIBSPF2
+
+
+#: The control mechanism's static label (``a:b.<id>.<suite>.<base>``).
+CONTROL_LABEL = "b"
+
+
+def _domain_labels(test_id: str, suite: str, base: Name) -> List[str]:
+    return [test_id.lower(), suite.lower()] + [l.lower() for l in base.labels]
+
+
+def expected_prefixes(test_id: str, suite: str, base: Name) -> dict:
+    """behavior → the exact prefix labels it produces for this test."""
+    labels = _domain_labels(test_id, suite, base)
+    reversed_labels = list(reversed(labels))
+    return {
+        ExpansionBehavior.RFC_COMPLIANT: [labels[0]],
+        ExpansionBehavior.VULNERABLE_LIBSPF2: [reversed_labels[0]] + reversed_labels,
+        ExpansionBehavior.REVERSED_NOT_TRUNCATED: reversed_labels,
+        ExpansionBehavior.TRUNCATED_NOT_REVERSED: [labels[-1]],
+        ExpansionBehavior.NO_EXPANSION: ["%{d1r}"],
+    }
+
+
+def classify_prefix(
+    prefix: Name, test_id: str, suite: str, base: Name
+) -> Optional[ExpansionBehavior]:
+    """Classify one observed expansion prefix.
+
+    Returns ``None`` for the control mechanism's query (which proves SPF
+    processing but says nothing about macro handling).
+    """
+    observed = [label.lower() for label in prefix.labels]
+    if observed == [CONTROL_LABEL]:
+        return None
+    for behavior, expected in expected_prefixes(test_id, suite, base).items():
+        if observed == expected:
+            return behavior
+    return ExpansionBehavior.OTHER_ERRONEOUS
+
+
+def classify_prefixes(
+    prefixes: Iterable[Name], test_id: str, suite: str, base: Name
+) -> Set[ExpansionBehavior]:
+    """Classify every observed prefix; duplicates collapse.
+
+    A server can legitimately produce *several* distinct behaviors (an MTA
+    plus a spam filter with different SPF stacks — the paper saw this on
+    6% of measurable IPs).
+    """
+    behaviors: Set[ExpansionBehavior] = set()
+    for prefix in prefixes:
+        behavior = classify_prefix(prefix, test_id, suite, base)
+        if behavior is not None:
+            behaviors.add(behavior)
+    return behaviors

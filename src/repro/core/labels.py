@@ -1,0 +1,66 @@
+"""Unique test labels (paper Section 5.1).
+
+Every probed server gets a unique 4- or 5-character alphanumeric ``<id>``
+label, and every test suite (measurement round) gets its own ``<suite>``
+label.  Advertised MAIL FROM domains look like::
+
+    <username>@<id>.<suite>.spf-test.dns-lab.org
+
+Uniqueness serves two purposes: it ties every DNS query the measurement
+server receives to exactly one (round, server) pair, and it guarantees no
+query can be absorbed by a recursive resolver's cache.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Optional, Set, Tuple
+
+from ..dns.name import Name
+from ..errors import SimulationError
+
+_ALPHABET = string.ascii_lowercase + string.digits
+
+
+def _encode(value: int, width: int) -> str:
+    chars = []
+    for _ in range(width):
+        value, digit = divmod(value, len(_ALPHABET))
+        chars.append(_ALPHABET[digit])
+    return "".join(reversed(chars))
+
+
+class LabelAllocator:
+    """Hands out unique id labels per suite and remembers the mapping."""
+
+    def __init__(self, base: Name) -> None:
+        self.base = base
+        self._next_suite = 0
+        self._next_id: Dict[str, int] = {}
+        self._ip_for_label: Dict[Tuple[str, str], str] = {}
+
+    def new_suite(self) -> str:
+        """A fresh test-suite label."""
+        label = "s" + _encode(self._next_suite, 4)
+        self._next_suite += 1
+        self._next_id[label] = 0
+        return label
+
+    def new_id(self, suite: str, target_ip: str) -> str:
+        """A fresh server id label within a suite, bound to ``target_ip``."""
+        if suite not in self._next_id:
+            raise SimulationError(f"unknown suite label {suite!r}")
+        counter = self._next_id[suite]
+        self._next_id[suite] = counter + 1
+        width = 4 if counter < len(_ALPHABET) ** 4 // 2 else 5
+        label = _encode(counter, width)
+        self._ip_for_label[(suite, label)] = target_ip
+        return label
+
+    def ip_for(self, suite: str, test_id: str) -> Optional[str]:
+        """Which server a (suite, id) pair was allocated to."""
+        return self._ip_for_label.get((suite, test_id))
+
+    def mail_from_domain(self, suite: str, test_id: str) -> str:
+        """The advertised MAIL FROM domain for one probe."""
+        return f"{test_id}.{suite}.{self.base}"

@@ -1,0 +1,70 @@
+"""A self-contained DNS substrate.
+
+This package models the pieces of the DNS that SPFail relies on:
+
+- :mod:`repro.dns.name` — domain names with label semantics (RFC 1035),
+- :mod:`repro.dns.rdata` — record data types (A, AAAA, TXT, MX, NS, ...),
+- :mod:`repro.dns.message` — query/response messages and response codes,
+- :mod:`repro.dns.wire` — the RFC 1035 wire codec with name compression,
+- :mod:`repro.dns.zone` — authoritative zone data,
+- :mod:`repro.dns.server` — an authoritative server with a query log and a
+  dynamic SPF responder (the paper's ``spf-test.dns-lab.org`` server),
+- :mod:`repro.dns.resolver` — a caching resolver used by simulated MTAs,
+- :mod:`repro.dns.querylog` — the measurement-side record of queries seen.
+
+The query log is the observable on which the whole SPFail detection
+technique rests: a vulnerable MTA betrays itself by the domain name it
+queries after expanding an SPF macro.
+"""
+
+from .name import Name
+from .rdata import (
+    RRType,
+    RClass,
+    Rdata,
+    A,
+    AAAA,
+    TXT,
+    MX,
+    NS,
+    SOA,
+    CNAME,
+    PTR,
+    ResourceRecord,
+)
+from .message import Message, Question, Rcode, Opcode
+from .zone import Zone
+from .server import AuthoritativeServer, SpfTestResponder
+from .resolver import CachingResolver, StubResolver
+from .querylog import QueryLog, QueryLogEntry
+from .wiretransport import WireTransportBackend
+from .zonefile import parse_zone_file
+
+__all__ = [
+    "Name",
+    "RRType",
+    "RClass",
+    "Rdata",
+    "A",
+    "AAAA",
+    "TXT",
+    "MX",
+    "NS",
+    "SOA",
+    "CNAME",
+    "PTR",
+    "ResourceRecord",
+    "Message",
+    "Question",
+    "Rcode",
+    "Opcode",
+    "Zone",
+    "AuthoritativeServer",
+    "SpfTestResponder",
+    "CachingResolver",
+    "StubResolver",
+    "QueryLog",
+    "QueryLogEntry",
+    "WireTransportBackend",
+    "parse_zone_file",
+]

@@ -1,0 +1,125 @@
+"""DNS messages: queries and responses.
+
+Models the subset of RFC 1035 message semantics the reproduction needs:
+header flags (QR, AA, RD, RA), response codes, a single question, and
+answer/authority/additional sections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .name import Name
+from .rdata import RClass, RRType, ResourceRecord
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """Response codes (RFC 1035 section 4.1.1)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question section entry."""
+
+    name: Name
+    rrtype: RRType
+    rclass: RClass = RClass.IN
+
+    def to_text(self) -> str:
+        return f"{self.name}. {self.rclass.name} {self.rrtype.name}"
+
+
+@dataclass
+class Message:
+    """A DNS message.
+
+    Only the fields exercised by the simulation are modeled.  ``id`` is
+    assigned by the transport; flags default to a recursive query.
+    """
+
+    id: int = 0
+    opcode: Opcode = Opcode.QUERY
+    rcode: Rcode = Rcode.NOERROR
+    is_response: bool = False
+    authoritative: bool = False
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    question: Optional[Question] = None
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authority: List[ResourceRecord] = field(default_factory=list)
+    additional: List[ResourceRecord] = field(default_factory=list)
+
+    @classmethod
+    def make_query(
+        cls,
+        name: Name,
+        rrtype: RRType,
+        *,
+        id: int = 0,
+        recursion_desired: bool = True,
+    ) -> "Message":
+        """Build a standard query message."""
+        return cls(
+            id=id,
+            question=Question(name, rrtype),
+            recursion_desired=recursion_desired,
+        )
+
+    def make_response(self, rcode: Rcode = Rcode.NOERROR) -> "Message":
+        """Build a response skeleton echoing this query."""
+        return Message(
+            id=self.id,
+            opcode=self.opcode,
+            rcode=rcode,
+            is_response=True,
+            recursion_desired=self.recursion_desired,
+            question=self.question,
+        )
+
+    def answer_rrset(self, rrtype: Optional[RRType] = None) -> List[ResourceRecord]:
+        """Answers filtered to ``rrtype`` (or the question's type)."""
+        if rrtype is None:
+            if self.question is None:
+                return list(self.answers)
+            rrtype = self.question.rrtype
+        return [rr for rr in self.answers if rr.rrtype == rrtype]
+
+    def to_text(self) -> str:
+        """A dig-like presentation of the message, for debugging."""
+        lines = []
+        kind = "RESPONSE" if self.is_response else "QUERY"
+        flags = []
+        if self.authoritative:
+            flags.append("aa")
+        if self.recursion_desired:
+            flags.append("rd")
+        if self.recursion_available:
+            flags.append("ra")
+        lines.append(f";; {kind} id={self.id} rcode={self.rcode.name} flags={' '.join(flags)}")
+        if self.question is not None:
+            lines.append(";; QUESTION")
+            lines.append(";" + self.question.to_text())
+        for title, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authority),
+            ("ADDITIONAL", self.additional),
+        ):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend(rr.to_text() for rr in section)
+        return "\n".join(lines)

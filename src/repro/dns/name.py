@@ -1,0 +1,153 @@
+"""DNS domain names.
+
+A :class:`Name` is an immutable sequence of labels, stored without the
+trailing root label.  Comparisons are case-insensitive, as required by
+RFC 1035 section 2.3.3, but the original spelling is preserved for
+presentation.
+
+The SPFail detection technique manipulates names heavily (label reversal,
+truncation, prepending), so :class:`Name` offers convenience operations for
+those transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple, Union
+
+from ..errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 253  # presentation form, excluding trailing dot
+
+
+def _validate_label(label: str) -> None:
+    if not label:
+        raise NameError_("empty label in domain name")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label too long ({len(label)} > {MAX_LABEL_LENGTH}): {label!r}")
+
+
+class Name:
+    """An immutable DNS domain name.
+
+    >>> n = Name.from_text("Mail.Example.COM")
+    >>> n == Name.from_text("mail.example.com")
+    True
+    >>> n.labels
+    ('Mail', 'Example', 'COM')
+    >>> str(n)
+    'Mail.Example.COM'
+    """
+
+    __slots__ = ("_labels", "_key")
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        labels = tuple(labels)
+        for label in labels:
+            _validate_label(label)
+        joined = ".".join(labels)
+        if len(joined) > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({len(joined)} > {MAX_NAME_LENGTH})")
+        self._labels: Tuple[str, ...] = labels
+        self._key: Tuple[str, ...] = tuple(l.lower() for l in labels)
+
+    @classmethod
+    def root(cls) -> "Name":
+        """The root name (zero labels)."""
+        return cls(())
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse a presentation-format name. A single ``.`` is the root."""
+        text = text.rstrip(".")
+        if text == "":
+            return cls.root()
+        return cls(text.split("."))
+
+    # -- basic protocol ---------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return self._labels
+
+    @property
+    def key(self) -> Tuple[str, ...]:
+        """The lowercase label tuple used for comparisons and dict keys."""
+        return self._key
+
+    def __str__(self) -> str:
+        return ".".join(self._labels) if self._labels else "."
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return self._key == other._key
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __lt__(self, other: "Name") -> bool:
+        # Canonical DNS ordering: compare label sequences from the rightmost
+        # (most significant) label, case-insensitively.
+        return tuple(reversed(self._key)) < tuple(reversed(other._key))
+
+    # -- structure --------------------------------------------------------
+
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed."""
+        if not self._labels:
+            raise NameError_("the root name has no parent")
+        return Name(self._labels[1:])
+
+    def tld(self) -> str:
+        """The rightmost label, lowercase ('' for the root)."""
+        return self._key[-1] if self._key else ""
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if ``self`` equals ``other`` or sits beneath it."""
+        if len(other._key) > len(self._key):
+            return False
+        if not other._key:
+            return True
+        return self._key[-len(other._key):] == other._key
+
+    def relativize(self, origin: "Name") -> "Name":
+        """Strip ``origin`` from the right-hand side of this name."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not a subdomain of {origin}")
+        n = len(self._labels) - len(origin._labels)
+        return Name(self._labels[:n])
+
+    def concatenate(self, suffix: Union["Name", str]) -> "Name":
+        """Append ``suffix``'s labels after this name's labels."""
+        if isinstance(suffix, str):
+            suffix = Name.from_text(suffix)
+        return Name(self._labels + suffix._labels)
+
+    def prepend(self, label: str) -> "Name":
+        """Add one label at the left (hostname side)."""
+        return Name((label,) + self._labels)
+
+    # -- SPF-macro-flavored transformations --------------------------------
+
+    def reversed_labels(self) -> "Name":
+        """Labels in reverse order (the SPF ``r`` transformer)."""
+        return Name(tuple(reversed(self._labels)))
+
+    def rightmost(self, count: int) -> "Name":
+        """Keep only the rightmost ``count`` labels (SPF digit transformer)."""
+        if count <= 0:
+            raise NameError_("label count must be positive")
+        return Name(self._labels[-count:]) if count < len(self._labels) else self

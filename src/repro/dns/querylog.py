@@ -1,0 +1,122 @@
+"""The measurement-side DNS query log.
+
+The SPFail detection technique observes nothing but the DNS queries that
+arrive at the researchers' authoritative server.  :class:`QueryLog` records
+each query with its timestamp and source, and knows how to slice the log by
+the unique ``<id>`` / ``<suite>`` labels that the prober embeds in MAIL FROM
+domains (Section 5.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .name import Name
+from .rdata import RRType
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One query received by the measurement DNS server."""
+
+    timestamp: _dt.datetime
+    qname: Name
+    rrtype: RRType
+    source: str  # the querying resolver/MTA identity, e.g. "198.51.100.7"
+
+    def to_text(self) -> str:
+        return f"{self.timestamp.isoformat()} {self.source} {self.qname} {self.rrtype.name}"
+
+
+class QueryLog:
+    """An append-only log of queries, indexed by embedded test labels.
+
+    The prober advertises MAIL FROM domains of the form::
+
+        <id>.<suite>.spf-test.dns-lab.org
+
+    so any query whose name contains both labels belongs to exactly one
+    (test-suite, tested-server) pair.  ``base`` is the registered suffix
+    under the measurement team's control.
+    """
+
+    def __init__(self, base: Name) -> None:
+        self.base = base
+        self._entries: List[QueryLogEntry] = []
+        self._by_labels: Dict[Tuple[str, str], List[QueryLogEntry]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        return iter(self._entries)
+
+    def record(
+        self,
+        timestamp: _dt.datetime,
+        qname: Name,
+        rrtype: RRType,
+        source: str = "",
+    ) -> QueryLogEntry:
+        """Append one query to the log."""
+        entry = QueryLogEntry(timestamp=timestamp, qname=qname, rrtype=rrtype, source=source)
+        self._entries.append(entry)
+        labels = self.extract_labels(qname)
+        if labels is not None:
+            self._by_labels.setdefault(labels, []).append(entry)
+        return entry
+
+    def extract_labels(self, qname: Name) -> Optional[Tuple[str, str]]:
+        """Extract ``(suite, id)`` from a query name under our base.
+
+        The id and suite are the two labels immediately left of the base;
+        anything further left is macro-expansion output.  Returns ``None``
+        for names outside the base or too shallow to carry both labels.
+        """
+        if not qname.is_subdomain_of(self.base):
+            return None
+        relative = qname.relativize(self.base)
+        if len(relative) < 2:
+            return None
+        suite = relative.labels[-1].lower()
+        test_id = relative.labels[-2].lower()
+        return (suite, test_id)
+
+    def entries_for(self, suite: str, test_id: str) -> List[QueryLogEntry]:
+        """All queries carrying the given suite and test id labels."""
+        return list(self._by_labels.get((suite.lower(), test_id.lower()), []))
+
+    def expansion_prefixes(self, suite: str, test_id: str) -> List[Name]:
+        """The macro-expansion outputs observed for one test.
+
+        For each logged A/AAAA query ``X.<id>.<suite>.<base>``, returns the
+        ``X`` portion (possibly multiple labels).  TXT queries (the policy
+        fetch itself, with empty prefix) are excluded.
+        """
+        prefixes = []
+        for entry in self.entries_for(suite, test_id):
+            if entry.rrtype not in (RRType.A, RRType.AAAA):
+                continue
+            relative = entry.qname.relativize(self.base)
+            prefix_labels = relative.labels[:-2]
+            if prefix_labels:
+                prefixes.append(Name(prefix_labels))
+        return prefixes
+
+    def saw_policy_fetch(self, suite: str, test_id: str) -> bool:
+        """True if the TXT policy for this test was ever queried."""
+        return any(
+            e.rrtype == RRType.TXT for e in self.entries_for(suite, test_id)
+        )
+
+    def between(
+        self, start: _dt.datetime, end: _dt.datetime
+    ) -> List[QueryLogEntry]:
+        """Entries with ``start <= timestamp < end``."""
+        return [e for e in self._entries if start <= e.timestamp < end]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_labels.clear()

@@ -1,0 +1,344 @@
+"""DNS record data types.
+
+Implements the record types the SPFail measurement touches: A and AAAA
+(address lookups triggered by SPF mechanisms), TXT (SPF policies), MX
+(mail-server discovery), plus NS/SOA/CNAME/PTR for zone plumbing.
+
+Each rdata type knows how to render itself in presentation format and how
+to encode/decode its wire form (used by :mod:`repro.dns.wire`).
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple, Type, Union
+
+from ..errors import WireFormatError
+from .name import Name
+
+
+class RRType(enum.IntEnum):
+    """Resource record types (RFC 1035 / 3596)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    ANY = 255
+
+
+class RClass(enum.IntEnum):
+    """Resource record classes."""
+
+    IN = 1
+    ANY = 255
+
+
+class Rdata:
+    """Base class for record data."""
+
+    rrtype: RRType
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def to_wire(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Rdata":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Rdata):
+            return (self.rrtype, self.to_wire()) == (other.rrtype, other.to_wire())
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.rrtype, self.to_wire()))
+
+
+class A(Rdata):
+    """An IPv4 address record."""
+
+    rrtype = RRType.A
+
+    def __init__(self, address: Union[str, ipaddress.IPv4Address]) -> None:
+        self.address = ipaddress.IPv4Address(address)
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    def to_wire(self) -> bytes:
+        return self.address.packed
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "A":
+        if len(data) != 4:
+            raise WireFormatError(f"A rdata must be 4 bytes, got {len(data)}")
+        return cls(ipaddress.IPv4Address(data))
+
+
+class AAAA(Rdata):
+    """An IPv6 address record."""
+
+    rrtype = RRType.AAAA
+
+    def __init__(self, address: Union[str, ipaddress.IPv6Address]) -> None:
+        self.address = ipaddress.IPv6Address(address)
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    def to_wire(self) -> bytes:
+        return self.address.packed
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "AAAA":
+        if len(data) != 16:
+            raise WireFormatError(f"AAAA rdata must be 16 bytes, got {len(data)}")
+        return cls(ipaddress.IPv6Address(data))
+
+
+class TXT(Rdata):
+    """A text record: one or more character-strings of up to 255 bytes.
+
+    SPF policies are published as TXT records; a policy longer than 255
+    bytes is split across multiple strings which the consumer concatenates
+    (RFC 7208 section 3.3).
+    """
+
+    rrtype = RRType.TXT
+
+    def __init__(self, strings: Union[str, bytes, List[Union[str, bytes]]]) -> None:
+        if isinstance(strings, (str, bytes)):
+            strings = [strings]
+        encoded: List[bytes] = []
+        for s in strings:
+            b = s.encode("ascii", errors="replace") if isinstance(s, str) else bytes(s)
+            if len(b) > 255:
+                # Split automatically, as publishing tools do.
+                encoded.extend(b[i : i + 255] for i in range(0, len(b), 255))
+            else:
+                encoded.append(b)
+        self.strings: Tuple[bytes, ...] = tuple(encoded)
+
+    @property
+    def text(self) -> str:
+        """All character-strings concatenated and decoded."""
+        return b"".join(self.strings).decode("ascii", errors="replace")
+
+    def to_text(self) -> str:
+        return " ".join(
+            '"' + s.decode("ascii", errors="replace").replace('"', '\\"') + '"'
+            for s in self.strings
+        )
+
+    def to_wire(self) -> bytes:
+        out = bytearray()
+        for s in self.strings:
+            out.append(len(s))
+            out.extend(s)
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "TXT":
+        strings: List[bytes] = []
+        i = 0
+        while i < len(data):
+            n = data[i]
+            i += 1
+            if i + n > len(data):
+                raise WireFormatError("TXT character-string overruns rdata")
+            strings.append(data[i : i + n])
+            i += n
+        return cls(list(strings))
+
+
+class _NameRdata(Rdata):
+    """Shared implementation for rdata that is a single domain name."""
+
+    def __init__(self, target: Union[str, Name]) -> None:
+        self.target = target if isinstance(target, Name) else Name.from_text(target)
+
+    def to_text(self) -> str:
+        return str(self.target) + "."
+
+    def to_wire(self) -> bytes:
+        # Uncompressed name encoding (compression handled at message level
+        # only for owner names; rdata names are stored uncompressed here).
+        out = bytearray()
+        for label in self.target.labels:
+            raw = label.encode("ascii", errors="replace")
+            out.append(len(raw))
+            out.extend(raw)
+        out.append(0)
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, data: bytes):
+        labels: List[str] = []
+        i = 0
+        while i < len(data):
+            n = data[i]
+            i += 1
+            if n == 0:
+                break
+            if i + n > len(data):
+                raise WireFormatError("name label overruns rdata")
+            labels.append(data[i : i + n].decode("ascii", errors="replace"))
+            i += n
+        return cls(Name(labels))
+
+
+class NS(_NameRdata):
+    """A delegation record."""
+
+    rrtype = RRType.NS
+
+
+class CNAME(_NameRdata):
+    """A canonical-name alias record."""
+
+    rrtype = RRType.CNAME
+
+
+class PTR(_NameRdata):
+    """A pointer record (reverse DNS)."""
+
+    rrtype = RRType.PTR
+
+
+class MX(Rdata):
+    """A mail-exchanger record: preference plus exchange host."""
+
+    rrtype = RRType.MX
+
+    def __init__(self, preference: int, exchange: Union[str, Name]) -> None:
+        if not 0 <= preference <= 0xFFFF:
+            raise WireFormatError(f"MX preference out of range: {preference}")
+        self.preference = preference
+        self.exchange = exchange if isinstance(exchange, Name) else Name.from_text(exchange)
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange}."
+
+    def to_wire(self) -> bytes:
+        return struct.pack("!H", self.preference) + _NameRdata(self.exchange).to_wire()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "MX":
+        if len(data) < 3:
+            raise WireFormatError("MX rdata too short")
+        (pref,) = struct.unpack("!H", data[:2])
+        name_rdata = _NameRdata.from_wire(data[2:])
+        return cls(pref, name_rdata.target)
+
+
+class SOA(Rdata):
+    """A start-of-authority record."""
+
+    rrtype = RRType.SOA
+
+    def __init__(
+        self,
+        mname: Union[str, Name],
+        rname: Union[str, Name],
+        serial: int = 1,
+        refresh: int = 3600,
+        retry: int = 900,
+        expire: int = 604800,
+        minimum: int = 300,
+    ) -> None:
+        self.mname = mname if isinstance(mname, Name) else Name.from_text(mname)
+        self.rname = rname if isinstance(rname, Name) else Name.from_text(rname)
+        self.serial = serial
+        self.refresh = refresh
+        self.retry = retry
+        self.expire = expire
+        self.minimum = minimum
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname}. {self.rname}. {self.serial} {self.refresh} "
+            f"{self.retry} {self.expire} {self.minimum}"
+        )
+
+    def to_wire(self) -> bytes:
+        return (
+            _NameRdata(self.mname).to_wire()
+            + _NameRdata(self.rname).to_wire()
+            + struct.pack(
+                "!IIIII", self.serial, self.refresh, self.retry, self.expire, self.minimum
+            )
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "SOA":
+        # Names in our wire encoding are uncompressed; find their ends.
+        def read_name(offset: int) -> Tuple[Name, int]:
+            labels: List[str] = []
+            i = offset
+            while True:
+                if i >= len(data):
+                    raise WireFormatError("SOA name overruns rdata")
+                n = data[i]
+                i += 1
+                if n == 0:
+                    return Name(labels), i
+                labels.append(data[i : i + n].decode("ascii", errors="replace"))
+                i += n
+
+        mname, i = read_name(0)
+        rname, i = read_name(i)
+        if len(data) - i != 20:
+            raise WireFormatError("SOA fixed fields malformed")
+        serial, refresh, retry, expire, minimum = struct.unpack("!IIIII", data[i:])
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+
+RDATA_CLASSES: dict = {
+    RRType.A: A,
+    RRType.AAAA: AAAA,
+    RRType.TXT: TXT,
+    RRType.MX: MX,
+    RRType.NS: NS,
+    RRType.CNAME: CNAME,
+    RRType.PTR: PTR,
+    RRType.SOA: SOA,
+}
+
+
+def rdata_class_for(rrtype: RRType) -> Type[Rdata]:
+    """Look up the rdata class for a record type."""
+    try:
+        return RDATA_CLASSES[rrtype]
+    except KeyError:
+        raise WireFormatError(f"unsupported rdata type: {rrtype!r}") from None
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A complete resource record: owner name, TTL, class, and rdata."""
+
+    name: Name
+    rdata: Rdata
+    ttl: int = 300
+    rclass: RClass = RClass.IN
+
+    @property
+    def rrtype(self) -> RRType:
+        return self.rdata.rrtype
+
+    def to_text(self) -> str:
+        return f"{self.name}. {self.ttl} {self.rclass.name} {self.rrtype.name} {self.rdata.to_text()}"

@@ -1,0 +1,165 @@
+"""DNS resolution for simulated hosts.
+
+:class:`CachingResolver` plays the role of a recursive resolver: it routes
+queries to the authoritative backend responsible for the longest matching
+zone suffix and caches both positive and negative answers by TTL.
+
+:class:`StubResolver` is the host-facing API used by simulated MTAs (and
+the SPF evaluator): typed convenience lookups over a caching resolver.
+
+The paper's unique per-test labels exist precisely to defeat this caching
+layer — every probe's names are new, so every SPF-triggered query reaches
+the measurement server.  The cache is modeled so tests can demonstrate
+that property.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import ipaddress
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ResolutionError
+from .message import Message, Rcode
+from .name import Name
+from .rdata import MX, RRType, ResourceRecord, TXT
+from .server import DnsBackend
+
+ClockFn = Callable[[], _dt.datetime]
+
+
+def _default_clock() -> _dt.datetime:
+    return _dt.datetime.now(tz=_dt.timezone.utc)
+
+
+@dataclass
+class _CacheEntry:
+    expires: _dt.datetime
+    rcode: Rcode
+    records: List[ResourceRecord]
+
+
+class CachingResolver(DnsBackend):
+    """A recursive resolver with positive and negative caching."""
+
+    NEGATIVE_TTL = 300
+
+    def __init__(self, clock: Optional[ClockFn] = None) -> None:
+        self._backends: Dict[tuple, DnsBackend] = {}
+        self._cache: Dict[Tuple[tuple, RRType], _CacheEntry] = {}
+        self._clock = clock or _default_clock
+        self.query_count = 0
+        self.cache_hits = 0
+
+    def register(self, suffix: Union[str, Name], backend: DnsBackend) -> None:
+        """Delegate all names under ``suffix`` to ``backend``."""
+        name = suffix if isinstance(suffix, Name) else Name.from_text(suffix)
+        self._backends[name.key] = backend
+
+    def _backend_for(self, name: Name) -> Optional[DnsBackend]:
+        best_key: Optional[tuple] = None
+        for key in self._backends:
+            if name.is_subdomain_of(Name(key)):
+                if best_key is None or len(key) > len(best_key):
+                    best_key = key
+        return self._backends.get(best_key) if best_key is not None else None
+
+    def query(self, message: Message, *, source: str = "", now: Optional[_dt.datetime] = None) -> Message:
+        if message.question is None:
+            return message.make_response(Rcode.FORMERR)
+        qname, rrtype = message.question.name, message.question.rrtype
+        timestamp = now if now is not None else self._clock()
+        self.query_count += 1
+
+        cache_key = (qname.key, rrtype)
+        entry = self._cache.get(cache_key)
+        if entry is not None and entry.expires > timestamp:
+            self.cache_hits += 1
+            response = message.make_response(entry.rcode)
+            response.recursion_available = True
+            response.answers = list(entry.records)
+            return response
+
+        backend = self._backend_for(qname)
+        if backend is None:
+            response = message.make_response(Rcode.SERVFAIL)
+            response.recursion_available = True
+            return response
+
+        upstream = backend.query(message, source=source, now=timestamp)
+        ttl = min((rr.ttl for rr in upstream.answers), default=self.NEGATIVE_TTL)
+        self._cache[cache_key] = _CacheEntry(
+            expires=timestamp + _dt.timedelta(seconds=ttl),
+            rcode=upstream.rcode,
+            records=list(upstream.answers),
+        )
+        response = message.make_response(upstream.rcode)
+        response.recursion_available = True
+        response.answers = list(upstream.answers)
+        response.authority = list(upstream.authority)
+        return response
+
+    def flush(self) -> None:
+        self._cache.clear()
+
+
+class StubResolver:
+    """Typed lookups for a simulated host.
+
+    ``identity`` is carried as the query source so that the measurement
+    server's log can attribute queries to the MTA performing SPF
+    validation (in the real Internet, to its recursive resolver).
+    """
+
+    def __init__(self, upstream: DnsBackend, *, identity: str = "", clock: Optional[ClockFn] = None) -> None:
+        self.upstream = upstream
+        self.identity = identity
+        self._clock = clock or _default_clock
+        self._next_id = 1
+
+    def _query(self, name: Union[str, Name], rrtype: RRType) -> Message:
+        qname = name if isinstance(name, Name) else Name.from_text(name)
+        message = Message.make_query(qname, rrtype, id=self._next_id)
+        self._next_id = (self._next_id + 1) & 0xFFFF or 1
+        return self.upstream.query(message, source=self.identity, now=self._clock())
+
+    def resolve(self, name: Union[str, Name], rrtype: RRType) -> List[ResourceRecord]:
+        """Resolve, returning the answer records (possibly empty).
+
+        Raises :class:`ResolutionError` on SERVFAIL/REFUSED; NXDOMAIN and
+        NODATA both return an empty list, mirroring what an SPF
+        implementation treats as "no useful answer".
+        """
+        response = self._query(name, rrtype)
+        if response.rcode in (Rcode.SERVFAIL, Rcode.REFUSED, Rcode.FORMERR, Rcode.NOTIMP):
+            raise ResolutionError(f"{name}/{rrtype.name}: {response.rcode.name}")
+        return [rr for rr in response.answers if rr.rrtype == rrtype]
+
+    def get_txt(self, name: Union[str, Name]) -> List[str]:
+        """TXT strings at ``name``, each record's strings concatenated."""
+        out = []
+        for rr in self.resolve(name, RRType.TXT):
+            assert isinstance(rr.rdata, TXT)
+            out.append(rr.rdata.text)
+        return out
+
+    def get_mx(self, name: Union[str, Name]) -> List[Tuple[int, Name]]:
+        """(preference, exchange) pairs sorted by preference."""
+        out = []
+        for rr in self.resolve(name, RRType.MX):
+            assert isinstance(rr.rdata, MX)
+            out.append((rr.rdata.preference, rr.rdata.exchange))
+        return sorted(out, key=lambda pair: pair[0])
+
+    def get_addresses(
+        self, name: Union[str, Name], *, want_ipv6: bool = True
+    ) -> List[Union[ipaddress.IPv4Address, ipaddress.IPv6Address]]:
+        """All A (and optionally AAAA) addresses for ``name``."""
+        addresses: List[Union[ipaddress.IPv4Address, ipaddress.IPv6Address]] = []
+        for rr in self.resolve(name, RRType.A):
+            addresses.append(rr.rdata.address)  # type: ignore[union-attr]
+        if want_ipv6:
+            for rr in self.resolve(name, RRType.AAAA):
+                addresses.append(rr.rdata.address)  # type: ignore[union-attr]
+        return addresses

@@ -1,0 +1,177 @@
+"""RFC 1035 wire-format codec for DNS messages.
+
+Encodes and decodes :class:`~repro.dns.message.Message` objects, including
+name compression for owner names.  The simulated transport passes message
+objects directly for speed, but the codec is exercised by tests (round-trip
+property tests) and available for pcap-style export, keeping the substrate
+honest about what a real deployment would put on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..errors import WireFormatError
+from .message import Message, Opcode, Question, Rcode
+from .name import Name
+from .rdata import RClass, RRType, ResourceRecord, rdata_class_for
+
+_HEADER = struct.Struct("!HHHHHH")
+
+_FLAG_QR = 0x8000
+_FLAG_AA = 0x0400
+_FLAG_TC = 0x0200
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+
+MAX_POINTER_HOPS = 64
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.out = bytearray()
+        self.offsets: Dict[Tuple[str, ...], int] = {}
+
+    def write_name(self, name: Name, *, compress: bool = True) -> None:
+        labels = name.labels
+        for i in range(len(labels)):
+            suffix_key = tuple(l.lower() for l in labels[i:])
+            if compress and suffix_key in self.offsets:
+                pointer = self.offsets[suffix_key]
+                self.out.extend(struct.pack("!H", 0xC000 | pointer))
+                return
+            if len(self.out) < 0x3FFF:
+                self.offsets[suffix_key] = len(self.out)
+            raw = labels[i].encode("ascii", errors="replace")
+            self.out.append(len(raw))
+            self.out.extend(raw)
+        self.out.append(0)
+
+    def write_question(self, q: Question) -> None:
+        self.write_name(q.name)
+        self.out.extend(struct.pack("!HH", int(q.rrtype), int(q.rclass)))
+
+    def write_rr(self, rr: ResourceRecord) -> None:
+        self.write_name(rr.name)
+        rdata = rr.rdata.to_wire()
+        self.out.extend(
+            struct.pack("!HHIH", int(rr.rrtype), int(rr.rclass), rr.ttl, len(rdata))
+        )
+        self.out.extend(rdata)
+
+
+def to_wire(message: Message) -> bytes:
+    """Encode a message to RFC 1035 wire format."""
+    enc = _Encoder()
+    flags = (int(message.opcode) & 0xF) << 11 | (int(message.rcode) & 0xF)
+    if message.is_response:
+        flags |= _FLAG_QR
+    if message.authoritative:
+        flags |= _FLAG_AA
+    if message.recursion_desired:
+        flags |= _FLAG_RD
+    if message.recursion_available:
+        flags |= _FLAG_RA
+    qdcount = 1 if message.question is not None else 0
+    enc.out.extend(
+        _HEADER.pack(
+            message.id & 0xFFFF,
+            flags,
+            qdcount,
+            len(message.answers),
+            len(message.authority),
+            len(message.additional),
+        )
+    )
+    if message.question is not None:
+        enc.write_question(message.question)
+    for section in (message.answers, message.authority, message.additional):
+        for rr in section:
+            enc.write_rr(rr)
+    return bytes(enc.out)
+
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise WireFormatError("message truncated")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def read_name(self) -> Name:
+        labels: List[str] = []
+        pos = self.pos
+        jumped = False
+        hops = 0
+        while True:
+            if pos >= len(self.data):
+                raise WireFormatError("name overruns message")
+            length = self.data[pos]
+            if length & 0xC0 == 0xC0:
+                if pos + 1 >= len(self.data):
+                    raise WireFormatError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self.data[pos + 1]
+                if not jumped:
+                    self.pos = pos + 2
+                    jumped = True
+                if target >= pos:
+                    raise WireFormatError("compression pointer does not point backwards")
+                pos = target
+                hops += 1
+                if hops > MAX_POINTER_HOPS:
+                    raise WireFormatError("compression pointer loop")
+                continue
+            if length & 0xC0:
+                raise WireFormatError(f"bad label length byte 0x{length:02x}")
+            pos += 1
+            if length == 0:
+                if not jumped:
+                    self.pos = pos
+                return Name(labels)
+            if pos + length > len(self.data):
+                raise WireFormatError("label overruns message")
+            labels.append(self.data[pos : pos + length].decode("ascii", errors="replace"))
+            pos += length
+
+    def read_question(self) -> Question:
+        name = self.read_name()
+        rrtype, rclass = struct.unpack("!HH", self.read(4))
+        return Question(name, RRType(rrtype), RClass(rclass))
+
+    def read_rr(self) -> ResourceRecord:
+        name = self.read_name()
+        rrtype, rclass, ttl, rdlength = struct.unpack("!HHIH", self.read(10))
+        rdata_wire = self.read(rdlength)
+        rdata = rdata_class_for(RRType(rrtype)).from_wire(rdata_wire)
+        return ResourceRecord(name=name, rdata=rdata, ttl=ttl, rclass=RClass(rclass))
+
+
+def from_wire(data: bytes) -> Message:
+    """Decode an RFC 1035 wire-format message."""
+    if len(data) < _HEADER.size:
+        raise WireFormatError(f"message too short ({len(data)} bytes)")
+    dec = _Decoder(data)
+    mid, flags, qdcount, ancount, nscount, arcount = _HEADER.unpack(dec.read(_HEADER.size))
+    msg = Message(
+        id=mid,
+        opcode=Opcode((flags >> 11) & 0xF),
+        rcode=Rcode(flags & 0xF),
+        is_response=bool(flags & _FLAG_QR),
+        authoritative=bool(flags & _FLAG_AA),
+        recursion_desired=bool(flags & _FLAG_RD),
+    )
+    msg.recursion_available = bool(flags & _FLAG_RA)
+    if qdcount > 1:
+        raise WireFormatError("multi-question messages not supported")
+    if qdcount:
+        msg.question = dec.read_question()
+    msg.answers = [dec.read_rr() for _ in range(ancount)]
+    msg.authority = [dec.read_rr() for _ in range(nscount)]
+    msg.additional = [dec.read_rr() for _ in range(arcount)]
+    return msg

@@ -1,0 +1,39 @@
+"""Wire-format DNS transport adapter.
+
+The simulation normally passes :class:`~repro.dns.message.Message`
+objects between resolvers and servers directly (fast).  Wrapping any
+backend in :class:`WireTransportBackend` forces every query and response
+through the RFC 1035 codec — bytes on the simulated wire — which keeps
+the substrate honest: a campaign run over wire transport must produce
+*identical* results to the in-memory run, and the test suite asserts it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional
+
+from .message import Message
+from .server import DnsBackend
+from .wire import from_wire, to_wire
+
+
+class WireTransportBackend(DnsBackend):
+    """Round-trips every message through wire encoding on both legs."""
+
+    def __init__(self, inner: DnsBackend) -> None:
+        self.inner = inner
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages = 0
+
+    def query(
+        self, message: Message, *, source: str = "", now: Optional[_dt.datetime] = None
+    ) -> Message:
+        query_wire = to_wire(message)
+        self.bytes_sent += len(query_wire)
+        self.messages += 1
+        response = self.inner.query(from_wire(query_wire), source=source, now=now)
+        response_wire = to_wire(response)
+        self.bytes_received += len(response_wire)
+        return from_wire(response_wire)

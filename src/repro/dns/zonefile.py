@@ -1,0 +1,146 @@
+"""RFC 1035 master-file (zone file) parsing.
+
+Lets zones be authored as standard zone-file text instead of API calls —
+the format every real authoritative server is configured with::
+
+    $ORIGIN example.com.
+    $TTL 300
+    @        IN  SOA  ns1 hostmaster 1 3600 900 604800 300
+    @        IN  MX   10 mail
+    @        IN  TXT  "v=spf1 a:mail.example.com -all"
+    mail     IN  A    192.0.2.25
+    www      IN  CNAME mail
+
+Supported: ``$ORIGIN``/``$TTL`` directives, ``@`` for the origin, blank
+owner continuation (reuse the previous owner), comments (``;``), quoted
+TXT strings (multiple per record), and the record types the substrate
+models (A, AAAA, MX, NS, TXT, CNAME, PTR, SOA).
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List, Optional, Tuple
+
+from ..errors import DnsError
+from .name import Name
+from .rdata import A, AAAA, CNAME, MX, NS, PTR, Rdata, SOA, TXT
+from .zone import Zone
+
+_TYPES = {"A", "AAAA", "MX", "NS", "TXT", "CNAME", "PTR", "SOA"}
+
+
+def _split_line(line: str) -> List[str]:
+    """Tokenize one zone-file line, honoring quotes and ; comments."""
+    lexer = shlex.shlex(line, posix=True)
+    lexer.whitespace_split = True
+    lexer.commenters = ";"
+    return list(lexer)
+
+
+def _parse_rdata(rrtype: str, fields: List[str], origin: Name) -> Rdata:
+    def absolute(text: str) -> Name:
+        if text == "@":
+            return origin
+        if text.endswith("."):
+            return Name.from_text(text)
+        return Name.from_text(text).concatenate(origin)
+
+    if rrtype == "A":
+        return A(fields[0])
+    if rrtype == "AAAA":
+        return AAAA(fields[0])
+    if rrtype == "TXT":
+        if not fields:
+            raise DnsError("TXT record needs at least one string")
+        return TXT(list(fields))
+    if rrtype == "MX":
+        if len(fields) != 2:
+            raise DnsError(f"MX needs preference and exchange, got {fields}")
+        return MX(int(fields[0]), absolute(fields[1]))
+    if rrtype == "NS":
+        return NS(absolute(fields[0]))
+    if rrtype == "CNAME":
+        return CNAME(absolute(fields[0]))
+    if rrtype == "PTR":
+        return PTR(absolute(fields[0]))
+    if rrtype == "SOA":
+        if len(fields) != 7:
+            raise DnsError(f"SOA needs 7 fields, got {len(fields)}")
+        return SOA(
+            absolute(fields[0]),
+            absolute(fields[1]),
+            *(int(value) for value in fields[2:]),
+        )
+    raise DnsError(f"unsupported record type {rrtype!r}")
+
+
+def parse_zone_file(text: str, *, origin: Optional[str] = None) -> Zone:
+    """Parse master-file text into a :class:`~repro.dns.zone.Zone`.
+
+    ``origin`` seeds the zone origin if the file has no ``$ORIGIN``
+    directive before its first record.
+    """
+    zone: Optional[Zone] = None
+    current_origin: Optional[Name] = Name.from_text(origin) if origin else None
+    default_ttl = 300
+    previous_owner: Optional[Name] = None
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        had_leading_space = raw[:1] in (" ", "\t")
+        try:
+            tokens = _split_line(raw)
+        except ValueError as exc:
+            raise DnsError(f"line {line_number}: {exc}") from exc
+        if not tokens:
+            continue
+
+        if tokens[0] == "$ORIGIN":
+            current_origin = Name.from_text(tokens[1])
+            previous_owner = None
+            continue
+        if tokens[0] == "$TTL":
+            default_ttl = int(tokens[1])
+            continue
+        if current_origin is None:
+            raise DnsError(f"line {line_number}: no $ORIGIN in effect")
+        if zone is None:
+            zone = Zone(current_origin, default_ttl=default_ttl)
+
+        # Owner field: blank (continuation), @, relative, or absolute.
+        if had_leading_space:
+            if previous_owner is None:
+                raise DnsError(f"line {line_number}: continuation with no prior owner")
+            owner = previous_owner
+        else:
+            owner_text = tokens.pop(0)
+            if owner_text == "@":
+                owner = current_origin
+            elif owner_text.endswith("."):
+                owner = Name.from_text(owner_text)
+            else:
+                owner = Name.from_text(owner_text).concatenate(current_origin)
+            previous_owner = owner
+
+        # Optional TTL and class before the type.
+        ttl = default_ttl
+        while tokens and tokens[0] not in _TYPES:
+            token = tokens.pop(0)
+            if token.isdigit():
+                ttl = int(token)
+            elif token.upper() == "IN":
+                continue
+            else:
+                raise DnsError(f"line {line_number}: unexpected token {token!r}")
+        if not tokens:
+            raise DnsError(f"line {line_number}: missing record type")
+
+        rrtype = tokens.pop(0).upper()
+        rdata = _parse_rdata(rrtype, tokens, current_origin)
+        if rrtype == "SOA":
+            zone.remove(current_origin, rdata.rrtype)  # replace synthetic SOA
+        zone.add(owner, rdata, ttl=ttl)
+
+    if zone is None:
+        raise DnsError("zone file contained no records")
+    return zone

@@ -1,0 +1,59 @@
+"""The synthetic Internet the measurement runs against.
+
+The paper measured the live Internet: two domain sets (the Alexa Top List
+and two weeks of university email traffic), their MX/A records, the mail
+servers behind them, their SPF stacks, where they sit geographically, and
+how their operators patch.  None of that is reachable offline, so this
+package generates a *population* with the paper's measured statistical
+shape (set sizes and overlaps, TLD mix, hosting consolidation, SMTP
+behavior buckets, SPF behavior mix, patch propensities) and materializes
+it as live simulated infrastructure: DNS zones, SMTP servers, a
+geolocation database, and a patch-event timeline.
+
+Everything is seeded and deterministic: the same
+:class:`~repro.internet.population.PopulationConfig` always yields the
+same Internet.
+"""
+
+from .rng import SeededRng
+from .tld import TldModel, ALEXA_TLD_WEIGHTS, TWO_WEEK_TLD_WEIGHTS
+from .population import (
+    Domain,
+    DomainSet,
+    DomainPopulation,
+    PopulationConfig,
+    generate_population,
+)
+from .mta_fleet import HostingUnit, MtaFleet, build_fleet, FleetProfile
+from .geo import GeoDatabase, GeoLocation, assign_geography
+from .patching import PatchBehaviorModel, PatchPlan, PatchTrigger
+from .package_managers import (
+    PackageManagerRecord,
+    PACKAGE_MANAGER_TIMELINE,
+    managers_patched_by,
+)
+
+__all__ = [
+    "SeededRng",
+    "TldModel",
+    "ALEXA_TLD_WEIGHTS",
+    "TWO_WEEK_TLD_WEIGHTS",
+    "Domain",
+    "DomainSet",
+    "DomainPopulation",
+    "PopulationConfig",
+    "generate_population",
+    "HostingUnit",
+    "MtaFleet",
+    "build_fleet",
+    "FleetProfile",
+    "GeoDatabase",
+    "GeoLocation",
+    "assign_geography",
+    "PatchBehaviorModel",
+    "PatchPlan",
+    "PatchTrigger",
+    "PackageManagerRecord",
+    "PACKAGE_MANAGER_TIMELINE",
+    "managers_patched_by",
+]

@@ -1,0 +1,97 @@
+"""Synthetic IP geolocation (the paper used the DbIP database).
+
+Each hosting unit is placed in a country — its ccTLD's country when it
+has one, otherwise a draw from a global hosting mix — and every one of
+its addresses gets coordinates jittered around that country's reference
+point.  Figure 3's choropleth buckets aggregate those coordinates into
+geographic cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .mta_fleet import HostingUnit, MtaFleet
+from .rng import SeededRng
+from .tld import GENERIC_TLD_COUNTRY_MIX, TldModel
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """Where one IP address sits."""
+
+    latitude: float
+    longitude: float
+    country: str
+
+    def bucket(self, cell_degrees: float = 10.0) -> Tuple[int, int]:
+        """The geographic cell containing this location."""
+        return (
+            int(self.latitude // cell_degrees),
+            int(self.longitude // cell_degrees),
+        )
+
+
+class GeoDatabase:
+    """IP address → location, built from a fleet."""
+
+    def __init__(self) -> None:
+        self._by_ip: Dict[str, GeoLocation] = {}
+
+    def locate(self, ip: str) -> Optional[GeoLocation]:
+        return self._by_ip.get(ip)
+
+    def __len__(self) -> int:
+        return len(self._by_ip)
+
+    def add(self, ip: str, location: GeoLocation) -> None:
+        self._by_ip[ip] = location
+
+    def bucket_counts(
+        self, ips: Iterable[str], *, cell_degrees: float = 10.0
+    ) -> Dict[Tuple[int, int], int]:
+        """Frequency of addresses per geographic cell (Figure 3 data)."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for ip in ips:
+            location = self._by_ip.get(ip)
+            if location is None:
+                continue
+            key = location.bucket(cell_degrees)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def country_counts(self, ips: Iterable[str]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for ip in ips:
+            location = self._by_ip.get(ip)
+            if location is None:
+                continue
+            counts[location.country] = counts.get(location.country, 0) + 1
+        return counts
+
+
+def assign_geography(fleet: MtaFleet, *, seed: int = 0) -> GeoDatabase:
+    """Place every hosting unit (and its IPs) on the map.
+
+    Sets ``unit.country`` as a side effect so the patching model can use
+    geography, and returns the IP-level database.
+    """
+    rng = SeededRng(seed).fork("geo")
+    database = GeoDatabase()
+    for unit in fleet.units:
+        country = TldModel.country_for(unit.primary_tld)
+        if country is None:
+            country = rng.weighted_choice(GENERIC_TLD_COUNTRY_MIX)
+        unit.country = country
+        base_lat, base_lon = TldModel.coords_for_country(country)
+        for ip in unit.all_ips:
+            database.add(
+                ip,
+                GeoLocation(
+                    latitude=max(-85.0, min(85.0, base_lat + rng.uniform(-4.0, 4.0))),
+                    longitude=max(-179.0, min(179.0, base_lon + rng.uniform(-4.0, 4.0))),
+                    country=country,
+                ),
+            )
+    return database

@@ -1,0 +1,776 @@
+"""The mail-server fleet behind the domain population.
+
+Domains are grouped into **hosting units** — one mail operator running one
+software stack on one or more IP addresses.  Units come in two size
+classes: *small* (1-2 domains, self-hosted) and *large* (3 to hundreds of
+domains, shared hosting).  This size structure is what lets the model
+reproduce the paper's consistent divergence between address-level and
+domain-level rates: 47% of Alexa addresses refused connections but only
+26% of domains did (parked singletons refuse); 23% of addresses were SPF-
+measurable but 48% of domains were (shared hosts validate); 17% of
+measured addresses were vulnerable but only 8.7% of measured domains were
+(the biggest hosts run maintained software).
+
+Per-class outcome probabilities are *solved at build time* from the
+paper's Table 3 address-level and domain-level targets, given the
+generated class shares — so the calibration holds at any scale and
+survives changes to the size mixture.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dns.message import Message, Rcode
+from ..dns.name import Name
+from ..dns.rdata import A, MX, RRType, ResourceRecord
+from ..dns.resolver import StubResolver
+from ..dns.server import DnsBackend
+from ..errors import SimulationError
+from ..smtp.policies import (
+    FailureStage,
+    GreylistPolicy,
+    RecipientPolicy,
+    ServerPolicy,
+    SpfTiming,
+)
+from ..smtp.server import SmtpServer, SpfStack
+from ..smtp.transport import Network
+from .population import (
+    Domain,
+    DomainPopulation,
+    DomainSet,
+    VULNERABLE_PROVIDER_DOMAINS,
+)
+from .rng import SeededRng
+
+
+class UnitCategory(enum.Enum):
+    """Which Table 3 outcome bucket a unit's servers land in."""
+
+    REFUSE = "refuse"  # no TCP connection
+    SMTP_FAILURE = "smtp-failure"  # fails the NoMsg dialogue, no SPF
+    SPF_NOMSG = "spf-nomsg"  # SPF measurable from the NoMsg probe
+    MESSAGE_FAILURE = "message-failure"  # fails only at end-of-data
+    SPF_BLANKMSG = "spf-blankmsg"  # SPF measurable only from BlankMsg
+    NO_SPF = "no-spf"  # accepts mail, never validates SPF
+
+    @property
+    def validates_spf(self) -> bool:
+        return self in (UnitCategory.SPF_NOMSG, UnitCategory.SPF_BLANKMSG)
+
+
+_CATEGORIES: Tuple[UnitCategory, ...] = (
+    UnitCategory.REFUSE,
+    UnitCategory.SMTP_FAILURE,
+    UnitCategory.SPF_NOMSG,
+    UnitCategory.MESSAGE_FAILURE,
+    UnitCategory.SPF_BLANKMSG,
+    UnitCategory.NO_SPF,
+)
+
+
+@dataclass(frozen=True)
+class BehaviorMix:
+    """SPF behavior probabilities among SPF-validating units.
+
+    The remainder after the listed probabilities is RFC-compliant.
+    ``vulnerable`` may be overridden per size class (see
+    :func:`_solve_vulnerable_rates`).
+    """
+
+    vulnerable: float
+    no_expansion: float
+    reversed_not_truncated: float
+    truncated_not_reversed: float
+    static: float
+
+    def sample(self, rng: SeededRng, *, vulnerable: Optional[float] = None) -> str:
+        v = self.vulnerable if vulnerable is None else vulnerable
+        compliant = 1.0 - (
+            v
+            + self.no_expansion
+            + self.reversed_not_truncated
+            + self.truncated_not_reversed
+            + self.static
+        )
+        if compliant < 0:
+            raise SimulationError("behavior mix probabilities exceed 1")
+        return rng.categorical(
+            [
+                ("vulnerable-libspf2", v),
+                ("no-expansion", self.no_expansion),
+                ("reversed-not-truncated", self.reversed_not_truncated),
+                ("truncated-not-reversed", self.truncated_not_reversed),
+                ("static-expansion", self.static),
+                ("rfc-compliant", compliant),
+            ]
+        )
+
+
+def _targets(
+    refuse: float, fail: float, spf_nomsg: float, msgfail: float, spf_blank: float
+) -> Dict[UnitCategory, float]:
+    """Unconditional six-bucket probabilities (NO_SPF is the remainder)."""
+    values = {
+        UnitCategory.REFUSE: refuse,
+        UnitCategory.SMTP_FAILURE: fail,
+        UnitCategory.SPF_NOMSG: spf_nomsg,
+        UnitCategory.MESSAGE_FAILURE: msgfail,
+        UnitCategory.SPF_BLANKMSG: spf_blank,
+    }
+    remainder = 1.0 - sum(values.values())
+    if remainder < -1e-9:
+        raise SimulationError("bucket targets exceed 1")
+    values[UnitCategory.NO_SPF] = max(0.0, remainder)
+    return values
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """Per-domain-set calibration (paper Table 3 and Table 4)."""
+
+    #: Address-level unconditional bucket probabilities.
+    ip_targets: Dict[UnitCategory, float]
+    #: Domain-level unconditional bucket probabilities.
+    domain_targets: Dict[UnitCategory, float]
+    behavior_mix: BehaviorMix
+    #: Vulnerable share among measured addresses / measured domains.
+    vulnerable_ip_share: float
+    vulnerable_domain_share: float
+    #: Fraction of hosting units that are large (3+ domains).
+    large_unit_fraction: float
+    #: P(greylisting) among connecting units.
+    greylist: float = 0.05
+    #: P(a second, different SPF stack) among validating units (§7.9: 6%
+    #: of measurable IPs showed multiple expansion patterns).
+    multi_stack: float = 0.06
+    #: P(unit starts rejecting the prober during the longitudinal phase).
+    blacklist: float = 0.12
+    #: P(unit migrates to new addresses mid-campaign).
+    move: float = 0.03
+    #: P(unit is flaky) and its per-session transient failure rate —
+    #: the noise behind Figure 5's fluctuating conclusiveness.
+    flaky: float = 0.20
+    flaky_rate: float = 0.25
+
+
+#: Alexa Top List: 174,679 addresses / 418,840 domains (Table 3 columns).
+ALEXA_PROFILE = FleetProfile(
+    ip_targets=_targets(
+        refuse=81_515 / 174_679,
+        fail=34_167 / 174_679,
+        spf_nomsg=12_528 / 174_679,
+        msgfail=2_209 / 174_679,
+        spf_blank=27_139 / 174_679,
+    ),
+    domain_targets=_targets(
+        refuse=109_559 / 418_840,
+        fail=62_466 / 418_840,
+        spf_nomsg=48_205 / 418_840,
+        msgfail=6_512 / 418_840,
+        spf_blank=151_753 / 418_840,
+    ),
+    behavior_mix=BehaviorMix(
+        vulnerable=0.171,
+        no_expansion=0.030,
+        reversed_not_truncated=0.012,
+        truncated_not_reversed=0.009,
+        static=0.009,
+    ),
+    vulnerable_ip_share=0.173,
+    vulnerable_domain_share=0.087,
+    large_unit_fraction=0.09,
+)
+
+#: 2-Week MX: 11,203 addresses / 22,911 domains.
+TWO_WEEK_PROFILE = FleetProfile(
+    ip_targets=_targets(
+        refuse=2_773 / 11_203,
+        fail=2_032 / 11_203,
+        spf_nomsg=1_953 / 11_203,
+        msgfail=352 / 11_203,
+        spf_blank=2_337 / 11_203,
+    ),
+    domain_targets=_targets(
+        refuse=2_281 / 22_911,
+        fail=1_187 / 22_911,
+        spf_nomsg=2_399 / 22_911,
+        msgfail=440 / 22_911,
+        spf_blank=14_204 / 22_911,
+    ),
+    behavior_mix=BehaviorMix(
+        vulnerable=0.100,
+        no_expansion=0.033,
+        reversed_not_truncated=0.013,
+        truncated_not_reversed=0.011,
+        static=0.010,
+    ),
+    vulnerable_ip_share=0.100,
+    vulnerable_domain_share=0.060,
+    large_unit_fraction=0.05,
+)
+
+
+@dataclass
+class HostingUnit:
+    """One mail operator: a software stack on one or more addresses."""
+
+    unit_id: int
+    domains: List[Domain]
+    ips: List[str]
+    mail_hostname: str
+    category: UnitCategory
+    spf_timing: SpfTiming = SpfTiming.NEVER
+    behavior_name: Optional[str] = None
+    second_behavior_name: Optional[str] = None
+    second_timing: SpfTiming = SpfTiming.AFTER_MESSAGE
+    greylists: bool = False
+    blacklists_after: Optional[int] = None
+    moves_at: Optional[_dt.datetime] = None
+    new_ips: List[str] = field(default_factory=list)
+    country: str = "United States"
+    #: Whether mail to postmaster@<domain> is deliverable (the paper saw
+    #: 31.6% of private notifications bounce).
+    accepts_postmaster: bool = True
+    #: Failure stage for SMTP_FAILURE units.
+    failure_stage: FailureStage = FailureStage.NONE
+    #: Transient per-session failure rate during the longitudinal phase.
+    flaky_rate: float = 0.0
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return self.behavior_name == "vulnerable-libspf2" or (
+            self.second_behavior_name == "vulnerable-libspf2"
+        )
+
+    @property
+    def all_ips(self) -> List[str]:
+        return self.ips + self.new_ips
+
+    @property
+    def primary_tld(self) -> str:
+        return self.domains[0].tld if self.domains else "com"
+
+    @property
+    def is_large(self) -> bool:
+        return len(self.domains) >= 3
+
+
+class _IpAllocator:
+    """Hands out unique synthetic IPv4 addresses."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def next_ip(self) -> str:
+        value = self._next
+        self._next += 1
+        if value >= 0xFFFFFF:
+            raise SimulationError("synthetic IPv4 space exhausted")
+        return f"10.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+
+class PopulationDnsBackend(DnsBackend):
+    """Answers MX and A queries for population domains.
+
+    A dict-backed authoritative responder — one :class:`~repro.dns.zone.Zone`
+    per domain would be needlessly heavy at population scale.
+    """
+
+    def __init__(self) -> None:
+        self._mx: Dict[Tuple[str, ...], List[Tuple[int, Name]]] = {}
+        self._a: Dict[Tuple[str, ...], List[str]] = {}
+
+    def set_mx(self, domain: str, exchanges: List[Tuple[int, str]]) -> None:
+        key = Name.from_text(domain).key
+        self._mx[key] = [(pref, Name.from_text(host)) for pref, host in exchanges]
+
+    def set_a(self, host: str, addresses: List[str]) -> None:
+        self._a[Name.from_text(host).key] = list(addresses)
+
+    def remove_domain(self, domain: str) -> None:
+        self._mx.pop(Name.from_text(domain).key, None)
+
+    def query(self, message: Message, *, source: str = "", now=None) -> Message:
+        if message.question is None:
+            return message.make_response(Rcode.FORMERR)
+        qname, rrtype = message.question.name, message.question.rrtype
+        response = message.make_response()
+        response.authoritative = True
+        key = qname.key
+        if rrtype == RRType.MX and key in self._mx:
+            for pref, host in self._mx[key]:
+                response.answers.append(
+                    ResourceRecord(name=qname, rdata=MX(pref, host), ttl=300)
+                )
+            return response
+        if rrtype == RRType.A and key in self._a:
+            for address in self._a[key]:
+                response.answers.append(
+                    ResourceRecord(name=qname, rdata=A(address), ttl=300)
+                )
+            return response
+        if key in self._mx or key in self._a:
+            return response  # NODATA
+        response.rcode = Rcode.NXDOMAIN
+        return response
+
+
+@dataclass
+class MtaFleet:
+    """The generated fleet plus its lookup structures."""
+
+    units: List[HostingUnit]
+    unit_by_domain: Dict[str, HostingUnit]
+    unit_by_ip: Dict[str, HostingUnit]
+    dns_backend: PopulationDnsBackend
+
+    @property
+    def all_ips(self) -> List[str]:
+        out: List[str] = []
+        for unit in self.units:
+            out.extend(unit.ips)
+        return out
+
+    def vulnerable_units(self) -> List[HostingUnit]:
+        return [u for u in self.units if u.is_vulnerable]
+
+    def vulnerable_domains(self) -> List[Domain]:
+        out: List[Domain] = []
+        for unit in self.vulnerable_units():
+            out.extend(unit.domains)
+        return out
+
+    def schedule_moves(self, network: Network, clock) -> int:
+        """Schedule mid-campaign MX migrations.
+
+        At ``unit.moves_at``, the unit's old addresses stop accepting
+        connections, its new addresses come alive with the same software,
+        and the unit's MX hostname re-points to the new addresses — so a
+        measurement that froze its IP list at the start loses the unit,
+        while a final snapshot that re-resolves MX records finds it again
+        (the paper's Section 7.2 snapshot behavior).
+
+        Returns the number of scheduled moves.
+        """
+        scheduled = 0
+        for unit in self.units:
+            if unit.moves_at is None or not unit.new_ips:
+                continue
+
+            def do_move(_when: _dt.datetime, unit=unit) -> None:
+                for ip in unit.ips:
+                    server = network.server_at(ip)
+                    if server is not None:
+                        server.policy.refuse_connections = True
+                for ip in unit.new_ips:
+                    server = network.server_at(ip)
+                    if server is not None:
+                        server.policy.refuse_connections = False
+                self.dns_backend.set_a(unit.mail_hostname, unit.new_ips)
+
+            clock.schedule(unit.moves_at, do_move)
+            scheduled += 1
+        return scheduled
+
+    def build_network(
+        self,
+        clock_fn: Callable[[], _dt.datetime],
+        resolver_backend: DnsBackend,
+    ) -> Network:
+        """Materialize every unit as live SMTP servers.
+
+        ``resolver_backend`` is the DNS path the servers' SPF validators
+        query (it must include the measurement responder's zone).
+        """
+        network = Network(clock=clock_fn)
+        for unit in self.units:
+            for ip in unit.all_ips:
+                network.register(self._build_server(unit, ip, clock_fn, resolver_backend))
+        return network
+
+    def _build_server(
+        self,
+        unit: HostingUnit,
+        ip: str,
+        clock_fn: Callable[[], _dt.datetime],
+        resolver_backend: DnsBackend,
+    ) -> SmtpServer:
+        policy = ServerPolicy(
+            refuse_connections=unit.category == UnitCategory.REFUSE
+            or ip in unit.new_ips,  # new addresses come alive at move time
+            failure_stage=unit.failure_stage,
+            spf_timing=unit.spf_timing,
+            greylist=GreylistPolicy(enabled=unit.greylists, retry_after_seconds=300),
+            recipients=RecipientPolicy(accept_any=True),
+            blacklists_after_probes=unit.blacklists_after,
+            flaky_rate=unit.flaky_rate,
+        )
+        stacks: List[SpfStack] = []
+        if unit.behavior_name is not None:
+            stacks.append(SpfStack.named(unit.behavior_name, unit.spf_timing))
+        if unit.second_behavior_name is not None:
+            stacks.append(SpfStack.named(unit.second_behavior_name, unit.second_timing))
+        resolver = StubResolver(resolver_backend, identity=ip, clock=clock_fn)
+        return SmtpServer(
+            ip,
+            hostname=unit.mail_hostname,
+            policy=policy,
+            spf_stacks=stacks,
+            resolver=resolver,
+        )
+
+
+# --------------------------------------------------------------------------
+# generation
+# --------------------------------------------------------------------------
+
+
+def _sample_small_size(rng: SeededRng) -> int:
+    return 1 if rng.bernoulli(0.7) else 2
+
+
+def _sample_large_size(rng: SeededRng) -> int:
+    roll = rng.uniform(0.0, 1.0)
+    if roll < 0.70:
+        return rng.randint(3, 8)
+    if roll < 0.95:
+        return rng.randint(9, 40)
+    return rng.randint(50, 400)
+
+
+def _solve_class_probs(
+    ip_targets: Dict[UnitCategory, float],
+    domain_targets: Dict[UnitCategory, float],
+    unit_share_small: float,
+    domain_share_small: float,
+) -> Tuple[Dict[UnitCategory, float], Dict[UnitCategory, float]]:
+    """Per-class bucket probabilities hitting both target vectors.
+
+    Solves, per bucket, the 2x2 system::
+
+        u_s * p_s + u_l * p_l = ip_target
+        d_s * p_s + d_l * p_l = domain_target
+
+    then clamps to [0, 1] and renormalizes each class vector.
+    """
+    u_s, u_l = unit_share_small, 1.0 - unit_share_small
+    d_s, d_l = domain_share_small, 1.0 - domain_share_small
+    det = u_s * d_l - u_l * d_s
+    if abs(det) < 1e-9:
+        return dict(ip_targets), dict(ip_targets)
+    small: Dict[UnitCategory, float] = {}
+    large: Dict[UnitCategory, float] = {}
+    for category in _CATEGORIES:
+        ip_t = ip_targets[category]
+        dom_t = domain_targets[category]
+        small[category] = max(0.0, (d_l * ip_t - u_l * dom_t) / det)
+        large[category] = max(0.0, (u_s * dom_t - d_s * ip_t) / det)
+    for probs in (small, large):
+        total = sum(probs.values())
+        if total <= 0:
+            raise SimulationError("degenerate class probabilities")
+        for category in probs:
+            probs[category] /= total
+    return small, large
+
+
+#: Units hosting more than this many domains never run vulnerable libSPF2:
+#: the paper's vulnerable-host profile (18,660 domains on 7,212 addresses,
+#: ~2.6 domains each) shows mega-hosts ran maintained software.
+VULNERABLE_ELIGIBILITY_MAX_DOMAINS = 40
+
+
+def _solve_vulnerable_rates(
+    profile: FleetProfile,
+    measured_units: List[HostingUnit],
+) -> Tuple[float, float]:
+    """Per-class vulnerable probabilities among measured units.
+
+    Hits the paper's address-level (17%) *and* domain-level (8.7%)
+    vulnerable shares simultaneously: big measured hosts run maintained
+    software, so vulnerability skews toward small operators.  Mega-units
+    (past the eligibility cap) contribute to the denominators but can
+    never be vulnerable, so the targets are rescaled onto the eligible
+    subset before solving.
+    """
+    eligible = [
+        u for u in measured_units
+        if len(u.domains) <= VULNERABLE_ELIGIBILITY_MAX_DOMAINS
+    ]
+    if not eligible:
+        return 0.0, 0.0
+    total_units = len(measured_units)
+    total_domains = max(1, sum(len(u.domains) for u in measured_units))
+    eligible_units = len(eligible)
+    eligible_domains = max(1, sum(len(u.domains) for u in eligible))
+
+    # All vulnerable units/domains must come from the eligible subset.
+    ip_target = min(
+        0.95, profile.vulnerable_ip_share * total_units / eligible_units
+    )
+    domain_target = min(
+        0.95, profile.vulnerable_domain_share * total_domains / eligible_domains
+    )
+
+    small_units = sum(1 for u in eligible if not u.is_large)
+    large_units = eligible_units - small_units
+    small_domains = sum(len(u.domains) for u in eligible if not u.is_large)
+    large_domains = eligible_domains - small_domains
+    u_s, u_l = small_units / eligible_units, large_units / eligible_units
+    d_s, d_l = small_domains / eligible_domains, large_domains / eligible_domains
+    det = u_s * d_l - u_l * d_s
+    if abs(det) < 1e-9:
+        return ip_target, ip_target
+    v_small = (d_l * ip_target - u_l * domain_target) / det
+    v_large = (u_s * domain_target - d_s * ip_target) / det
+    clamp = lambda v: min(0.9, max(0.0, v))
+    return clamp(v_small), clamp(v_large)
+
+
+_NOMSG_FAILURE_STAGES = (
+    (FailureStage.BANNER, 0.30),
+    (FailureStage.HELO, 0.10),
+    (FailureStage.MAIL_FROM, 0.25),
+    (FailureStage.RCPT_TO, 0.20),
+    (FailureStage.DATA, 0.15),
+)
+
+_ERRONEOUS_SECOND = (
+    ("rfc-compliant", 0.80),
+    ("no-expansion", 0.10),
+    ("truncated-not-reversed", 0.05),
+    ("reversed-not-truncated", 0.05),
+)
+
+
+def _configure_unit(
+    unit: HostingUnit,
+    category: UnitCategory,
+    profile: FleetProfile,
+    vulnerable_rate: float,
+    rng: SeededRng,
+    campaign_start: _dt.datetime,
+) -> None:
+    """Fill in a unit's SMTP/SPF configuration for its assigned bucket."""
+    unit.category = category
+    if category == UnitCategory.REFUSE:
+        return
+    unit.accepts_postmaster = rng.bernoulli(0.684)  # 1 - the 31.6% bounce rate
+    if category == UnitCategory.SMTP_FAILURE:
+        unit.failure_stage = rng.categorical(_NOMSG_FAILURE_STAGES)
+        return
+    if category == UnitCategory.MESSAGE_FAILURE:
+        unit.failure_stage = FailureStage.MESSAGE
+        return
+
+    if category == UnitCategory.SPF_NOMSG:
+        unit.spf_timing = rng.categorical(
+            [(SpfTiming.ON_MAIL_FROM, 0.8), (SpfTiming.ON_DATA_COMMAND, 0.2)]
+        )
+    elif category == UnitCategory.SPF_BLANKMSG:
+        unit.spf_timing = SpfTiming.AFTER_MESSAGE
+    else:  # NO_SPF
+        unit.greylists = rng.bernoulli(profile.greylist)
+        return
+
+    unit.behavior_name = profile.behavior_mix.sample(rng, vulnerable=vulnerable_rate)
+    if rng.bernoulli(profile.multi_stack):
+        # A second SPF consumer in the mail path (spam filter, second
+        # hop) with a *distinct* implementation, validating at the same
+        # point so the probe observes both expansion patterns (§7.9).
+        second = rng.categorical(_ERRONEOUS_SECOND)
+        if second == unit.behavior_name:
+            second = (
+                "no-expansion"
+                if unit.behavior_name != "no-expansion"
+                else "truncated-not-reversed"
+            )
+        unit.second_behavior_name = second
+        unit.second_timing = unit.spf_timing
+    unit.greylists = rng.bernoulli(profile.greylist)
+    if rng.bernoulli(profile.flaky):
+        unit.flaky_rate = profile.flaky_rate
+
+    # High-profile infrastructure (the Alexa Top 1000) filtered the
+    # prober aggressively and moved addresses during the study — the
+    # paper lost conclusive results for many top-1000 domains around
+    # mid-November and only the re-resolving snapshot settled them.
+    high_profile = any(d.in_set(DomainSet.ALEXA_1000) for d in unit.domains)
+    blacklist_p = 0.5 if high_profile else profile.blacklist
+    if unit.is_large and not high_profile:
+        # Big shared hosts rate-limit rather than hard-block: persistent
+        # blacklisting concentrates in small self-hosted servers (keeps
+        # the snapshot's unknown share domain-weighted like the paper's).
+        blacklist_p *= 0.25
+    move_p = 0.4 if high_profile else profile.move
+    if rng.bernoulli(blacklist_p):
+        unit.blacklists_after = rng.randint(3, 14)
+    if rng.bernoulli(move_p):
+        unit.moves_at = campaign_start + _dt.timedelta(days=rng.randint(10, 100))
+
+
+def build_fleet(
+    population: DomainPopulation,
+    *,
+    seed: Optional[int] = None,
+    campaign_start: Optional[_dt.datetime] = None,
+    alexa_profile: FleetProfile = ALEXA_PROFILE,
+    two_week_profile: FleetProfile = TWO_WEEK_PROFILE,
+) -> MtaFleet:
+    """Group the population into hosting units and configure each one."""
+    from ..clock import INITIAL_MEASUREMENT
+
+    campaign_start = campaign_start or INITIAL_MEASUREMENT
+    rng = SeededRng(seed if seed is not None else population.config.seed).fork("fleet")
+    allocator = _IpAllocator()
+    backend = PopulationDnsBackend()
+
+    units: List[HostingUnit] = []
+    unit_by_domain: Dict[str, HostingUnit] = {}
+    unit_by_ip: Dict[str, HostingUnit] = {}
+
+    providers = [d for d in population.domains if d.in_set(DomainSet.TOP_EMAIL_PROVIDERS)]
+    alexa_only = [
+        d
+        for d in population.domains
+        if d.in_set(DomainSet.ALEXA_TOP_LIST) and not d.in_set(DomainSet.TOP_EMAIL_PROVIDERS)
+    ]
+    two_week_only = [
+        d
+        for d in population.domains
+        if d.in_set(DomainSet.TWO_WEEK_MX) and not d.in_set(DomainSet.ALEXA_TOP_LIST)
+    ]
+
+    def new_unit(domains: List[Domain], ip_count: int) -> HostingUnit:
+        unit = HostingUnit(
+            unit_id=len(units),
+            domains=domains,
+            ips=[allocator.next_ip() for _ in range(ip_count)],
+            mail_hostname=f"mx.{domains[0].name}" if domains else "mx.invalid",
+            category=UnitCategory.NO_SPF,
+        )
+        units.append(unit)
+        for domain in domains:
+            unit_by_domain[domain.name] = unit
+        return unit
+
+    # --- top email providers: one well-provisioned unit each --------------
+    for domain in providers:
+        unit = new_unit([domain], ip_count=rng.randint(2, 5))
+        _configure_provider_unit(unit, domain, rng)
+
+    # --- bulk sets ----------------------------------------------------------
+    for pool, profile in ((alexa_only, alexa_profile), (two_week_only, two_week_profile)):
+        _build_set_units(pool, profile, rng, new_unit, campaign_start)
+
+    # Movers get their future addresses allocated up front.
+    for unit in units:
+        if unit.moves_at is not None and not unit.new_ips:
+            unit.new_ips = [allocator.next_ip() for _ in unit.ips]
+
+    # --- DNS data -------------------------------------------------------------
+    for unit in units:
+        for domain in unit.domains:
+            backend.set_mx(domain.name, [(10, unit.mail_hostname)])
+        backend.set_a(unit.mail_hostname, unit.ips)
+
+    for unit in units:
+        for ip in unit.all_ips:
+            unit_by_ip[ip] = unit
+
+    return MtaFleet(
+        units=units,
+        unit_by_domain=unit_by_domain,
+        unit_by_ip=unit_by_ip,
+        dns_backend=backend,
+    )
+
+
+def _build_set_units(
+    pool: List[Domain],
+    profile: FleetProfile,
+    rng: SeededRng,
+    new_unit: Callable[[List[Domain], int], HostingUnit],
+    campaign_start: _dt.datetime,
+) -> None:
+    """Create and configure all hosting units for one domain set."""
+    rng.shuffle(pool)
+    set_units: List[HostingUnit] = []
+    index = 0
+    while index < len(pool):
+        large = rng.bernoulli(profile.large_unit_fraction)
+        size = _sample_large_size(rng) if large else _sample_small_size(rng)
+        size = min(size, len(pool) - index)
+        domains = pool[index : index + size]
+        index += size
+        ip_count = 1 + (1 if rng.bernoulli(0.10) else 0)
+        set_units.append(new_unit(domains, ip_count))
+
+    if not set_units:
+        return
+    small_units = sum(1 for u in set_units if not u.is_large)
+    small_domains = sum(len(u.domains) for u in set_units if not u.is_large)
+    total_domains = sum(len(u.domains) for u in set_units)
+    small_probs, large_probs = _solve_class_probs(
+        profile.ip_targets,
+        profile.domain_targets,
+        unit_share_small=small_units / len(set_units),
+        domain_share_small=small_domains / max(1, total_domains),
+    )
+
+    # Assign buckets, then solve vulnerable rates over the measured units.
+    assignments: List[Tuple[HostingUnit, UnitCategory]] = []
+    for unit in set_units:
+        probs = small_probs if not unit.is_large else large_probs
+        assignments.append((unit, rng.weighted_choice(probs)))
+
+    measured = [u for u, c in assignments if c.validates_spf]
+    v_small, v_large = _solve_vulnerable_rates(profile, measured)
+    for unit, category in assignments:
+        if len(unit.domains) > VULNERABLE_ELIGIBILITY_MAX_DOMAINS:
+            rate = 0.0
+        else:
+            rate = v_large if unit.is_large else v_small
+        _configure_unit(unit, category, profile, rate, rng, campaign_start)
+
+
+def _configure_provider_unit(unit: HostingUnit, domain: Domain, rng: SeededRng) -> None:
+    """Top email providers: never refuse; mostly measurable (Table 3)."""
+    from ..clock import INITIAL_MEASUREMENT
+
+    unit.accepts_postmaster = True
+    if domain.name in VULNERABLE_PROVIDER_DOMAINS:
+        unit.category = UnitCategory.SPF_BLANKMSG
+        unit.spf_timing = SpfTiming.AFTER_MESSAGE
+        unit.behavior_name = "vulnerable-libspf2"
+        # Big providers filter repeat probing and shuffle frontends; the
+        # paper lost longitudinal results for them and settled their
+        # status only in the re-resolving snapshot (Section 7.5).
+        unit.blacklists_after = rng.randint(6, 18)
+        unit.moves_at = INITIAL_MEASUREMENT + _dt.timedelta(days=rng.randint(25, 60))
+        return
+    bucket = rng.categorical(
+        [
+            (UnitCategory.SPF_NOMSG, 0.25),
+            (UnitCategory.SPF_BLANKMSG, 0.40),
+            (UnitCategory.SMTP_FAILURE, 0.10),
+            (UnitCategory.MESSAGE_FAILURE, 0.20),
+            (UnitCategory.NO_SPF, 0.05),
+        ]
+    )
+    unit.category = bucket
+    if bucket == UnitCategory.SMTP_FAILURE:
+        unit.failure_stage = FailureStage.RCPT_TO
+    elif bucket == UnitCategory.MESSAGE_FAILURE:
+        unit.failure_stage = FailureStage.MESSAGE
+    elif bucket == UnitCategory.SPF_NOMSG:
+        unit.spf_timing = SpfTiming.ON_MAIL_FROM
+        unit.behavior_name = "rfc-compliant"
+    elif bucket == UnitCategory.SPF_BLANKMSG:
+        unit.spf_timing = SpfTiming.AFTER_MESSAGE
+        unit.behavior_name = "rfc-compliant"

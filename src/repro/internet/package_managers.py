@@ -1,0 +1,109 @@
+"""Package-manager response timeline (paper Table 6).
+
+Table 6 is a recorded timeline rather than a measurement, so it is
+encoded verbatim: for each package manager, when (if ever) it shipped a
+fixed libSPF2 for CVE-2021-20314 (Jeitner et al.'s earlier stack overflow)
+and for CVE-2021-33912/33913 (this paper's CVEs).  Several managers folded
+the SPFail fixes into their CVE-2021-20314 update, which is why some
+"days from disclosure" entries are 0 with dates *before* the SPFail public
+disclosure.
+
+The patching behavior model uses this table to drive package-manager-
+mediated patch events: a hosting unit subscribed to a distribution patches
+shortly after its distribution ships a fix.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..clock import PUBLIC_DISCLOSURE, utc
+
+#: Disclosure date of CVE-2021-20314 (Jeitner et al.).
+CVE_2021_20314_DISCLOSURE = utc(2021, 8, 11)
+
+
+@dataclass(frozen=True)
+class PackageManagerRecord:
+    """One package manager's response to both libSPF2 CVE events."""
+
+    name: str
+    #: Date the fix for CVE-2021-20314 shipped (None = never, as of the
+    #: paper's writing).
+    cve_20314_patch: Optional[_dt.datetime]
+    #: Date the fix for CVE-2021-33912/33913 shipped (None = never).
+    cve_33912_patch: Optional[_dt.datetime]
+    #: True if the SPFail fixes rode along with the CVE-2021-20314 update
+    #: (marked ``0*`` in the paper's Table 6).
+    folded_into_20314: bool = False
+    #: Approximate share of libSPF2 deployments tracking this manager.
+    deployment_share: float = 0.0
+
+    def days_to_patch_20314(self) -> Optional[int]:
+        if self.cve_20314_patch is None:
+            return None
+        return (self.cve_20314_patch - CVE_2021_20314_DISCLOSURE).days
+
+    def days_to_patch_33912(self) -> Optional[int]:
+        if self.cve_33912_patch is None:
+            return None
+        return max(0, (self.cve_33912_patch - PUBLIC_DISCLOSURE).days)
+
+
+#: Paper Table 6, verbatim.  The Debian entry for the SPFail CVEs is dated
+#: 2022-01-20 (the paper's table prints "2021-01-20", an evident typo —
+#: the public disclosure was 2022-01-19 and the text says the Debian patch
+#: coincided with it).
+PACKAGE_MANAGER_TIMELINE: List[PackageManagerRecord] = [
+    PackageManagerRecord(
+        "Debian", utc(2021, 8, 11), utc(2022, 1, 20), deployment_share=0.30
+    ),
+    PackageManagerRecord(
+        "Alpine", utc(2021, 8, 11), utc(2022, 3, 11), deployment_share=0.04
+    ),
+    PackageManagerRecord(
+        "RedHat", utc(2021, 9, 22), utc(2021, 9, 22),
+        folded_into_20314=True, deployment_share=0.10,
+    ),
+    PackageManagerRecord(
+        "Gentoo", utc(2021, 10, 25), utc(2021, 10, 25),
+        folded_into_20314=True, deployment_share=0.02,
+    ),
+    PackageManagerRecord(
+        "Arch Linux", utc(2021, 11, 22), utc(2021, 11, 22),
+        folded_into_20314=True, deployment_share=0.03,
+    ),
+    PackageManagerRecord("Ubuntu", None, None, deployment_share=0.25),
+    PackageManagerRecord("FreeBSD Ports", None, None, deployment_share=0.04),
+    PackageManagerRecord("NetBSD", None, None, deployment_share=0.01),
+    PackageManagerRecord("SUSE Hub", None, None, deployment_share=0.03),
+]
+
+#: Share of deployments not tracking any package manager (built from
+#: source, vendored, abandoned boxes...).
+UNMANAGED_SHARE = 1.0 - sum(r.deployment_share for r in PACKAGE_MANAGER_TIMELINE)
+
+
+def manager_by_name(name: str) -> PackageManagerRecord:
+    for record in PACKAGE_MANAGER_TIMELINE:
+        if record.name.lower() == name.lower():
+            return record
+    raise KeyError(f"unknown package manager {name!r}")
+
+
+def managers_patched_by(when: _dt.datetime) -> List[PackageManagerRecord]:
+    """Managers that had shipped the SPFail fix by ``when``."""
+    return [
+        record
+        for record in PACKAGE_MANAGER_TIMELINE
+        if record.cve_33912_patch is not None and record.cve_33912_patch <= when
+    ]
+
+
+def deployment_shares() -> Dict[str, float]:
+    """Manager name → share, including the unmanaged remainder."""
+    shares = {r.name: r.deployment_share for r in PACKAGE_MANAGER_TIMELINE}
+    shares["(unmanaged)"] = UNMANAGED_SHARE
+    return shares

@@ -1,0 +1,222 @@
+"""Domain population generation.
+
+Generates the paper's two measurement sets — the **Alexa Top List**
+(418,842 domains, October 2021 snapshot) and the **2-Week MX** set
+(22,911 email domains observed at a university) — plus the **Alexa Top
+1000** subset and the **Top Email Providers** list (Foster et al.'s 20
+most-common email services), with the paper's overlaps (Table 1) and TLD
+mix (Table 2).
+
+Everything scales with ``PopulationConfig.scale`` so tests run on a small
+Internet and benches can approach the paper's full counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .rng import SeededRng
+from .tld import ALEXA_TLD_WEIGHTS, ALEXA_TOTAL, TWO_WEEK_TLD_WEIGHTS, TWO_WEEK_TOTAL
+
+
+class DomainSet(enum.Flag):
+    """Measurement-set membership (a domain may be in several)."""
+
+    ALEXA_TOP_LIST = enum.auto()
+    ALEXA_1000 = enum.auto()
+    TWO_WEEK_MX = enum.auto()
+    TOP_EMAIL_PROVIDERS = enum.auto()
+
+
+#: The 20 most common email services (after Foster et al. [6]); the paper's
+#: Table 3 "Top Email Providers" column tests these domains.
+TOP_EMAIL_PROVIDER_DOMAINS: Tuple[str, ...] = (
+    "gmail.com", "outlook.com", "yahoo.com", "icloud.com", "aol.com",
+    "mail.ru", "naver.com", "hotmail.com", "comcast.net", "verizon.net",
+    "qq.com", "163.com", "gmx.de", "web.de", "daum.net",
+    "seznam.cz", "wp.pl", "o2.pl", "interia.pl", "yandex.ru",
+)
+
+#: Providers the paper found vulnerable (Section 7.5) — international
+#: services inside the Alexa Top 1000.
+VULNERABLE_PROVIDER_DOMAINS: Tuple[str, ...] = (
+    "naver.com", "mail.ru", "wp.pl", "seznam.cz",
+)
+
+
+@dataclass
+class Domain:
+    """One measured email domain."""
+
+    name: str
+    tld: str
+    sets: DomainSet
+    alexa_rank: Optional[int] = None
+    mx_query_count: Optional[int] = None
+    provider_name: Optional[str] = None
+
+    def in_set(self, domain_set: DomainSet) -> bool:
+        return bool(self.sets & domain_set)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs for population generation.
+
+    ``scale`` multiplies the paper's set sizes (1.0 = full size).  The
+    Table 1 overlap fractions are preserved at every scale.
+    """
+
+    scale: float = 0.05
+    seed: int = 20211011
+    #: Fraction of the 2-Week MX set also present in the Alexa Top List
+    #: (Table 1: 2,922 / 22,911).
+    two_week_alexa_overlap: float = 2_922 / 22_911
+    #: Fraction of the 2-Week MX set also present in the Alexa Top 1000
+    #: (Table 1: 135 / 22,911).
+    two_week_alexa1000_overlap: float = 135 / 22_911
+
+    @property
+    def alexa_size(self) -> int:
+        return max(200, int(round(ALEXA_TOTAL * self.scale)))
+
+    @property
+    def alexa_1000_size(self) -> int:
+        return max(20, int(round(1000 * self.scale)))
+
+    @property
+    def two_week_size(self) -> int:
+        return max(60, int(round(TWO_WEEK_TOTAL * self.scale)))
+
+
+@dataclass
+class DomainPopulation:
+    """The generated population with set-indexed access."""
+
+    config: PopulationConfig
+    domains: List[Domain] = field(default_factory=list)
+    _by_name: Dict[str, Domain] = field(default_factory=dict)
+
+    def add(self, domain: Domain) -> None:
+        if domain.name in self._by_name:
+            raise SimulationError(f"duplicate domain {domain.name}")
+        self.domains.append(domain)
+        self._by_name[domain.name] = domain
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Optional[Domain]:
+        return self._by_name.get(name)
+
+    def in_set(self, domain_set: DomainSet) -> List[Domain]:
+        return [d for d in self.domains if d.in_set(domain_set)]
+
+    def set_size(self, domain_set: DomainSet) -> int:
+        return sum(1 for d in self.domains if d.in_set(domain_set))
+
+    def overlap(self, first: DomainSet, second: DomainSet) -> int:
+        """Number of domains in both sets (Table 1 cells)."""
+        return sum(1 for d in self.domains if d.in_set(first) and d.in_set(second))
+
+    def tld_counts(self, domain_set: DomainSet) -> Dict[str, int]:
+        """TLD histogram for one set (Table 2 rows)."""
+        counts: Dict[str, int] = {}
+        for domain in self.domains:
+            if domain.in_set(domain_set):
+                counts[domain.tld] = counts.get(domain.tld, 0) + 1
+        return counts
+
+
+def _unique_name(rng: SeededRng, tld: str, taken: Dict[str, Domain]) -> str:
+    for _ in range(64):
+        name = f"{rng.domain_word()}.{tld}"
+        if name not in taken:
+            return name
+        name = f"{rng.domain_word()}-{rng.label(3)}.{tld}"
+        if name not in taken:
+            return name
+    raise SimulationError("could not generate a unique domain name")
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> DomainPopulation:
+    """Generate the full domain population for a configuration."""
+    config = config or PopulationConfig()
+    rng = SeededRng(config.seed).fork("population")
+    population = DomainPopulation(config=config)
+
+    n_alexa = config.alexa_size
+    n_top = min(config.alexa_1000_size, n_alexa)
+
+    # --- Top email providers, pinned to the head of the Alexa ranking ----
+    provider_names = list(TOP_EMAIL_PROVIDER_DOMAINS)
+    for rank, name in enumerate(provider_names, start=1):
+        tld = name.rsplit(".", 1)[1]
+        sets = DomainSet.TOP_EMAIL_PROVIDERS | DomainSet.ALEXA_TOP_LIST
+        if rank <= n_top:
+            sets |= DomainSet.ALEXA_1000
+        population.add(
+            Domain(
+                name=name,
+                tld=tld,
+                sets=sets,
+                alexa_rank=rank,
+                provider_name=name.split(".")[0],
+            )
+        )
+
+    # --- Remaining Alexa Top List domains ---------------------------------
+    rank = len(provider_names)
+    alexa_count = population.set_size(DomainSet.ALEXA_TOP_LIST)
+    while alexa_count < n_alexa:
+        rank += 1
+        alexa_count += 1
+        tld = rng.weighted_choice(ALEXA_TLD_WEIGHTS)
+        name = _unique_name(rng, tld, population._by_name)
+        sets = DomainSet.ALEXA_TOP_LIST
+        if rank <= n_top:
+            sets |= DomainSet.ALEXA_1000
+        population.add(Domain(name=name, tld=tld, sets=sets, alexa_rank=rank))
+
+    # --- 2-Week MX set -----------------------------------------------------
+    n_two_week = config.two_week_size
+    n_overlap = int(round(config.two_week_alexa_overlap * n_two_week))
+    n_overlap_top = min(
+        int(round(config.two_week_alexa1000_overlap * n_two_week)), n_overlap
+    )
+
+    alexa_domains = population.in_set(DomainSet.ALEXA_TOP_LIST)
+    top_domains = [d for d in alexa_domains if d.in_set(DomainSet.ALEXA_1000)]
+    non_top = [d for d in alexa_domains if not d.in_set(DomainSet.ALEXA_1000)]
+
+    overlap_from_top = rng.sample(top_domains, min(n_overlap_top, len(top_domains)))
+    overlap_rest = rng.sample(
+        non_top, min(n_overlap - len(overlap_from_top), len(non_top))
+    )
+    two_week_count = 0
+    for domain in overlap_from_top + overlap_rest:
+        domain.sets |= DomainSet.TWO_WEEK_MX
+        # Popular domains are queried often in university traffic.
+        domain.mx_query_count = 50 + rng.zipf_size(alpha=1.4, max_size=100_000)
+        two_week_count += 1
+
+    while two_week_count < n_two_week:
+        tld = rng.weighted_choice(TWO_WEEK_TLD_WEIGHTS)
+        name = _unique_name(rng, tld, population._by_name)
+        population.add(
+            Domain(
+                name=name,
+                tld=tld,
+                sets=DomainSet.TWO_WEEK_MX,
+                mx_query_count=rng.zipf_size(alpha=1.5, max_size=50_000),
+            )
+        )
+        two_week_count += 1
+
+    return population

@@ -1,0 +1,46 @@
+"""A behavioral Python port of libSPF2's vulnerable macro expansion.
+
+The paper's two CVEs live in libSPF2's ``spf_expand`` code path:
+
+- **CVE-2021-33912** — URL-encoding ``sprintf`` overflow: encoding a byte
+  in ``0x80``-``0xFF`` through ``sprintf(p, "%%%02x", *p_read)`` widens the
+  negative ``signed char`` to a 32-bit value, emitting 10 bytes where the
+  code sized for 4.
+- **CVE-2021-33913** — buffer-length reassignment: when a macro specifies
+  label *reversal*, the intended buffer length is overwritten with a much
+  smaller value; with URL encoding also specified, the undersized buffer
+  overflows by up to ~100 attacker-controlled bytes.
+
+This package reproduces both at the byte level over a simulated C heap
+(:mod:`repro.libspf2.cmem`) with overflow detection, and reproduces the
+*observable* side effect SPFail fingerprints: the reversal bug corrupts the
+expansion output itself, duplicating the leading label and skipping
+truncation, so a ``%{d1r}`` macro over ``example.com`` expands to
+``com.com.example`` instead of ``example``.
+
+It is a behavioral port: logic and bugs are reproduced from the paper's
+description, not line-by-line from the C sources.
+"""
+
+from .cmem import CHeap, CBuffer
+from .csprintf import sprintf_url_encode_byte, c_hex_of_char
+from .expand import LibSpf2Expander, ExpansionOutcome
+from .poc import (
+    PocReport,
+    trigger_cve_2021_33912,
+    trigger_cve_2021_33913,
+    fingerprint_for,
+)
+
+__all__ = [
+    "CHeap",
+    "CBuffer",
+    "sprintf_url_encode_byte",
+    "c_hex_of_char",
+    "LibSpf2Expander",
+    "ExpansionOutcome",
+    "PocReport",
+    "trigger_cve_2021_33912",
+    "trigger_cve_2021_33913",
+    "fingerprint_for",
+]

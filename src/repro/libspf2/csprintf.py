@@ -1,0 +1,57 @@
+"""C ``sprintf`` semantics for the vulnerable URL-encoding call.
+
+The vulnerable line in libSPF2 is::
+
+    sprintf(p_write, "%%%02x", *p_read);
+
+``*p_read`` is a plain ``char``.  On the common platforms where ``char``
+is signed, a byte in ``0x80``-``0xFF`` is a *negative* value; C's default
+argument promotion widens it to a negative ``int``, and ``%x`` then
+reinterprets that as a 32-bit unsigned value.  ``%02x`` sets a *minimum*
+field width of two — it never truncates — so ``0xFE`` prints as
+``fffffffe``: 8 hex digits where the author expected 2.
+
+The code's author sized the output at 4 bytes ("we know we're going to
+get 4 characters anyway"); for high bytes the real output is '%' + 8 hex
+digits + NUL = 10 bytes, a 6-byte overflow per character.
+"""
+
+from __future__ import annotations
+
+from .cmem import CBuffer
+
+
+def c_hex_of_char(byte: int, *, char_is_signed: bool = True) -> str:
+    """What ``%02x`` prints for ``char`` value ``byte`` (0-255).
+
+    >>> c_hex_of_char(0x0F)
+    '0f'
+    >>> c_hex_of_char(0xFE)
+    'fffffffe'
+    >>> c_hex_of_char(0xFE, char_is_signed=False)
+    'fe'
+    """
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"not a char value: {byte}")
+    promoted = byte
+    if char_is_signed and byte >= 0x80:
+        # signed char -> int (negative) -> unsigned int reinterpretation.
+        promoted = byte - 0x100 + 0x100000000
+    return format(promoted, "02x")
+
+
+def sprintf_url_encode_byte(
+    buf: CBuffer, offset: int, byte: int, *, char_is_signed: bool = True
+) -> int:
+    """Emulate ``sprintf(p_write, "%%%02x", *p_read)`` into ``buf``.
+
+    Writes ``%`` + hex digits + NUL at ``offset`` and returns the number of
+    non-NUL characters produced (2 hex digits normally, 8 for a high byte
+    on signed-char platforms).  Bounds enforcement — and therefore the
+    CVE-2021-33912 overflow — happens inside :class:`CBuffer`.
+    """
+    text = "%" + c_hex_of_char(byte, char_is_signed=char_is_signed)
+    encoded = text.encode("ascii")
+    buf.write_bytes(offset, encoded)
+    buf.write_byte(offset + len(encoded), 0)  # terminating NUL
+    return len(encoded)

@@ -1,0 +1,286 @@
+"""A behavioral port of libSPF2's ``spf_expand`` with both CVEs.
+
+The port follows the shape of the C code: a *length-computation* pass that
+sizes a heap buffer, then a *write* pass that fills it.  Three deviations
+from correct behavior are reproduced, each switchable off via
+``patched=True``:
+
+1. **Reversed emission bug** (observable fingerprint): when a macro
+   carries the ``r`` transformer, the emission loop starts one split too
+   early through a clamped index and never applies the digit
+   (truncation) transformer.  ``%{d1r}`` over ``example.com`` therefore
+   emits ``com.com.example`` — the unique pattern SPFail detects in DNS
+   queries.
+
+2. **CVE-2021-33913** (buffer-length reassignment): on the reversal path
+   the variable holding the intended buffer length is overwritten with the
+   length of a single split.  The URL-encoding branch allocates its buffer
+   *after* that reassignment, so reversal + URL encoding yields an
+   undersized buffer and a heap overflow of attacker-controlled bytes.
+
+3. **CVE-2021-33912** (``sprintf`` widening): URL encoding sizes each
+   encoded byte at 3 characters (``%XX``) but emits 9 for bytes
+   ``0x80``-``0xFF`` on signed-char platforms (see
+   :mod:`repro.libspf2.csprintf`), overflowing by 6 bytes per high byte.
+
+Macro *syntax* handling is self-contained here (no dependency on the
+RFC-compliant engine in :mod:`repro.spf.macro`) because the port must
+stand alone, exactly as libSPF2 does not share code with other SPF
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import MacroError, MemoryCorruptionError
+from .cmem import CBuffer, CHeap
+from .csprintf import sprintf_url_encode_byte
+
+_DELIMITERS = ".-+,/_="
+_MACRO_LETTERS = "slodiphcrtv"
+_UNRESERVED = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+#: Resolves a macro letter (lowercase) to its value, e.g. 'd' -> domain.
+ValueFn = Callable[[str], str]
+
+
+@dataclass
+class ExpansionOutcome:
+    """What one expansion did: its output and its memory-safety effects."""
+
+    output: str
+    corrupted: bool = False
+    crashed: bool = False
+    overflow_byte_count: int = 0
+    crash_reason: Optional[str] = None
+
+    @property
+    def memory_safe(self) -> bool:
+        return not (self.corrupted or self.crashed)
+
+
+@dataclass(frozen=True)
+class _Macro:
+    letter: str
+    keep: Optional[int]
+    reverse: bool
+    delimiters: str
+
+    @property
+    def url_escape(self) -> bool:
+        return self.letter.isupper()
+
+
+def _parse_macro(body: str) -> _Macro:
+    if not body or body[0].lower() not in _MACRO_LETTERS:
+        raise MacroError(f"bad macro body {body!r}")
+    letter, rest = body[0], body[1:]
+    digits = ""
+    i = 0
+    while i < len(rest) and rest[i].isdigit():
+        digits += rest[i]
+        i += 1
+    reverse = i < len(rest) and rest[i] in "rR"
+    if reverse:
+        i += 1
+    delims = rest[i:]
+    for ch in delims:
+        if ch not in _DELIMITERS:
+            raise MacroError(f"bad delimiter {ch!r} in macro {body!r}")
+    return _Macro(
+        letter=letter,
+        keep=int(digits) if digits else None,
+        reverse=reverse,
+        delimiters=delims or ".",
+    )
+
+
+def _split(value: str, delimiters: str) -> List[str]:
+    parts: List[str] = []
+    current = ""
+    for ch in value:
+        if ch in delimiters:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts
+
+
+def _tokenize(macro_string: str) -> List[Tuple[str, object]]:
+    """Break a macro-string into ('lit', ch) and ('macro', _Macro) tokens."""
+    tokens: List[Tuple[str, object]] = []
+    i = 0
+    while i < len(macro_string):
+        ch = macro_string[i]
+        if ch != "%":
+            tokens.append(("lit", ch))
+            i += 1
+            continue
+        if i + 1 >= len(macro_string):
+            raise MacroError("trailing '%'")
+        nxt = macro_string[i + 1]
+        if nxt == "%":
+            tokens.append(("lit", "%"))
+            i += 2
+        elif nxt == "_":
+            tokens.append(("lit", " "))
+            i += 2
+        elif nxt == "-":
+            tokens.extend(("lit", c) for c in "%20")
+            i += 2
+        elif nxt == "{":
+            end = macro_string.find("}", i + 2)
+            if end < 0:
+                raise MacroError(f"unterminated macro in {macro_string!r}")
+            tokens.append(("macro", _parse_macro(macro_string[i + 2 : end])))
+            i = end + 1
+        else:
+            raise MacroError(f"invalid escape '%{nxt}'")
+    return tokens
+
+
+class LibSpf2Expander:
+    """The ported expansion routine.
+
+    ``patched=False`` reproduces the vulnerable library exactly as the
+    paper fingerprints it; ``patched=True`` is the post-CVE behavior
+    (correct reversal/truncation, ``snprintf``-style bounded encoding).
+
+    ``heap_slack`` models allocator rounding: overruns that stay within
+    the slack corrupt silently (``corrupted=True``); anything beyond
+    raises internally and is reported as a crash (``crashed=True``), at
+    which point the expansion output is whatever made it into the buffer.
+    """
+
+    def __init__(
+        self,
+        *,
+        patched: bool = False,
+        char_is_signed: bool = True,
+        heap_slack: int = 8,
+    ) -> None:
+        self.patched = patched
+        self.char_is_signed = char_is_signed
+        self.heap_slack = heap_slack
+
+    # -- the two passes ----------------------------------------------------
+
+    def _expanded_parts(self, macro: _Macro, value: str) -> List[str]:
+        """The split sequence the write pass will emit for one macro."""
+        splits = _split(value, macro.delimiters)
+        if self.patched or not macro.reverse:
+            parts = list(splits)
+            if macro.reverse:
+                parts.reverse()
+            if macro.keep is not None and macro.keep > 0:
+                parts = parts[-macro.keep:]
+            return parts
+        # Vulnerable reversed emission: the loop index starts at nsplit
+        # (one past the end) and is clamped back onto the final split, so
+        # the final split is emitted twice; `keep` is never consulted.
+        nsplit = len(splits)
+        parts = []
+        i = nsplit  # BUG: should be nsplit - 1
+        while i >= 0:
+            idx = i if i < nsplit else nsplit - 1  # clamped re-read
+            parts.append(splits[idx])
+            i -= 1
+        return parts
+
+    def expand(self, macro_string: str, value_of: ValueFn) -> ExpansionOutcome:
+        """Expand ``macro_string``, reporting output and memory effects."""
+        heap = CHeap(slack=self.heap_slack)
+        tokens = _tokenize(macro_string)
+
+        # ---- pass 1: length computation (mirrors the C code's sizing) ----
+        # The length pass runs the same split/emit loop as the write pass
+        # (so a wrong-but-consistent reversed emission stays memory-safe on
+        # its own), but sizes every URL-escaped byte at 3 characters
+        # ('%XX'), which is where CVE-2021-33912 gets its 6 extra bytes.
+        buflen = 0
+        reversal_reassigned_len: Optional[int] = None
+        any_url = False
+        for kind, tok in tokens:
+            if kind == "lit":
+                buflen += 1
+                continue
+            macro = tok  # type: ignore[assignment]
+            value = value_of(macro.letter.lower())
+            emitted = ".".join(self._expanded_parts(macro, value))
+            if macro.url_escape:
+                any_url = True
+                buflen += sum(
+                    1 if chr(b) in _UNRESERVED else 3 for b in emitted.encode("utf-8")
+                )
+            else:
+                buflen += len(emitted.encode("utf-8"))
+            if macro.reverse and not self.patched:
+                # CVE-2021-33913: the running length variable is clobbered
+                # with the length of a single split.
+                splits = _split(value, macro.delimiters)
+                reversal_reassigned_len = len(splits[-1]) + 1
+
+        alloc_len = buflen + 1
+        if (
+            not self.patched
+            and any_url
+            and reversal_reassigned_len is not None
+        ):
+            # The URL-encoding branch allocates from the (clobbered)
+            # length field instead of the computed total.
+            alloc_len = reversal_reassigned_len * 3 + 1
+
+        buf = heap.malloc(alloc_len)
+
+        # ---- pass 2: write ------------------------------------------------
+        pos = 0
+        corrupted = False
+        crashed = False
+        crash_reason: Optional[str] = None
+        try:
+            for kind, tok in tokens:
+                if kind == "lit":
+                    buf.write_byte(pos, ord(tok))  # type: ignore[arg-type]
+                    pos += 1
+                    continue
+                macro = tok  # type: ignore[assignment]
+                value = value_of(macro.letter.lower())
+                emitted = ".".join(self._expanded_parts(macro, value))
+                if macro.url_escape:
+                    for byte in emitted.encode("utf-8"):
+                        if chr(byte) in _UNRESERVED:
+                            buf.write_byte(pos, byte)
+                            pos += 1
+                        elif self.patched:
+                            # snprintf-style bounded, unsigned-char encode.
+                            for ch in f"%{byte:02X}":
+                                buf.write_byte(pos, ord(ch))
+                                pos += 1
+                        else:
+                            pos += sprintf_url_encode_byte(
+                                buf, pos, byte, char_is_signed=self.char_is_signed
+                            )
+                else:
+                    for byte in emitted.encode("utf-8"):
+                        buf.write_byte(pos, byte)
+                        pos += 1
+            buf.write_byte(pos, 0)
+        except MemoryCorruptionError as exc:
+            crashed = True
+            crash_reason = str(exc)
+
+        corrupted = heap.corrupted
+        output = buf.cstring().decode("utf-8", errors="replace")
+        return ExpansionOutcome(
+            output=output,
+            corrupted=corrupted,
+            crashed=crashed,
+            overflow_byte_count=len(buf.overflow_bytes()),
+            crash_reason=crash_reason,
+        )

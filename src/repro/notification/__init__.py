@@ -1,0 +1,34 @@
+"""Private vulnerability notification (paper Sections 6.4 and 7.7).
+
+On 2021-11-15 the authors emailed postmaster@<domain> for every domain
+measured vulnerable: one email per hosting target (deduplicating domains
+sharing MX records), sent from infrastructure separate from the
+measurement to dodge spam filtering, carrying both a plain-text body and
+an HTML body with a uniquely tokened tracking image.
+
+This package reproduces that machinery:
+
+- :mod:`repro.notification.composer` — the email with tracking pixel,
+- :mod:`repro.notification.tracking` — the web server counting opens,
+- :mod:`repro.notification.delivery` — deduplicated delivery with
+  bounces, open simulation, and the (weak) coupling into the
+  patch-behavior model.
+"""
+
+from .composer import NotificationEmail, compose_notification
+from .tracking import TrackingServer, OpenEvent
+from .delivery import (
+    NotificationCampaign,
+    NotificationRecord,
+    NotificationReport,
+)
+
+__all__ = [
+    "NotificationEmail",
+    "compose_notification",
+    "TrackingServer",
+    "OpenEvent",
+    "NotificationCampaign",
+    "NotificationRecord",
+    "NotificationReport",
+]

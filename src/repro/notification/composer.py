@@ -1,0 +1,79 @@
+"""Composing the private notification email.
+
+The paper's notification named the vulnerabilities, gave remediation
+options (upgrade libSPF2 or switch SPF libraries), announced the public
+disclosure date, and embedded a uniquely tokened tracking image in the
+HTML part (with an equivalent plain-text part for clients that do not
+render HTML).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..clock import CVE_IDS, PUBLIC_DISCLOSURE
+
+TRACKING_HOST = "notify.dns-lab.org"
+
+
+@dataclass(frozen=True)
+class NotificationEmail:
+    """One rendered notification."""
+
+    recipient: str
+    subject: str
+    plain_body: str
+    html_body: str
+    tracking_token: str
+
+    @property
+    def tracking_url(self) -> str:
+        return f"https://{TRACKING_HOST}/pixel/{self.tracking_token}.png"
+
+
+def compose_notification(
+    domain: str,
+    tracking_token: str,
+    *,
+    disclosure_date: _dt.datetime = PUBLIC_DISCLOSURE,
+    cves: Tuple[str, ...] = CVE_IDS,
+) -> NotificationEmail:
+    """Render the notification for one domain."""
+    recipient = f"postmaster@{domain}"
+    subject = f"Security notice: SPF validation vulnerability affecting {domain}"
+    cve_list = " and ".join(cves)
+    disclosure = disclosure_date.date().isoformat()
+    plain_body = (
+        f"Dear mail administrator of {domain},\n"
+        f"\n"
+        f"During a research measurement we observed that a mail server\n"
+        f"handling email for {domain} validates SPF using a version of the\n"
+        f"libSPF2 library containing two critical heap-overflow\n"
+        f"vulnerabilities ({cve_list}, CVSS 9.8). A remote attacker can\n"
+        f"trigger them by sending email whose sender domain publishes a\n"
+        f"crafted SPF record.\n"
+        f"\n"
+        f"Remediation: upgrade libSPF2 to a build containing the fixes, or\n"
+        f"switch to a different SPF validation library.\n"
+        f"\n"
+        f"We will publicly disclose these vulnerabilities on {disclosure}.\n"
+    )
+    pixel = (
+        f'<img src="https://{TRACKING_HOST}/pixel/{tracking_token}.png" '
+        f'width="1" height="1" alt="">'
+    )
+    html_body = (
+        "<html><body>"
+        + "".join(f"<p>{paragraph}</p>" for paragraph in plain_body.split("\n\n"))
+        + pixel
+        + "</body></html>"
+    )
+    return NotificationEmail(
+        recipient=recipient,
+        subject=subject,
+        plain_body=plain_body,
+        html_body=html_body,
+        tracking_token=tracking_token,
+    )

@@ -1,0 +1,53 @@
+"""The tracking-pixel web endpoint.
+
+Each notification's HTML part embeds an image whose URL carries a unique
+token; a request for that image is (a lower bound on) an email open.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class OpenEvent:
+    token: str
+    domain: str
+    timestamp: _dt.datetime
+
+
+class TrackingServer:
+    """Registers tokens and records pixel fetches."""
+
+    def __init__(self) -> None:
+        self._token_domain: Dict[str, str] = {}
+        self._opens: List[OpenEvent] = []
+        self._first_open: Dict[str, _dt.datetime] = {}
+
+    def register(self, token: str, domain: str) -> None:
+        self._token_domain[token] = domain
+
+    def fetch_pixel(self, token: str, when: _dt.datetime) -> bool:
+        """A request hit the pixel URL; False if the token is unknown."""
+        domain = self._token_domain.get(token)
+        if domain is None:
+            return False
+        self._opens.append(OpenEvent(token=token, domain=domain, timestamp=when))
+        if token not in self._first_open:
+            self._first_open[token] = when
+        return True
+
+    @property
+    def total_requests(self) -> int:
+        return len(self._opens)
+
+    def opened_tokens(self) -> List[str]:
+        return list(self._first_open)
+
+    def first_open(self, token: str) -> Optional[_dt.datetime]:
+        return self._first_open.get(token)
+
+    def opened_domains(self) -> List[str]:
+        return [self._token_domain[token] for token in self._first_open]

@@ -1,0 +1,112 @@
+"""One-call assembly of the complete SPFail experiment.
+
+:class:`Simulation` wires every subsystem together in the right order:
+
+1. generate the domain population (:mod:`repro.internet.population`),
+2. build and configure the MTA fleet (:mod:`repro.internet.mta_fleet`),
+3. assign geography (:mod:`repro.internet.geo`),
+4. construct the measurement campaign — which materializes the live SMTP
+   network and DNS plumbing (:mod:`repro.core.campaign`),
+5. schedule patch events and mid-campaign moves on the shared clock,
+6. attach the private-notification machinery.
+
+``Simulation.build(scale=...).run()`` reproduces the paper's entire
+four-month study; every analysis table/figure builder consumes the
+returned artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .clock import SimulatedClock
+from .core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    MeasurementCampaign,
+)
+from .core.inference import InferenceEngine
+from .internet.geo import GeoDatabase, assign_geography
+from .internet.mta_fleet import MtaFleet, build_fleet
+from .internet.patching import PatchBehaviorModel
+from .internet.population import (
+    DomainPopulation,
+    PopulationConfig,
+    generate_population,
+)
+from .notification.delivery import NotificationCampaign, NotificationReport
+
+
+@dataclass
+class Simulation:
+    """A fully wired SPFail experiment."""
+
+    population: DomainPopulation
+    fleet: MtaFleet
+    geography: GeoDatabase
+    clock: SimulatedClock
+    patch_model: PatchBehaviorModel
+    campaign: MeasurementCampaign
+    notification: NotificationCampaign
+    result: Optional[CampaignResult] = None
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        scale: float = 0.05,
+        seed: int = 20211011,
+        population_config: Optional[PopulationConfig] = None,
+        campaign_config: Optional[CampaignConfig] = None,
+    ) -> "Simulation":
+        """Assemble (but do not run) a complete experiment."""
+        population_config = population_config or PopulationConfig(scale=scale, seed=seed)
+        campaign_config = campaign_config or CampaignConfig()
+
+        population = generate_population(population_config)
+        fleet = build_fleet(population)
+        geography = assign_geography(fleet, seed=seed)
+
+        clock = SimulatedClock(start=campaign_config.initial_measurement)
+        patch_model = PatchBehaviorModel(seed=seed)
+
+        campaign = MeasurementCampaign(
+            population, fleet, config=campaign_config, clock=clock
+        )
+        notification = NotificationCampaign(
+            fleet, patch_model, campaign.network, clock, seed=seed
+        )
+        campaign.notifier = notification.send_notifications
+
+        # Ground-truth dynamics ride the shared clock.
+        patch_model.apply(fleet, campaign.network, clock)
+        fleet.schedule_moves(campaign.network, clock)
+
+        return cls(
+            population=population,
+            fleet=fleet,
+            geography=geography,
+            clock=clock,
+            patch_model=patch_model,
+            campaign=campaign,
+            notification=notification,
+        )
+
+    def run(self) -> CampaignResult:
+        """Execute the full campaign timeline; caches the result."""
+        if self.result is None:
+            self.result = self.campaign.run()
+        return self.result
+
+    def inference(self) -> InferenceEngine:
+        """An inference engine over the (run) campaign's rounds."""
+        result = self.run()
+        return InferenceEngine(result.initial, result.rounds)
+
+    @property
+    def notification_report(self) -> Optional[NotificationReport]:
+        if self.result is None:
+            return None
+        report = self.result.notification_report
+        return report if isinstance(report, NotificationReport) else None

@@ -1,0 +1,48 @@
+"""A simulated SMTP substrate.
+
+Models the mail-transfer-agent side of the SPFail measurement:
+
+- :mod:`repro.smtp.protocol` — commands, reply codes, and line discipline,
+- :mod:`repro.smtp.policies` — per-server behavior knobs (refusal,
+  failures, greylisting, blacklisting, recipient policy, and *when* the
+  server triggers SPF validation),
+- :mod:`repro.smtp.server` — the receiving MTA state machine, wired to one
+  or more SPF validators (a server can run several SPF stacks, e.g. an MTA
+  plus a spam filter, reproducing the paper's multi-implementation
+  observation),
+- :mod:`repro.smtp.client` — the measurement client implementing the
+  paper's NoMsg and BlankMsg probe transactions,
+- :mod:`repro.smtp.transport` — the in-memory network connecting them.
+"""
+
+from .protocol import Reply, Command, ReplyCode
+from .policies import (
+    ServerPolicy,
+    SpfTiming,
+    FailureStage,
+    GreylistPolicy,
+    RecipientPolicy,
+)
+from .server import SmtpServer, SpfStack, SessionLog
+from .client import SmtpClient, TransactionKind, TransactionResult, TransactionStatus
+from .transport import Network, ConnectionRefused
+
+__all__ = [
+    "Reply",
+    "Command",
+    "ReplyCode",
+    "ServerPolicy",
+    "SpfTiming",
+    "FailureStage",
+    "GreylistPolicy",
+    "RecipientPolicy",
+    "SmtpServer",
+    "SpfStack",
+    "SessionLog",
+    "SmtpClient",
+    "TransactionKind",
+    "TransactionResult",
+    "TransactionStatus",
+    "Network",
+    "ConnectionRefused",
+]

@@ -1,0 +1,105 @@
+"""SMTP protocol primitives (RFC 5321 subset).
+
+Only the command surface the SPFail measurement exercises is modeled:
+HELO/EHLO, MAIL FROM, RCPT TO, DATA, RSET, NOOP, QUIT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import SmtpProtocolError
+
+
+class ReplyCode(enum.IntEnum):
+    """The reply codes the simulation produces."""
+
+    READY = 220
+    CLOSING = 221
+    OK = 250
+    START_MAIL_INPUT = 354
+    SERVICE_UNAVAILABLE = 421
+    MAILBOX_BUSY = 450
+    LOCAL_ERROR = 451
+    MAILBOX_UNAVAILABLE = 550
+    SYNTAX_ERROR = 500
+    BAD_SEQUENCE = 503
+    TRANSACTION_FAILED = 554
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One SMTP reply line."""
+
+    code: ReplyCode
+    text: str = ""
+
+    @property
+    def is_positive(self) -> bool:
+        return 200 <= int(self.code) < 300
+
+    @property
+    def is_intermediate(self) -> bool:
+        return 300 <= int(self.code) < 400
+
+    @property
+    def is_transient_failure(self) -> bool:
+        return 400 <= int(self.code) < 500
+
+    @property
+    def is_permanent_failure(self) -> bool:
+        return int(self.code) >= 500
+
+    def to_text(self) -> str:
+        return f"{int(self.code)} {self.text}".rstrip()
+
+
+class Command(enum.Enum):
+    HELO = "HELO"
+    EHLO = "EHLO"
+    MAIL = "MAIL"
+    RCPT = "RCPT"
+    DATA = "DATA"
+    RSET = "RSET"
+    NOOP = "NOOP"
+    QUIT = "QUIT"
+
+
+def parse_command_line(line: str) -> Tuple[Command, str]:
+    """Split an SMTP command line into verb and argument.
+
+    >>> parse_command_line("MAIL FROM:<user@example.com>")
+    (<Command.MAIL: 'MAIL'>, 'FROM:<user@example.com>')
+    """
+    stripped = line.strip()
+    if not stripped:
+        raise SmtpProtocolError("empty command line")
+    verb, _, argument = stripped.partition(" ")
+    try:
+        command = Command(verb.upper())
+    except ValueError:
+        raise SmtpProtocolError(f"unknown command {verb!r}") from None
+    return command, argument.strip()
+
+
+def parse_path(argument: str, keyword: str) -> str:
+    """Extract the address from ``FROM:<addr>`` / ``TO:<addr>``.
+
+    The empty reverse-path ``<>`` is legal for MAIL FROM and returns "".
+    """
+    upper = argument.upper()
+    if not upper.startswith(keyword.upper() + ":"):
+        raise SmtpProtocolError(f"expected {keyword}:<...>, got {argument!r}")
+    path = argument[len(keyword) + 1 :].strip()
+    if path.startswith("<") and path.endswith(">"):
+        path = path[1:-1]
+    return path.strip()
+
+
+def address_domain(address: str) -> Optional[str]:
+    """The domain part of an email address, if present."""
+    if "@" in address:
+        return address.rsplit("@", 1)[1].lower() or None
+    return None

@@ -1,0 +1,57 @@
+"""The in-memory network connecting SMTP clients to servers.
+
+:class:`Network` maps server IP addresses to :class:`SmtpServer`
+instances and hands out live sessions.  Connection refusal happens here
+(before any SMTP dialogue), matching the paper's "Connection Refused"
+bucket in Table 3.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..errors import SmtpError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import SmtpServer, SmtpSession
+
+
+class ConnectionRefused(SmtpError):
+    """The target host did not accept the TCP connection."""
+
+
+class Network:
+    """An IP-address-indexed registry of simulated mail servers."""
+
+    def __init__(self, clock: Optional[Callable[[], _dt.datetime]] = None) -> None:
+        self._servers: Dict[str, "SmtpServer"] = {}
+        self._clock = clock or (lambda: _dt.datetime.now(tz=_dt.timezone.utc))
+        self.connection_attempts = 0
+        self.connections_established = 0
+
+    def register(self, server: "SmtpServer") -> None:
+        if server.ip in self._servers:
+            raise SmtpError(f"duplicate server registration for {server.ip}")
+        self._servers[server.ip] = server
+
+    def server_at(self, ip: str) -> Optional["SmtpServer"]:
+        return self._servers.get(ip)
+
+    def __contains__(self, ip: str) -> bool:
+        return ip in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def connect(self, client_ip: str, server_ip: str) -> "SmtpSession":
+        """Open a TCP connection; raises :class:`ConnectionRefused` if the
+        host is absent or refusing."""
+        self.connection_attempts += 1
+        server = self._servers.get(server_ip)
+        if server is None:
+            raise ConnectionRefused(f"no host at {server_ip}")
+        if server.policy.refuse_connections:
+            raise ConnectionRefused(f"{server_ip} refused the connection")
+        self.connections_established += 1
+        return server.accept(client_ip, self._clock())

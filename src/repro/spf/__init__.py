@@ -1,0 +1,52 @@
+"""Sender Policy Framework (RFC 7208) engine.
+
+The SPF engine has three layers:
+
+- :mod:`repro.spf.record` parses policy text into terms (mechanisms with
+  qualifiers, and modifiers),
+- :mod:`repro.spf.macro` implements the RFC 7208 section 7 macro language
+  (expansion, digit/reverse transformers, delimiters, URL escaping),
+- :mod:`repro.spf.evaluator` implements ``check_host()`` — the full
+  evaluation algorithm with DNS lookups and processing limits.
+
+:mod:`repro.spf.implementations` provides pluggable macro-expansion
+*behaviors*: the RFC-compliant one, the vulnerable libSPF2 one whose
+erroneous output is the fingerprint SPFail detects, and the non-compliant
+variants catalogued in the paper's Table 7.
+"""
+
+from .result import SpfResult
+from .record import SpfRecord, Mechanism, Modifier, Qualifier, parse_record
+from .macro import MacroContext, expand_macros
+from .evaluator import SpfEvaluator, CheckHostOutcome
+from .implementations import (
+    MacroExpansionBehavior,
+    RfcCompliantBehavior,
+    VulnerableLibSpf2Behavior,
+    NoExpansionBehavior,
+    ReversedNotTruncatedBehavior,
+    TruncatedNotReversedBehavior,
+    StaticExpansionBehavior,
+    behavior_by_name,
+)
+
+__all__ = [
+    "SpfResult",
+    "SpfRecord",
+    "Mechanism",
+    "Modifier",
+    "Qualifier",
+    "parse_record",
+    "MacroContext",
+    "expand_macros",
+    "SpfEvaluator",
+    "CheckHostOutcome",
+    "MacroExpansionBehavior",
+    "RfcCompliantBehavior",
+    "VulnerableLibSpf2Behavior",
+    "NoExpansionBehavior",
+    "ReversedNotTruncatedBehavior",
+    "TruncatedNotReversedBehavior",
+    "StaticExpansionBehavior",
+    "behavior_by_name",
+]

@@ -1,0 +1,185 @@
+"""A minimal DMARC implementation (RFC 7489 subset).
+
+The measurement published DMARC records for its probe source domains
+instructing receivers to reject outright (paper Section 6.2) — one of the
+safeguards that kept blank probe email out of inboxes.  This module
+implements the pieces that safeguard rests on:
+
+- parsing ``v=DMARC1`` policy records,
+- discovery: TXT at ``_dmarc.<domain>``, falling back to
+  ``_dmarc.<organizational domain>`` with the subdomain policy ``sp``,
+- SPF-identifier alignment and the final disposition for a message.
+
+DKIM is out of scope (the paper's measurement never signs anything), so
+alignment is evaluated from SPF alone: exactly the position the probe
+email is in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.name import Name
+from ..dns.resolver import StubResolver
+from ..errors import ResolutionError, SpfSyntaxError
+from .result import SpfResult
+
+
+class DmarcPolicy(enum.Enum):
+    """Requested handling for non-passing mail."""
+
+    NONE = "none"
+    QUARANTINE = "quarantine"
+    REJECT = "reject"
+
+
+class AlignmentMode(enum.Enum):
+    RELAXED = "r"
+    STRICT = "s"
+
+
+@dataclass(frozen=True)
+class DmarcRecord:
+    """A parsed DMARC policy record."""
+
+    policy: DmarcPolicy
+    subdomain_policy: Optional[DmarcPolicy] = None
+    spf_alignment: AlignmentMode = AlignmentMode.RELAXED
+    percentage: int = 100
+
+    def effective_policy(self, *, is_subdomain: bool) -> DmarcPolicy:
+        if is_subdomain and self.subdomain_policy is not None:
+            return self.subdomain_policy
+        return self.policy
+
+
+class Disposition(enum.Enum):
+    """What the receiver should do with the message."""
+
+    ACCEPT = "accept"
+    QUARANTINE = "quarantine"
+    REJECT = "reject"
+    NO_POLICY = "no-policy"
+
+
+def looks_like_dmarc(text: str) -> bool:
+    lowered = text.strip().lower()
+    return lowered == "v=dmarc1" or lowered.startswith("v=dmarc1;")
+
+
+def parse_dmarc(text: str) -> DmarcRecord:
+    """Parse a DMARC record's tag=value list."""
+    if not looks_like_dmarc(text):
+        raise SpfSyntaxError(f"not a DMARC record: {text[:40]!r}")
+    tags = {}
+    for part in text.split(";")[1:]:
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        tags[key.strip().lower()] = value.strip()
+
+    def policy_of(value: str) -> DmarcPolicy:
+        try:
+            return DmarcPolicy(value.lower())
+        except ValueError:
+            raise SpfSyntaxError(f"bad DMARC policy {value!r}") from None
+
+    if "p" not in tags:
+        raise SpfSyntaxError("DMARC record missing required p= tag")
+    percentage = 100
+    if "pct" in tags:
+        if not tags["pct"].isdigit() or not 0 <= int(tags["pct"]) <= 100:
+            raise SpfSyntaxError(f"bad pct {tags['pct']!r}")
+        percentage = int(tags["pct"])
+    aspf = AlignmentMode.RELAXED
+    if "aspf" in tags:
+        try:
+            aspf = AlignmentMode(tags["aspf"].lower())
+        except ValueError:
+            raise SpfSyntaxError(f"bad aspf {tags['aspf']!r}") from None
+    return DmarcRecord(
+        policy=policy_of(tags["p"]),
+        subdomain_policy=policy_of(tags["sp"]) if "sp" in tags else None,
+        spf_alignment=aspf,
+        percentage=percentage,
+    )
+
+
+def organizational_domain(domain: str) -> str:
+    """The registrable domain, approximated as the last two labels.
+
+    A full public-suffix list is out of scope; two labels is exact for
+    every name the simulation generates.
+    """
+    labels = domain.rstrip(".").split(".")
+    return ".".join(labels[-2:]) if len(labels) >= 2 else domain
+
+
+def spf_aligned(header_from_domain: str, spf_domain: str, mode: AlignmentMode) -> bool:
+    """Is the SPF-authenticated domain aligned with the From: domain?"""
+    header = header_from_domain.lower().rstrip(".")
+    authenticated = spf_domain.lower().rstrip(".")
+    if mode == AlignmentMode.STRICT:
+        return header == authenticated
+    return organizational_domain(header) == organizational_domain(authenticated)
+
+
+def lookup_dmarc(
+    resolver: StubResolver, domain: str
+) -> Optional[tuple]:
+    """Find the applicable DMARC record for ``domain``.
+
+    Returns ``(record, is_subdomain)`` or None.  Discovery per RFC 7489
+    section 6.6.3: query ``_dmarc.<domain>``; on nothing, query
+    ``_dmarc.<organizational domain>``.
+    """
+    for candidate, is_subdomain in (
+        (domain, False),
+        (organizational_domain(domain), domain != organizational_domain(domain)),
+    ):
+        try:
+            txts = resolver.get_txt(f"_dmarc.{candidate}")
+        except ResolutionError:
+            return None
+        records = [t for t in txts if looks_like_dmarc(t)]
+        if len(records) == 1:
+            try:
+                return parse_dmarc(records[0]), is_subdomain
+            except SpfSyntaxError:
+                return None
+        if records:
+            return None  # multiple records: no policy applies
+        if not is_subdomain and domain == organizational_domain(domain):
+            break
+    return None
+
+
+def evaluate_dmarc(
+    resolver: StubResolver,
+    *,
+    header_from_domain: str,
+    spf_result: SpfResult,
+    spf_domain: str,
+) -> Disposition:
+    """The disposition DMARC requests, given the SPF outcome.
+
+    DMARC passes when SPF passed *and* the authenticated domain aligns
+    with the From: domain; otherwise the published policy applies.
+    """
+    found = lookup_dmarc(resolver, header_from_domain)
+    if found is None:
+        return Disposition.NO_POLICY
+    record, is_subdomain = found
+    if spf_result == SpfResult.PASS and spf_aligned(
+        header_from_domain, spf_domain, record.spf_alignment
+    ):
+        return Disposition.ACCEPT
+    policy = record.effective_policy(is_subdomain=is_subdomain)
+    if policy == DmarcPolicy.REJECT:
+        return Disposition.REJECT
+    if policy == DmarcPolicy.QUARANTINE:
+        return Disposition.QUARANTINE
+    return Disposition.ACCEPT

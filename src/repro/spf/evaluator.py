@@ -1,0 +1,357 @@
+"""The RFC 7208 ``check_host()`` algorithm.
+
+:class:`SpfEvaluator` evaluates an SPF policy for one SMTP transaction:
+it fetches the domain's TXT policy, walks mechanisms left to right, issues
+the DNS lookups each mechanism needs, and enforces the processing limits
+(10 DNS-querying terms, void-lookup limit, include/redirect recursion).
+
+Macro expansion is delegated to a pluggable
+:class:`~repro.spf.implementations.base.MacroExpansionBehavior` — this is
+the knob that turns one evaluator into an RFC-compliant validator, a
+vulnerable libSPF2 one, or any of the paper's non-compliant variants,
+while every other moving part stays identical.  The DNS queries the
+evaluator sends are exactly what the SPFail measurement observes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..dns.name import Name
+from ..dns.resolver import StubResolver
+from ..errors import MacroError, NameError_, ResolutionError, SpfSyntaxError
+from .implementations.base import MacroExpansionBehavior
+from .implementations.rfc_compliant import RfcCompliantBehavior
+from .macro import MacroContext, contains_macros
+from .record import Mechanism, SpfRecord, looks_like_spf, parse_record
+from .result import SpfResult
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+MAX_DNS_MECHANISMS = 10
+MAX_VOID_LOOKUPS = 2
+MAX_MX_EXCHANGES = 10
+
+
+@dataclass
+class CheckHostOutcome:
+    """Everything ``check_host()`` determined for one transaction."""
+
+    result: SpfResult
+    matched_mechanism: Optional[str] = None
+    dns_mechanism_count: int = 0
+    void_lookups: int = 0
+    crashed: bool = False
+    explanation: Optional[str] = None
+
+    def __str__(self) -> str:
+        extra = f" ({self.matched_mechanism})" if self.matched_mechanism else ""
+        return f"{self.result}{extra}"
+
+
+class _Budget:
+    """Shared processing-limit state across include/redirect recursion."""
+
+    def __init__(self) -> None:
+        self.dns_mechanisms = 0
+        self.void_lookups = 0
+
+    def charge_mechanism(self) -> bool:
+        self.dns_mechanisms += 1
+        return self.dns_mechanisms <= MAX_DNS_MECHANISMS
+
+    def charge_void(self) -> bool:
+        self.void_lookups += 1
+        return self.void_lookups <= MAX_VOID_LOOKUPS
+
+
+class _Crashed(Exception):
+    """Internal signal: the SPF implementation corrupted memory and died."""
+
+
+class SpfEvaluator:
+    """Evaluates SPF policies using a DNS stub resolver.
+
+    >>> outcome = evaluator.check_host(ip, "example.com", "user@example.com")
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        resolver: StubResolver,
+        *,
+        behavior: Optional[MacroExpansionBehavior] = None,
+    ) -> None:
+        self.resolver = resolver
+        self.behavior = behavior or RfcCompliantBehavior()
+
+    # -- public API ---------------------------------------------------------
+
+    def check_host(
+        self,
+        ip: IPAddress,
+        domain: str,
+        sender: str,
+        *,
+        helo_domain: str = "unknown",
+    ) -> CheckHostOutcome:
+        """Run ``check_host()`` per RFC 7208 section 4."""
+        budget = _Budget()
+        crashed = False
+        try:
+            result, matched = self._check(ip, domain, sender, helo_domain, budget, depth=0)
+        except _Crashed:
+            # The process died mid-validation; from the SMTP client's view
+            # the transaction just breaks.  Modeled as a transient error
+            # plus the crashed flag for the MTA wrapper.
+            result, matched = SpfResult.TEMPERROR, None
+            crashed = True
+        return CheckHostOutcome(
+            result=result,
+            matched_mechanism=matched,
+            dns_mechanism_count=budget.dns_mechanisms,
+            void_lookups=budget.void_lookups,
+            crashed=crashed,
+        )
+
+    # -- core recursion -------------------------------------------------------
+
+    def _check(
+        self,
+        ip: IPAddress,
+        domain: str,
+        sender: str,
+        helo_domain: str,
+        budget: _Budget,
+        depth: int,
+    ) -> tuple:
+        if depth > 10:
+            return SpfResult.PERMERROR, None
+        record = self._fetch_record(domain)
+        if record is None:
+            return SpfResult.NONE, None
+        if isinstance(record, SpfResult):
+            return record, None
+
+        ctx = MacroContext(
+            sender=sender, domain=domain, client_ip=ip, helo_domain=helo_domain
+        )
+
+        for mechanism in record.mechanisms:
+            try:
+                matched = self._match(mechanism, ctx, budget, depth)
+            except SpfSyntaxError:
+                return SpfResult.PERMERROR, None
+            except MacroError:
+                return SpfResult.PERMERROR, None
+            except ResolutionError:
+                return SpfResult.TEMPERROR, None
+            if matched is None:  # processing-limit violation
+                return SpfResult.PERMERROR, None
+            if matched is SpfResult.TEMPERROR:
+                return SpfResult.TEMPERROR, None
+            if matched is SpfResult.PERMERROR:
+                return SpfResult.PERMERROR, None
+            if matched:
+                return mechanism.qualifier.result, mechanism.to_text()
+
+        redirect = record.redirect
+        if redirect is not None:
+            if not budget.charge_mechanism():
+                return SpfResult.PERMERROR, None
+            target = self._expand(redirect, ctx)
+            result, matched_mech = self._check(
+                ip, target, sender, helo_domain, budget, depth + 1
+            )
+            if result == SpfResult.NONE:
+                return SpfResult.PERMERROR, None
+            return result, matched_mech
+
+        return SpfResult.NEUTRAL, None
+
+    # -- record fetch -----------------------------------------------------------
+
+    def _fetch_record(self, domain: str):
+        """TXT lookup and policy selection (RFC 7208 section 4.5)."""
+        try:
+            txts = self.resolver.get_txt(domain)
+        except ResolutionError:
+            return SpfResult.TEMPERROR
+        spf_texts = [t for t in txts if looks_like_spf(t)]
+        if not spf_texts:
+            return None
+        if len(spf_texts) > 1:
+            return SpfResult.PERMERROR
+        try:
+            return parse_record(spf_texts[0])
+        except SpfSyntaxError:
+            return SpfResult.PERMERROR
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _expand(self, spec: str, ctx: MacroContext) -> str:
+        outcome = self.behavior.expand_domain_spec(spec, ctx)
+        if outcome.crashed:
+            raise _Crashed()
+        return outcome.output
+
+    def _target_name(self, mechanism: Mechanism, ctx: MacroContext) -> str:
+        if mechanism.value:
+            return self._expand(mechanism.value, ctx)
+        return ctx.domain
+
+    # -- mechanism matching ------------------------------------------------------
+
+    def _match(self, mechanism: Mechanism, ctx: MacroContext, budget: _Budget, depth: int):
+        """Returns True/False, None for limit violations, or an SpfResult
+        to propagate (include's temperror/permerror)."""
+        name = mechanism.name
+        if name == "all":
+            return True
+        if name == "ip4":
+            return self._match_ip4(mechanism, ctx.client_ip)
+        if name == "ip6":
+            return self._match_ip6(mechanism, ctx.client_ip)
+
+        # Every remaining mechanism costs a DNS lookup.
+        if not budget.charge_mechanism():
+            return None
+
+        if name == "a":
+            return self._match_a(mechanism, ctx, budget)
+        if name == "mx":
+            return self._match_mx(mechanism, ctx, budget)
+        if name == "exists":
+            target = self._expand(mechanism.value or "", ctx)
+            addresses = self._safe_addresses(target, budget, want_ipv6=False)
+            return bool(addresses)
+        if name == "include":
+            target = self._expand(mechanism.value or "", ctx)
+            result, _ = self._check(
+                ctx.client_ip, target, ctx.sender, ctx.helo_domain, budget, depth + 1
+            )
+            if result == SpfResult.PASS:
+                return True
+            if result in (SpfResult.FAIL, SpfResult.SOFTFAIL, SpfResult.NEUTRAL):
+                return False
+            if result == SpfResult.TEMPERROR:
+                return SpfResult.TEMPERROR
+            return SpfResult.PERMERROR  # none or permerror
+        if name == "ptr":
+            return self._match_ptr(mechanism, ctx, budget)
+        raise SpfSyntaxError(f"unknown mechanism {name!r}")
+
+    def _match_ip4(self, mechanism: Mechanism, ip: IPAddress) -> bool:
+        if not isinstance(ip, ipaddress.IPv4Address):
+            return False
+        value = mechanism.value or ""
+        network = ipaddress.ip_network(value if "/" in value else value + "/32", strict=False)
+        return isinstance(network, ipaddress.IPv4Network) and ip in network
+
+    def _match_ip6(self, mechanism: Mechanism, ip: IPAddress) -> bool:
+        if not isinstance(ip, ipaddress.IPv6Address):
+            return False
+        value = mechanism.value or ""
+        network = ipaddress.ip_network(value if "/" in value else value + "/128", strict=False)
+        return isinstance(network, ipaddress.IPv6Network) and ip in network
+
+    def _addresses_match(
+        self, addresses, ip: IPAddress, prefix4: Optional[int], prefix6: Optional[int]
+    ) -> bool:
+        for address in addresses:
+            if isinstance(ip, ipaddress.IPv4Address) and isinstance(
+                address, ipaddress.IPv4Address
+            ):
+                bits = prefix4 if prefix4 is not None else 32
+                net = ipaddress.ip_network(f"{address}/{bits}", strict=False)
+                if ip in net:
+                    return True
+            elif isinstance(ip, ipaddress.IPv6Address) and isinstance(
+                address, ipaddress.IPv6Address
+            ):
+                bits = prefix6 if prefix6 is not None else 128
+                net = ipaddress.ip_network(f"{address}/{bits}", strict=False)
+                if ip in net:
+                    return True
+        return False
+
+    def _safe_addresses(self, target: str, budget: _Budget, *, want_ipv6: bool = True):
+        """Resolve A/AAAA, tolerating malformed expansion output.
+
+        Non-compliant expansions can produce names that are not valid DNS
+        names at all (e.g. a literal ``%{d1r}`` label longer than 63
+        bytes); those simply never resolve.
+        """
+        try:
+            name = Name.from_text(target)
+        except NameError_:
+            if not budget.charge_void():
+                raise SpfSyntaxError("void lookup limit exceeded")
+            return []
+        addresses = self.resolver.get_addresses(name, want_ipv6=want_ipv6)
+        if not addresses:
+            if not budget.charge_void():
+                raise SpfSyntaxError("void lookup limit exceeded")
+        return addresses
+
+    def _match_a(self, mechanism: Mechanism, ctx: MacroContext, budget: _Budget) -> bool:
+        target = self._target_name(mechanism, ctx)
+        addresses = self._safe_addresses(target, budget)
+        return self._addresses_match(
+            addresses, ctx.client_ip, mechanism.prefix_length, mechanism.prefix_length6
+        )
+
+    def _match_mx(self, mechanism: Mechanism, ctx: MacroContext, budget: _Budget) -> bool:
+        target = self._target_name(mechanism, ctx)
+        try:
+            name = Name.from_text(target)
+        except NameError_:
+            if not budget.charge_void():
+                raise SpfSyntaxError("void lookup limit exceeded")
+            return False
+        exchanges = self.resolver.get_mx(name)
+        if not exchanges:
+            if not budget.charge_void():
+                raise SpfSyntaxError("void lookup limit exceeded")
+            return False
+        if len(exchanges) > MAX_MX_EXCHANGES:
+            raise SpfSyntaxError("too many MX records")
+        for _, exchange in exchanges:
+            addresses = self.resolver.get_addresses(exchange)
+            if self._addresses_match(
+                addresses, ctx.client_ip, mechanism.prefix_length, mechanism.prefix_length6
+            ):
+                return True
+        return False
+
+    def _match_ptr(self, mechanism: Mechanism, ctx: MacroContext, budget: _Budget) -> bool:
+        ip = ctx.client_ip
+        if isinstance(ip, ipaddress.IPv4Address):
+            reverse = ".".join(reversed(str(ip).split("."))) + ".in-addr.arpa"
+        else:
+            reverse = ".".join(reversed(ip.exploded.replace(":", ""))) + ".ip6.arpa"
+        from ..dns.rdata import RRType
+
+        try:
+            ptrs = self.resolver.resolve(reverse, RRType.PTR)
+        except ResolutionError:
+            return False
+        if not ptrs:
+            if not budget.charge_void():
+                raise SpfSyntaxError("void lookup limit exceeded")
+            return False
+        scope = self._target_name(mechanism, ctx)
+        try:
+            scope_name = Name.from_text(scope)
+        except NameError_:
+            return False
+        for rr in ptrs[:MAX_MX_EXCHANGES]:
+            hostname = rr.rdata.target  # type: ignore[union-attr]
+            if not hostname.is_subdomain_of(scope_name):
+                continue
+            addresses = self.resolver.get_addresses(hostname)
+            if any(a == ip for a in addresses):
+                return True
+        return False

@@ -1,0 +1,73 @@
+"""Pluggable SPF macro-expansion behaviors.
+
+The SPFail measurement classifies mail servers by *how* they expand the
+``%{d1r}`` macro in the measurement policy.  Each observed behavior from
+the paper (Section 4.2 and Table 7) is modeled as a
+:class:`MacroExpansionBehavior` that the evaluator and the simulated MTAs
+plug in:
+
+==============================  ==============================================
+behavior                        ``%{d1r}`` over ``example.com`` expands to
+==============================  ==============================================
+``rfc-compliant``               ``example``
+``vulnerable-libspf2``          ``com.com.example``  (the CVE fingerprint)
+``patched-libspf2``             ``example``
+``no-expansion``                ``%{d1r}`` (literal)
+``reversed-not-truncated``      ``com.example``
+``truncated-not-reversed``      ``com``
+``static-expansion``            ``unknown``
+==============================  ==============================================
+"""
+
+from .base import BehaviorOutcome, MacroExpansionBehavior
+from .rfc_compliant import RfcCompliantBehavior
+from .libspf2 import VulnerableLibSpf2Behavior, PatchedLibSpf2Behavior
+from .variants import (
+    NoExpansionBehavior,
+    ReversedNotTruncatedBehavior,
+    TruncatedNotReversedBehavior,
+    StaticExpansionBehavior,
+)
+
+_REGISTRY = {
+    behavior.name: behavior
+    for behavior in (
+        RfcCompliantBehavior(),
+        VulnerableLibSpf2Behavior(),
+        PatchedLibSpf2Behavior(),
+        NoExpansionBehavior(),
+        ReversedNotTruncatedBehavior(),
+        TruncatedNotReversedBehavior(),
+        StaticExpansionBehavior(),
+    )
+}
+
+
+def behavior_by_name(name: str) -> MacroExpansionBehavior:
+    """Look up a behavior instance by its registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPF behavior {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_behaviors():
+    """All registered behavior instances."""
+    return list(_REGISTRY.values())
+
+
+__all__ = [
+    "BehaviorOutcome",
+    "MacroExpansionBehavior",
+    "RfcCompliantBehavior",
+    "VulnerableLibSpf2Behavior",
+    "PatchedLibSpf2Behavior",
+    "NoExpansionBehavior",
+    "ReversedNotTruncatedBehavior",
+    "TruncatedNotReversedBehavior",
+    "StaticExpansionBehavior",
+    "behavior_by_name",
+    "all_behaviors",
+]

@@ -1,0 +1,52 @@
+"""The behavior interface shared by all SPF macro-expansion variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..macro import MacroContext
+
+
+@dataclass
+class BehaviorOutcome:
+    """What expanding one domain-spec produced.
+
+    ``crashed`` is set when the implementation corrupted memory badly
+    enough to take the process down (only the vulnerable libSPF2 behavior
+    can do this); the MTA wrapping the evaluator turns that into a dropped
+    SMTP connection.
+    """
+
+    output: str
+    crashed: bool = False
+    corrupted: bool = False
+
+
+class MacroExpansionBehavior:
+    """Strategy interface: how an SPF implementation expands macros.
+
+    Subclasses override :meth:`expand`.  ``name`` identifies the behavior
+    in fingerprints, population models, and analysis tables.
+    """
+
+    #: Registry name; also the label used in analysis output.
+    name: str = "abstract"
+    #: Human-oriented description for documentation and reports.
+    description: str = ""
+    #: True if the behavior matches RFC 7208 exactly.
+    rfc_compliant: bool = False
+    #: True if this behavior is the CVE-2021-33912/33913 fingerprint.
+    vulnerable: bool = False
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        raise NotImplementedError
+
+    def expand_domain_spec(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        """Expand a mechanism's domain-spec (trailing dot normalized)."""
+        outcome = self.expand(text, ctx)
+        outcome.output = outcome.output.rstrip(".")
+        return outcome
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,60 @@
+"""SPF behaviors backed by the libSPF2 port.
+
+The vulnerable behavior routes expansion through
+:class:`repro.libspf2.expand.LibSpf2Expander` so the erroneous output (and
+any memory corruption) *emerges from the ported bug* rather than being
+hard-coded: the evaluator sees exactly the bytes a vulnerable mail server
+would have put into its DNS query.
+"""
+
+from __future__ import annotations
+
+from ...libspf2.expand import LibSpf2Expander
+from ..macro import MacroContext
+from .base import BehaviorOutcome, MacroExpansionBehavior
+
+
+class VulnerableLibSpf2Behavior(MacroExpansionBehavior):
+    """libSPF2 with CVE-2021-33912/33913 present.
+
+    The ``%{d1r}`` fingerprint: ``example.com`` expands to
+    ``com.com.example``.  Expanding a macro that combines reversal with
+    URL encoding corrupts the simulated heap and reports a crash, which
+    the simulated MTA surfaces as a dropped connection.
+    """
+
+    name = "vulnerable-libspf2"
+    description = "libSPF2 before the CVE-2021-33912/33913 fixes"
+    rfc_compliant = False
+    vulnerable = True
+
+    def __init__(self) -> None:
+        self._expander = LibSpf2Expander(patched=False)
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        outcome = self._expander.expand(text, lambda letter: ctx.letter_value(letter))
+        return BehaviorOutcome(
+            output=outcome.output,
+            crashed=outcome.crashed,
+            corrupted=outcome.corrupted,
+        )
+
+
+class PatchedLibSpf2Behavior(MacroExpansionBehavior):
+    """libSPF2 with the CVE fixes applied — RFC-compliant output."""
+
+    name = "patched-libspf2"
+    description = "libSPF2 with the CVE-2021-33912/33913 fixes"
+    rfc_compliant = True
+    vulnerable = False
+
+    def __init__(self) -> None:
+        self._expander = LibSpf2Expander(patched=True)
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        outcome = self._expander.expand(text, lambda letter: ctx.letter_value(letter))
+        return BehaviorOutcome(
+            output=outcome.output,
+            crashed=outcome.crashed,
+            corrupted=outcome.corrupted,
+        )

@@ -1,0 +1,18 @@
+"""The RFC 7208-compliant macro expansion behavior."""
+
+from __future__ import annotations
+
+from ..macro import MacroContext, expand_macros
+from .base import BehaviorOutcome, MacroExpansionBehavior
+
+
+class RfcCompliantBehavior(MacroExpansionBehavior):
+    """Expands macros exactly as RFC 7208 section 7 specifies."""
+
+    name = "rfc-compliant"
+    description = "RFC 7208 macro expansion (reverse, truncate, escape)"
+    rfc_compliant = True
+    vulnerable = False
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        return BehaviorOutcome(output=expand_macros(text, ctx))

@@ -1,0 +1,144 @@
+"""Non-RFC-compliant (but not vulnerable) expansion behaviors.
+
+Section 7.9 / Table 7 of the paper catalogue servers whose SPF stacks get
+macros wrong in ways *distinct* from the libSPF2 fingerprint: failing to
+expand at all, reversing without truncating, truncating without reversing,
+or substituting something fixed.  Each is modeled here so the population
+simulator can reproduce the paper's behavior mix and the detector can tell
+them apart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..macro import (
+    MacroContext,
+    ParsedMacro,
+    parse_macro_expr,
+    split_on_delimiters,
+    url_escape,
+)
+from .base import BehaviorOutcome, MacroExpansionBehavior
+
+
+def _expand_with_transform(
+    text: str, ctx: MacroContext, *, apply_reverse: bool, apply_truncate: bool
+) -> str:
+    """Expand macros but selectively skip transformers."""
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "%" or i + 1 >= len(text):
+            out.append(ch)
+            i += 1
+            continue
+        nxt = text[i + 1]
+        if nxt == "%":
+            out.append("%")
+            i += 2
+        elif nxt == "_":
+            out.append(" ")
+            i += 2
+        elif nxt == "-":
+            out.append("%20")
+            i += 2
+        elif nxt == "{":
+            end = text.find("}", i + 2)
+            if end < 0:
+                out.append(ch)
+                i += 1
+                continue
+            macro = parse_macro_expr(text[i + 2 : end])
+            value = ctx.letter_value(macro.letter)
+            parts = split_on_delimiters(value, macro.delimiters)
+            if macro.reverse and apply_reverse:
+                parts.reverse()
+            if macro.keep is not None and apply_truncate:
+                parts = parts[-macro.keep:]
+            expanded = ".".join(parts)
+            if macro.url_escape:
+                expanded = url_escape(expanded)
+            out.append(expanded)
+            i = end + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class NoExpansionBehavior(MacroExpansionBehavior):
+    """Performs no macro expansion at all.
+
+    The DNS query carries the literal macro text, e.g.
+    ``%{d1r}.<id>.<suite>.spf-test.dns-lab.org``.
+    """
+
+    name = "no-expansion"
+    description = "sends the literal macro text in DNS queries"
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        return BehaviorOutcome(output=text)
+
+
+class ReversedNotTruncatedBehavior(MacroExpansionBehavior):
+    """Honors the ``r`` transformer but ignores the digit transformer.
+
+    ``%{d1r}`` over ``example.com`` yields ``com.example``.
+    """
+
+    name = "reversed-not-truncated"
+    description = "reverses labels but never truncates"
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        return BehaviorOutcome(
+            output=_expand_with_transform(
+                text, ctx, apply_reverse=True, apply_truncate=False
+            )
+        )
+
+
+class TruncatedNotReversedBehavior(MacroExpansionBehavior):
+    """Honors the digit transformer but ignores ``r``.
+
+    ``%{d1r}`` over ``example.com`` yields ``com``.
+    """
+
+    name = "truncated-not-reversed"
+    description = "truncates labels but never reverses"
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        return BehaviorOutcome(
+            output=_expand_with_transform(
+                text, ctx, apply_reverse=False, apply_truncate=True
+            )
+        )
+
+
+class StaticExpansionBehavior(MacroExpansionBehavior):
+    """Replaces every macro with a fixed placeholder token.
+
+    Models broken stacks that stub out macro support entirely; the paper's
+    "other" erroneous-expansion bucket.
+    """
+
+    name = "static-expansion"
+    description = "replaces every macro with a fixed token"
+
+    def __init__(self, placeholder: str = "unknown") -> None:
+        self.placeholder = placeholder
+
+    def expand(self, text: str, ctx: MacroContext) -> BehaviorOutcome:
+        out: List[str] = []
+        i = 0
+        while i < len(text):
+            if text.startswith("%{", i):
+                end = text.find("}", i)
+                if end > 0:
+                    out.append(self.placeholder)
+                    i = end + 1
+                    continue
+            out.append(text[i])
+            i += 1
+        return BehaviorOutcome(output="".join(out))

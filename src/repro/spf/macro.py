@@ -1,0 +1,243 @@
+"""The RFC 7208 section 7 macro language.
+
+SPF policies may contain macros such as ``%{d1r}`` that are expanded by the
+*receiving* mail server at validation time.  The grammar is::
+
+    macro-expand = ( "%{" macro-letter transformers *delimiter "}" )
+                   / "%%" / "%_" / "%-"
+    transformers = [ *DIGIT ] [ "r" ]
+    delimiter    = "." / "-" / "+" / "," / "/" / "_" / "="
+
+Expansion splits the macro value on the delimiters (default ``.``),
+optionally reverses the parts (``r``), optionally keeps only the right-most
+N parts (the digits), and rejoins with ``.``.  An uppercase macro letter
+additionally URL-escapes the output.
+
+This module is the *correct* implementation; the vulnerable and
+non-compliant behaviors in :mod:`repro.spf.implementations` deviate from it
+in the specific ways the paper fingerprints.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import ipaddress
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import MacroError
+
+MACRO_LETTERS = "slodiphcrtv"
+DELIMITERS = ".-+,/_="
+
+#: Characters that are *not* URL-escaped by uppercase macros
+#: (RFC 7208 section 7.3: the "unreserved" set of RFC 3986).
+_UNRESERVED = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+@dataclass
+class MacroContext:
+    """The inputs available to macro expansion for one SMTP transaction.
+
+    ``domain`` is the current domain under evaluation (which changes as
+    ``include:``/``redirect=`` are followed); ``sender`` is the full MAIL
+    FROM address.
+    """
+
+    sender: str
+    domain: str
+    client_ip: IPAddress
+    helo_domain: str = "unknown"
+    receiver: str = "unknown"
+    timestamp: Optional[_dt.datetime] = None
+    validated_domain: str = "unknown"
+
+    @property
+    def local_part(self) -> str:
+        if "@" in self.sender:
+            return self.sender.rsplit("@", 1)[0]
+        return "postmaster"
+
+    @property
+    def sender_domain(self) -> str:
+        if "@" in self.sender:
+            return self.sender.rsplit("@", 1)[1]
+        return self.sender
+
+    def letter_value(self, letter: str, *, in_exp: bool = False) -> str:
+        """The raw (pre-transformer) value for a macro letter."""
+        lower = letter.lower()
+        if lower == "s":
+            return self.sender if "@" in self.sender else f"postmaster@{self.sender}"
+        if lower == "l":
+            return self.local_part
+        if lower == "o":
+            return self.sender_domain
+        if lower == "d":
+            return self.domain
+        if lower == "i":
+            if isinstance(self.client_ip, ipaddress.IPv4Address):
+                return str(self.client_ip)
+            # IPv6: dot-separated nibbles (RFC 7208 section 7.4).
+            return ".".join(self.client_ip.exploded.replace(":", ""))
+        if lower == "p":
+            return self.validated_domain
+        if lower == "v":
+            return "in-addr" if isinstance(self.client_ip, ipaddress.IPv4Address) else "ip6"
+        if lower == "h":
+            return self.helo_domain
+        if lower in "crt":
+            if not in_exp:
+                raise MacroError(f"macro %{{{letter}}} is only valid in exp= text")
+            if lower == "c":
+                return str(self.client_ip)
+            if lower == "r":
+                return self.receiver
+            ts = self.timestamp or _dt.datetime.now(tz=_dt.timezone.utc)
+            return str(int(ts.timestamp()))
+        raise MacroError(f"unknown macro letter {letter!r}")
+
+
+@dataclass(frozen=True)
+class ParsedMacro:
+    """One ``%{...}`` expression, decomposed."""
+
+    letter: str
+    keep: Optional[int]  # digit transformer, None = keep all
+    reverse: bool
+    delimiters: str  # split characters, defaults to "."
+
+    @property
+    def url_escape(self) -> bool:
+        return self.letter.isupper()
+
+
+def parse_macro_expr(body: str) -> ParsedMacro:
+    """Parse the inside of ``%{`` ... ``}``.
+
+    >>> parse_macro_expr("d1r")
+    ParsedMacro(letter='d', keep=1, reverse=True, delimiters='.')
+    """
+    if not body:
+        raise MacroError("empty macro expression")
+    letter = body[0]
+    if letter.lower() not in MACRO_LETTERS:
+        raise MacroError(f"unknown macro letter {letter!r} in %{{{body}}}")
+    rest = body[1:]
+    i = 0
+    digits = ""
+    while i < len(rest) and rest[i].isdigit():
+        digits += rest[i]
+        i += 1
+    reverse = False
+    if i < len(rest) and rest[i] in ("r", "R"):
+        reverse = True
+        i += 1
+    delimiters = ""
+    while i < len(rest):
+        ch = rest[i]
+        if ch not in DELIMITERS:
+            raise MacroError(f"bad delimiter {ch!r} in %{{{body}}}")
+        delimiters += ch
+        i += 1
+    keep: Optional[int] = None
+    if digits:
+        keep = int(digits)
+        if keep == 0:
+            raise MacroError(f"zero digit transformer in %{{{body}}}")
+    return ParsedMacro(
+        letter=letter,
+        keep=keep,
+        reverse=reverse,
+        delimiters=delimiters or ".",
+    )
+
+
+def split_on_delimiters(value: str, delimiters: str) -> List[str]:
+    """Split ``value`` at any of the delimiter characters."""
+    parts: List[str] = []
+    current = ""
+    for ch in value:
+        if ch in delimiters:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts
+
+
+def url_escape(value: str) -> str:
+    """URL-escape every character outside RFC 3986's unreserved set."""
+    out = []
+    for byte in value.encode("utf-8"):
+        ch = chr(byte)
+        if ch in _UNRESERVED:
+            out.append(ch)
+        else:
+            out.append(f"%{byte:02X}")
+    return "".join(out)
+
+
+def expand_one(macro: ParsedMacro, ctx: MacroContext, *, in_exp: bool = False) -> str:
+    """Expand a single parsed macro against a context."""
+    value = ctx.letter_value(macro.letter, in_exp=in_exp)
+    parts = split_on_delimiters(value, macro.delimiters)
+    if macro.reverse:
+        parts.reverse()
+    if macro.keep is not None:
+        parts = parts[-macro.keep:]
+    expanded = ".".join(parts)
+    if macro.url_escape:
+        expanded = url_escape(expanded)
+    return expanded
+
+
+def expand_macros(text: str, ctx: MacroContext, *, in_exp: bool = False) -> str:
+    """Expand all macros in a macro-string.
+
+    >>> import ipaddress
+    >>> ctx = MacroContext(sender="user@example.com", domain="example.com",
+    ...                    client_ip=ipaddress.IPv4Address("192.0.2.1"))
+    >>> expand_macros("%{d1r}.foo.com", ctx)
+    'example.foo.com'
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise MacroError("macro-string ends with bare '%'")
+        nxt = text[i + 1]
+        if nxt == "%":
+            out.append("%")
+            i += 2
+        elif nxt == "_":
+            out.append(" ")
+            i += 2
+        elif nxt == "-":
+            out.append("%20")
+            i += 2
+        elif nxt == "{":
+            end = text.find("}", i + 2)
+            if end < 0:
+                raise MacroError(f"unterminated macro at offset {i}: {text[i:]!r}")
+            macro = parse_macro_expr(text[i + 2 : end])
+            out.append(expand_one(macro, ctx, in_exp=in_exp))
+            i = end + 1
+        else:
+            raise MacroError(f"invalid macro escape '%{nxt}'")
+    return "".join(out)
+
+
+def contains_macros(text: str) -> bool:
+    """True if the macro-string has any ``%{...}`` expression."""
+    return "%{" in text

@@ -1,0 +1,210 @@
+"""SPF record parsing (RFC 7208 sections 4.5, 5, and 6).
+
+An SPF record is ``v=spf1`` followed by whitespace-separated *terms*.
+A term is either a *mechanism* (``all``, ``include``, ``a``, ``mx``,
+``ptr``, ``ip4``, ``ip6``, ``exists``) with an optional qualifier
+(``+ - ~ ?``), or a *modifier* (``name=value``, notably ``redirect=`` and
+``exp=``).
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import SpfSyntaxError
+from .result import SpfResult
+
+SPF_VERSION_TAG = "v=spf1"
+
+MECHANISM_NAMES = ("all", "include", "a", "mx", "ptr", "ip4", "ip6", "exists")
+
+
+class Qualifier(enum.Enum):
+    """Mechanism qualifiers and the result each maps to on match."""
+
+    PASS = "+"
+    FAIL = "-"
+    SOFTFAIL = "~"
+    NEUTRAL = "?"
+
+    @property
+    def result(self) -> SpfResult:
+        return {
+            Qualifier.PASS: SpfResult.PASS,
+            Qualifier.FAIL: SpfResult.FAIL,
+            Qualifier.SOFTFAIL: SpfResult.SOFTFAIL,
+            Qualifier.NEUTRAL: SpfResult.NEUTRAL,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One mechanism term.
+
+    ``value`` is the domain-spec or address literal, unexpanded (macros
+    intact).  ``prefix_length`` / ``prefix_length6`` carry the optional
+    dual-CIDR lengths for ``a``/``mx`` (e.g. ``a/24`` or ``a//64``).
+    """
+
+    name: str
+    qualifier: Qualifier = Qualifier.PASS
+    value: Optional[str] = None
+    prefix_length: Optional[int] = None
+    prefix_length6: Optional[int] = None
+
+    def to_text(self) -> str:
+        q = self.qualifier.value if self.qualifier != Qualifier.PASS else ""
+        text = f"{q}{self.name}"
+        if self.value is not None:
+            text += f":{self.value}"
+        if self.prefix_length is not None:
+            text += f"/{self.prefix_length}"
+        if self.prefix_length6 is not None:
+            text += f"//{self.prefix_length6}"
+        return text
+
+
+@dataclass(frozen=True)
+class Modifier:
+    """One modifier term (``name=value``)."""
+
+    name: str
+    value: str
+
+    def to_text(self) -> str:
+        return f"{self.name}={self.value}"
+
+
+@dataclass
+class SpfRecord:
+    """A parsed SPF policy."""
+
+    mechanisms: List[Mechanism] = field(default_factory=list)
+    modifiers: List[Modifier] = field(default_factory=list)
+
+    @property
+    def redirect(self) -> Optional[str]:
+        for mod in self.modifiers:
+            if mod.name.lower() == "redirect":
+                return mod.value
+        return None
+
+    @property
+    def exp(self) -> Optional[str]:
+        for mod in self.modifiers:
+            if mod.name.lower() == "exp":
+                return mod.value
+        return None
+
+    def to_text(self) -> str:
+        terms = [m.to_text() for m in self.mechanisms] + [m.to_text() for m in self.modifiers]
+        return " ".join([SPF_VERSION_TAG] + terms)
+
+
+def looks_like_spf(text: str) -> bool:
+    """True if a TXT string is an SPF version-1 record (RFC 7208 4.5)."""
+    return text.lower() == SPF_VERSION_TAG or text.lower().startswith(SPF_VERSION_TAG + " ")
+
+
+def _parse_cidr_suffix(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
+    """Split a dual-CIDR suffix off a domain-spec."""
+    prefix6: Optional[int] = None
+    prefix4: Optional[int] = None
+    if "//" in spec:
+        spec, _, p6 = spec.partition("//")
+        if not p6.isdigit():
+            raise SpfSyntaxError(f"bad IPv6 prefix length: {p6!r}")
+        prefix6 = int(p6)
+        if prefix6 > 128:
+            raise SpfSyntaxError(f"IPv6 prefix length out of range: {prefix6}")
+    if "/" in spec:
+        spec, _, p4 = spec.partition("/")
+        if not p4.isdigit():
+            raise SpfSyntaxError(f"bad IPv4 prefix length: {p4!r}")
+        prefix4 = int(p4)
+        if prefix4 > 32:
+            raise SpfSyntaxError(f"IPv4 prefix length out of range: {prefix4}")
+    return spec, prefix4, prefix6
+
+
+def _parse_mechanism(term: str) -> Mechanism:
+    qualifier = Qualifier.PASS
+    if term and term[0] in "+-~?":
+        qualifier = Qualifier(term[0])
+        term = term[1:]
+    if not term:
+        raise SpfSyntaxError("empty mechanism after qualifier")
+
+    name, sep, value = term.partition(":")
+    name_lower = name.split("/")[0].lower()
+    if name_lower not in MECHANISM_NAMES:
+        raise SpfSyntaxError(f"unknown mechanism {name!r}")
+
+    if name_lower in ("ip4", "ip6"):
+        if not sep:
+            raise SpfSyntaxError(f"{name_lower} requires an address")
+        # Validate the literal now; evaluation just re-parses it.
+        try:
+            if "/" in value:
+                ipaddress.ip_network(value, strict=False)
+            else:
+                ipaddress.ip_address(value)
+        except ValueError as exc:
+            raise SpfSyntaxError(f"bad {name_lower} address {value!r}: {exc}") from exc
+        return Mechanism(name=name_lower, qualifier=qualifier, value=value)
+
+    if name_lower in ("include", "exists"):
+        if not sep or not value:
+            raise SpfSyntaxError(f"{name_lower} requires a domain-spec")
+        return Mechanism(name=name_lower, qualifier=qualifier, value=value)
+
+    if name_lower == "all":
+        if sep:
+            raise SpfSyntaxError("'all' takes no argument")
+        return Mechanism(name="all", qualifier=qualifier)
+
+    # a / mx / ptr, with optional domain-spec and dual-CIDR suffix.
+    if sep:
+        spec, p4, p6 = _parse_cidr_suffix(value)
+        return Mechanism(
+            name=name_lower, qualifier=qualifier, value=spec or None,
+            prefix_length=p4, prefix_length6=p6,
+        )
+    # No colon: any CIDR suffix rides on the name itself (e.g. "a/24").
+    spec, p4, p6 = _parse_cidr_suffix(name)
+    if spec.lower() != name_lower:
+        raise SpfSyntaxError(f"malformed mechanism {term!r}")
+    return Mechanism(name=name_lower, qualifier=qualifier, prefix_length=p4, prefix_length6=p6)
+
+
+def parse_record(text: str) -> SpfRecord:
+    """Parse an SPF record's text into an :class:`SpfRecord`.
+
+    Raises :class:`SpfSyntaxError` for anything RFC 7208 calls a
+    permerror-worthy syntax problem.
+    """
+    stripped = text.strip()
+    if not looks_like_spf(stripped):
+        raise SpfSyntaxError(f"not an SPF record: {text[:40]!r}")
+    record = SpfRecord()
+    seen_modifiers = set()
+    for term in stripped.split()[1:]:
+        # A modifier has '=' before any ':' — mechanisms never contain '='.
+        eq = term.find("=")
+        if eq > 0 and term[0] not in "+-~?" and (":" not in term or eq < term.index(":")):
+            name, value = term[:eq], term[eq + 1 :]
+            if not name.replace("-", "").replace("_", "").replace(".", "").isalnum():
+                raise SpfSyntaxError(f"bad modifier name {name!r}")
+            if name.lower() in ("redirect", "exp"):
+                if name.lower() in seen_modifiers:
+                    raise SpfSyntaxError(f"duplicate modifier {name!r}")
+                seen_modifiers.add(name.lower())
+                if not value:
+                    raise SpfSyntaxError(f"modifier {name!r} requires a value")
+            record.modifiers.append(Modifier(name=name, value=value))
+        else:
+            record.mechanisms.append(_parse_mechanism(term))
+    return record

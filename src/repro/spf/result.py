@@ -1,0 +1,45 @@
+"""SPF evaluation results (RFC 7208 section 2.6)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SpfResult(enum.Enum):
+    """The possible outcomes of ``check_host()``.
+
+    ``NONE``
+        No SPF record was found (or no checkable domain).
+    ``NEUTRAL``
+        The policy explicitly asserts nothing about the client (``?``).
+    ``PASS``
+        The client is authorized to send for the domain.
+    ``FAIL``
+        The client is *not* authorized (``-``).
+    ``SOFTFAIL``
+        The client is probably not authorized (``~``).
+    ``TEMPERROR``
+        A transient error (usually DNS) prevented evaluation.
+    ``PERMERROR``
+        The published policy could not be correctly interpreted.
+    """
+
+    NONE = "none"
+    NEUTRAL = "neutral"
+    PASS = "pass"
+    FAIL = "fail"
+    SOFTFAIL = "softfail"
+    TEMPERROR = "temperror"
+    PERMERROR = "permerror"
+
+    def is_definitive(self) -> bool:
+        """True for results that end mechanism processing."""
+        return self in (
+            SpfResult.PASS,
+            SpfResult.FAIL,
+            SpfResult.SOFTFAIL,
+            SpfResult.NEUTRAL,
+        )
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,182 @@
+"""Tests for the Figure 2-8 builders and the notification funnel."""
+
+import pytest
+
+from repro.analysis import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+    build_figure7,
+    build_figure8,
+    build_notification_funnel,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_notification_funnel,
+)
+from repro.clock import MEASUREMENTS_PAUSED
+
+
+class TestFigure2:
+    def test_groups_and_partition(self, session_sim):
+        rows = build_figure2(session_sim)
+        assert [r.group for r in rows][0] == "All domains"
+        for row in rows:
+            assert row.patched + row.vulnerable + row.unknown == row.total
+
+    def test_all_row_covers_initially_vulnerable(self, session_sim, session_result):
+        rows = build_figure2(session_sim)
+        assert rows[0].total == len(session_result.initial.vulnerable_domains())
+
+    def test_majority_remains_vulnerable(self, session_sim):
+        rows = build_figure2(session_sim)
+        all_row = rows[0]
+        assert all_row.vulnerable > all_row.patched  # the paper's 80% story
+
+    def test_render(self, session_sim):
+        assert "Figure 2" in render_figure2(build_figure2(session_sim))
+
+
+class TestFigure3:
+    def test_cell_totals_match_vulnerable_ips(self, session_sim, session_result):
+        figure = build_figure3(session_sim)
+        total = sum(cell.vulnerable for cell in figure.cells.values())
+        assert total == len(session_result.initial.vulnerable_ips())
+
+    def test_country_patch_rates_bounded(self, session_sim):
+        figure = build_figure3(session_sim)
+        for cell in figure.countries.values():
+            assert 0.0 <= cell.patch_rate <= 1.0
+            assert cell.patched <= cell.vulnerable
+
+    def test_render(self, session_sim):
+        assert "Figure 3" in render_figure3(build_figure3(session_sim))
+
+
+class TestFigure4:
+    def test_twenty_buckets(self, session_sim):
+        figure = build_figure4(session_sim)
+        assert len(figure.alexa) == 20
+        assert len(figure.two_week) == 20
+
+    def test_bucket_domains_sum_to_set_size(self, session_sim):
+        from repro.internet.population import DomainSet
+
+        figure = build_figure4(session_sim)
+        assert sum(b.domains for b in figure.alexa) == session_sim.population.set_size(
+            DomainSet.ALEXA_TOP_LIST
+        )
+
+    def test_patched_subset_of_vulnerable(self, session_sim):
+        figure = build_figure4(session_sim)
+        for bucket in figure.alexa + figure.two_week:
+            assert bucket.patched <= bucket.vulnerable <= bucket.domains
+
+    def test_render(self, session_sim):
+        assert "rank" in render_figure4(build_figure4(session_sim))
+
+
+class TestFigure5:
+    def test_one_point_per_round(self, session_sim, session_result):
+        figure = build_figure5(session_sim)
+        assert len(figure.series) == len(session_result.rounds)
+
+    def test_counts_partition(self, session_sim):
+        figure = build_figure5(session_sim)
+        for point in figure.series:
+            assert point.measured + point.inferred + point.inconclusive == point.total
+
+    def test_inconclusive_grows_over_time(self, session_sim):
+        """Blacklisting/moves make late rounds less conclusive (Figure 5's
+        widening gap)."""
+        figure = build_figure5(session_sim)
+        first, last = figure.series[0], figure.series[-1]
+        assert last.inconclusive >= first.inconclusive
+
+    def test_render(self, session_sim):
+        assert "Conclusive" in render_figure5(build_figure5(session_sim))
+
+
+class TestFigures6And7:
+    def test_figure6_restricted_to_window1(self, session_sim):
+        figure = build_figure6(session_sim)
+        for series in figure.series:
+            assert all(p.date <= MEASUREMENTS_PAUSED for p in series.points)
+
+    def test_figure7_covers_both_windows(self, session_sim):
+        figure = build_figure7(session_sim)
+        dates = [p.date for p in figure.series[0].points]
+        assert dates[0] <= MEASUREMENTS_PAUSED < dates[-1]
+
+    def test_vulnerability_rates_monotone_nonincreasing(self, session_sim):
+        """No regressions: the vulnerable fraction can only fall."""
+        figure = build_figure7(session_sim)
+        for series in figure.series:
+            rates = [
+                p.vulnerable / (p.vulnerable + p.patched)
+                for p in series.points
+                if p.vulnerable + p.patched
+            ]
+            assert all(b <= a + 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_final_fraction_near_80_percent(self, session_sim):
+        figure = build_figure7(session_sim)
+        assert 0.6 < figure.final_vulnerable_fraction() <= 1.0
+
+    def test_renders(self, session_sim):
+        assert "Figure 6" in render_figure6(build_figure6(session_sim))
+        assert "Figure 7" in render_figure7(build_figure7(session_sim))
+
+
+class TestFigure8:
+    def test_restricted_to_alexa_1000(self, session_sim, session_result):
+        from repro.internet.population import DomainSet
+
+        figure = build_figure8(session_sim)
+        top_names = {
+            d.name
+            for d in session_sim.population.in_set(DomainSet.ALEXA_1000)
+        }
+        vulnerable_top = [
+            n for n in session_result.initial.vulnerable_domains() if n in top_names
+        ]
+        assert figure.initially_vulnerable == len(vulnerable_top)
+
+    def test_snapshot_partition(self, session_sim):
+        figure = build_figure8(session_sim)
+        assert (
+            figure.snapshot_patched
+            + figure.snapshot_vulnerable
+            + figure.snapshot_unknown
+            == figure.initially_vulnerable
+        )
+
+    def test_render(self, session_sim):
+        assert "Top 1000" in render_figure8(build_figure8(session_sim))
+
+
+class TestNotificationFunnel:
+    def test_funnel_consistency(self, session_sim):
+        funnel = build_notification_funnel(session_sim)
+        assert funnel is not None
+        assert funnel.delivered + funnel.bounced == funnel.sent
+        assert funnel.opened <= funnel.delivered
+        assert funnel.openers_patched_before_disclosure <= funnel.openers_patched_eventually
+
+    def test_private_notification_weakly_effective(self, session_sim):
+        """The paper's core finding: patching between private and public
+        disclosure among openers is rare."""
+        funnel = build_notification_funnel(session_sim)
+        if funnel.opened:
+            assert funnel.openers_patched_before_disclosure / funnel.opened < 0.3
+
+    def test_render(self, session_sim):
+        assert "funnel" in render_notification_funnel(
+            build_notification_funnel(session_sim)
+        )

@@ -1,0 +1,75 @@
+"""Tests for the paper-target scorecard, report, and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all
+from repro.analysis.paper_targets import PAPER_TARGETS, evaluate_targets
+from repro.analysis.report import generate_report, targets_all_within_band
+
+
+class TestPaperTargets:
+    def test_every_target_measurable(self, session_sim):
+        results = evaluate_targets(session_sim)
+        assert len(results) == len(PAPER_TARGETS)
+        for item in results:
+            assert item.measured is not None, item.target.key
+
+    def test_paper_values_inside_their_own_bands(self):
+        for target in PAPER_TARGETS:
+            low, high = target.band
+            assert low <= target.paper_value <= high, target.key
+
+    def test_all_targets_within_band_on_reference_run(self, session_sim):
+        """The acceptance check: the reference seed reproduces every
+        encoded claim within tolerance."""
+        failing = [
+            (r.target.key, r.measured)
+            for r in evaluate_targets(session_sim)
+            if not r.within_band
+        ]
+        assert failing == []
+
+    def test_keys_unique(self):
+        keys = [t.key for t in PAPER_TARGETS]
+        assert len(keys) == len(set(keys))
+
+
+class TestReport:
+    def test_report_contains_scorecard_and_artifacts(self, session_sim):
+        report = generate_report(session_sim)
+        assert "Paper-target scorecard" in report
+        assert "Table 4" in report
+        assert "Figure 7" in report
+        assert "Run provenance" in report
+        # One scorecard row per target.
+        assert report.count("| ") >= len(PAPER_TARGETS)
+
+    def test_targets_all_within_band_helper(self, session_sim):
+        assert targets_all_within_band(session_sim)
+
+
+class TestCsvExport:
+    def test_every_exporter_produces_parsable_csv(self, session_sim):
+        for name, exporter in EXPORTERS.items():
+            text = exporter(session_sim)
+            rows = list(csv.reader(io.StringIO(text)))
+            assert len(rows) >= 1, name
+            header = rows[0]
+            for row in rows[1:]:
+                assert len(row) == len(header), name
+
+    def test_figure5_csv_has_one_row_per_round(self, session_sim, session_result):
+        from repro.analysis.export import figure5_csv
+
+        rows = list(csv.reader(io.StringIO(figure5_csv(session_sim))))
+        assert len(rows) - 1 == len(session_result.rounds)
+
+    def test_export_all_writes_files(self, session_sim, tmp_path):
+        written = export_all(session_sim, tmp_path / "csv")
+        assert set(written) == set(EXPORTERS)
+        for path in written.values():
+            assert path.exists()
+            assert path.read_text().strip()

@@ -1,0 +1,196 @@
+"""Tests for the Table 1-7 builders, against the session campaign."""
+
+import pytest
+
+from repro.analysis import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    build_table6,
+    build_table7,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+)
+from repro.core.fingerprint import ExpansionBehavior
+from repro.internet.population import DomainSet
+
+
+class TestTable1:
+    def test_diagonal_is_set_size(self, session_sim):
+        rows = build_table1(session_sim.population)
+        for row in rows:
+            assert row.cells[row.row_set] == row.row_size
+
+    def test_alexa1000_fully_inside_top_list(self, session_sim):
+        rows = {r.row_set: r for r in build_table1(session_sim.population)}
+        assert rows["Alexa 1000"].cells["Alexa Top List"] == rows["Alexa 1000"].row_size
+
+    def test_render(self, session_sim):
+        text = render_table1(build_table1(session_sim.population))
+        assert "Table 1" in text
+        assert "2-Week MX" in text
+
+
+class TestTable2:
+    def test_com_tops_both_columns(self, session_sim):
+        rows = build_table2(session_sim.population)
+        assert rows[0].alexa_tld == "com"
+        assert rows[0].two_week_tld == "com"
+
+    def test_counts_descending(self, session_sim):
+        rows = build_table2(session_sim.population)
+        alexa_counts = [r.alexa_count for r in rows if r.alexa_tld]
+        assert alexa_counts == sorted(alexa_counts, reverse=True)
+
+    def test_row_count(self, session_sim):
+        assert len(build_table2(session_sim.population, top=15)) == 15
+
+    def test_render(self, session_sim):
+        assert "Table 2" in render_table2(build_table2(session_sim.population))
+
+
+class TestTable3:
+    @pytest.fixture()
+    def columns(self, session_sim, session_result):
+        return build_table3(session_sim.population, session_result.initial)
+
+    def test_three_groups(self, columns):
+        assert [c.group for c in columns] == [
+            "Alexa Top List", "2-Week MX", "Top Email Providers",
+        ]
+
+    def test_ip_buckets_partition(self, columns):
+        for column in columns:
+            b = column.addresses
+            assert b.refused + b.nomsg_tested == b.total
+            assert (
+                b.nomsg_failure + b.nomsg_measured + b.nomsg_not_measured
+                == b.nomsg_tested
+            )
+            assert b.blankmsg_tested == b.nomsg_not_measured
+            assert (
+                b.blankmsg_failure + b.blankmsg_measured + b.blankmsg_not_measured
+                == b.blankmsg_tested
+            )
+            assert b.total_measured == b.nomsg_measured + b.blankmsg_measured
+
+    def test_domain_measured_share_exceeds_ip_share(self, columns):
+        alexa = columns[0]
+        ip_share = alexa.addresses.total_measured / alexa.addresses.total
+        domain_share = alexa.domains.total_measured / alexa.domains.total
+        assert domain_share > ip_share  # the paper's hosting-size effect
+
+    def test_providers_never_refused(self, columns):
+        providers = columns[2]
+        assert providers.addresses.refused == 0
+        assert providers.domains.total == 20
+
+    def test_render(self, columns):
+        text = render_table3(columns)
+        assert "NoMsg" in text and "BlankMsg" in text
+
+
+class TestTable4:
+    @pytest.fixture()
+    def rows(self, session_sim, session_result):
+        return build_table4(session_sim.population, session_result.initial)
+
+    def test_groups(self, rows):
+        assert [r.group for r in rows] == ["Alexa Top List", "2-Week MX", "Combined"]
+
+    def test_ip_counts_partition(self, rows):
+        for row in rows:
+            assert (
+                row.ips_vulnerable + row.ips_erroneous + row.ips_compliant
+                == row.ips_measured
+            )
+
+    def test_vulnerable_share_near_paper(self, rows):
+        combined = rows[-1]
+        share = combined.ips_vulnerable / combined.ips_measured
+        assert 0.08 < share < 0.30  # paper: ~1 in 6
+
+    def test_domain_vulnerable_share_below_ip_share(self, rows):
+        alexa = rows[0]
+        ip_share = alexa.ips_vulnerable / alexa.ips_measured
+        domain_share = alexa.domains_vulnerable / alexa.domains_measured
+        assert domain_share < ip_share  # paper: 8.7% vs 17%
+
+    def test_render(self, rows):
+        assert "Erroneous" in render_table4(rows)
+
+
+class TestTable5:
+    def test_structure(self, session_sim):
+        table = build_table5(session_sim)
+        assert len(table.best) <= 5 and len(table.worst) <= 5
+        for row in table.best + table.worst:
+            assert row.initially_vulnerable >= table.threshold
+            assert 0 <= row.patched <= row.initially_vulnerable
+
+    def test_best_outranks_worst(self, session_sim):
+        table = build_table5(session_sim)
+        if table.best and table.worst:
+            assert table.best[0].patch_rate >= table.worst[-1].patch_rate
+
+    def test_render(self, session_sim):
+        assert "Patched" in render_table5(build_table5(session_sim))
+
+
+class TestTable6:
+    def test_rows_match_paper(self):
+        rows = {r.manager: r for r in build_table6()}
+        assert rows["Debian"].days_20314 == 0
+        assert rows["Debian"].days_33912 == 1
+        assert rows["RedHat"].folded
+        assert rows["Ubuntu"].days_33912 is None
+
+    def test_sorted_by_first_cve_response(self):
+        rows = build_table6()
+        patched = [r for r in rows if r.days_20314 is not None]
+        assert [r.days_20314 for r in patched] == sorted(r.days_20314 for r in patched)
+        assert all(r.days_20314 is not None for r in rows[: len(patched)])
+
+    def test_render_has_footnote(self):
+        text = render_table6(build_table6())
+        assert "Unpatched" in text
+        assert "*Patches included" in text
+
+
+class TestTable7:
+    @pytest.fixture()
+    def table(self, session_result):
+        return build_table7(session_result.initial)
+
+    def test_total_matches_measured(self, session_result, table):
+        measured = sum(
+            1
+            for r in session_result.initial.ip_records.values()
+            if r.outcome.spf_measured
+        )
+        assert table.total_measured == measured
+
+    def test_compliant_dominates(self, table):
+        counts = table.behavior_counts
+        assert counts[ExpansionBehavior.RFC_COMPLIANT] == max(counts.values())
+
+    def test_vulnerable_present(self, table):
+        assert table.behavior_counts[ExpansionBehavior.VULNERABLE_LIBSPF2] > 0
+
+    def test_multiple_patterns_counted(self, session_result, table):
+        expected = sum(
+            1
+            for r in session_result.initial.ip_records.values()
+            if r.outcome.spf_measured and len(r.behaviors) > 1
+        )
+        assert table.multiple_patterns == expected
+
+    def test_render(self, table):
+        assert "libSPF2" in render_table7(table)

@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+The expensive artifacts — a fully built simulation and a completed
+campaign — are session-scoped: many test modules assert different
+properties of the same run, which both mirrors how the paper's analysis
+reuses one measurement and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.simulation import Simulation
+from repro.smtp import Network, SmtpClient, SmtpServer, SpfStack, SpfTiming
+
+BASE = "spf-test.dns-lab.org"
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture()
+def measurement_dns(clock):
+    """(responder, caching resolver) for the measurement zone."""
+    responder = SpfTestResponder(Name.from_text(BASE))
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register(BASE, responder)
+    return responder, resolver
+
+
+def make_server(ip, behavior, timing, resolver, clock, **policy_kwargs):
+    """One simulated MTA with a single SPF stack."""
+    from repro.smtp.policies import ServerPolicy
+
+    stacks = [] if behavior is None else [SpfStack.named(behavior, timing)]
+    return SmtpServer(
+        ip,
+        policy=ServerPolicy(**policy_kwargs) if policy_kwargs else None,
+        spf_stacks=stacks,
+        resolver=StubResolver(resolver, identity=ip, clock=lambda: clock.now),
+    )
+
+
+@pytest.fixture()
+def mini_network(clock, measurement_dns):
+    """A network with one server per SPF behavior, plus special servers."""
+    responder, resolver = measurement_dns
+    network = Network(clock=lambda: clock.now)
+    behaviors = {
+        "10.0.0.1": "vulnerable-libspf2",
+        "10.0.0.2": "rfc-compliant",
+        "10.0.0.3": "patched-libspf2",
+        "10.0.0.4": "no-expansion",
+        "10.0.0.5": "reversed-not-truncated",
+        "10.0.0.6": "truncated-not-reversed",
+        "10.0.0.7": "static-expansion",
+    }
+    for ip, behavior in behaviors.items():
+        network.register(
+            make_server(ip, behavior, SpfTiming.ON_MAIL_FROM, resolver, clock)
+        )
+    return network, responder, resolver
+
+
+@pytest.fixture(scope="session")
+def session_sim():
+    """One fully run campaign shared by analysis/shape tests."""
+    sim = Simulation.build(scale=0.01, seed=20211011)
+    sim.run()
+    return sim
+
+
+@pytest.fixture(scope="session")
+def session_result(session_sim):
+    return session_sim.run()

@@ -1,0 +1,222 @@
+"""Tests for the per-server vulnerability detector."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.detector import (
+    DetectionOutcome,
+    ProbeMethod,
+    PROBE_USERNAMES,
+    VulnerabilityDetector,
+)
+from repro.core.fingerprint import ExpansionBehavior
+from repro.core.labels import LabelAllocator
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.smtp.client import SmtpClient
+from repro.smtp.policies import (
+    FailureStage,
+    GreylistPolicy,
+    RecipientPolicy,
+    ServerPolicy,
+    SpfTiming,
+)
+from repro.smtp.server import SmtpServer, SpfStack
+from repro.smtp.transport import Network
+
+BASE = "spf-test.dns-lab.org"
+
+
+@pytest.fixture()
+def env():
+    clock = SimulatedClock()
+    responder = SpfTestResponder(Name.from_text(BASE))
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register(BASE, responder)
+    network = Network(clock=lambda: clock.now)
+    labels = LabelAllocator(Name.from_text(BASE))
+    detector = VulnerabilityDetector(
+        SmtpClient(network),
+        responder,
+        labels,
+        wait=lambda seconds: clock.advance_seconds(seconds),
+        now=lambda: clock.now,
+    )
+    return clock, responder, resolver, network, detector, labels
+
+
+def add_server(env, ip, behavior=None, timing=SpfTiming.ON_MAIL_FROM, policy=None):
+    clock, responder, resolver, network, detector, labels = env
+    stacks = [] if behavior is None else [SpfStack.named(behavior, timing)]
+    server = SmtpServer(
+        ip,
+        policy=policy,
+        spf_stacks=stacks,
+        resolver=StubResolver(resolver, identity=ip, clock=lambda: clock.now),
+    )
+    network.register(server)
+    return server
+
+
+def detect(env, ip, **kwargs):
+    detector, labels = env[4], env[5]
+    suite = labels.new_suite()
+    return detector.detect(ip, suite, **kwargs)
+
+
+class TestOutcomes:
+    def test_vulnerable_server_detected(self, env):
+        add_server(env, "10.0.0.1", "vulnerable-libspf2")
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.VULNERABLE
+        assert result.is_vulnerable
+        assert ExpansionBehavior.VULNERABLE_LIBSPF2 in result.behaviors
+        assert result.successful_method == ProbeMethod.NOMSG
+
+    def test_compliant_server(self, env):
+        add_server(env, "10.0.0.1", "rfc-compliant")
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.COMPLIANT
+        assert not result.is_vulnerable
+
+    @pytest.mark.parametrize(
+        "behavior",
+        ["no-expansion", "reversed-not-truncated", "truncated-not-reversed",
+         "static-expansion"],
+    )
+    def test_erroneous_variants(self, env, behavior):
+        add_server(env, "10.0.0.1", behavior)
+        assert detect(env, "10.0.0.1").outcome == DetectionOutcome.ERRONEOUS
+
+    def test_refused_server(self, env):
+        add_server(env, "10.0.0.1", policy=ServerPolicy(refuse_connections=True))
+        assert detect(env, "10.0.0.1").outcome == DetectionOutcome.REFUSED
+
+    def test_absent_server_refused(self, env):
+        assert detect(env, "10.255.0.1").outcome == DetectionOutcome.REFUSED
+
+    def test_smtp_failure(self, env):
+        add_server(env, "10.0.0.1", policy=ServerPolicy(failure_stage=FailureStage.BANNER))
+        assert detect(env, "10.0.0.1").outcome == DetectionOutcome.SMTP_FAILED
+
+    def test_no_spf_after_both_methods(self, env):
+        add_server(env, "10.0.0.1")  # accepts everything, never validates
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.NO_SPF
+        assert set(result.method_outcomes) == {ProbeMethod.NOMSG, ProbeMethod.BLANKMSG}
+
+    def test_spf_measured_flag(self, env):
+        add_server(env, "10.0.0.1", "rfc-compliant")
+        assert detect(env, "10.0.0.1").outcome.spf_measured
+        add_server(env, "10.0.0.2")
+        assert not detect(env, "10.0.0.2").outcome.spf_measured
+
+
+class TestBlankMsgFallback:
+    def test_deferred_validator_needs_blankmsg(self, env):
+        add_server(env, "10.0.0.1", "vulnerable-libspf2", SpfTiming.AFTER_MESSAGE)
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.VULNERABLE
+        assert result.successful_method == ProbeMethod.BLANKMSG
+        assert result.method_outcomes[ProbeMethod.NOMSG] == DetectionOutcome.NO_SPF
+
+    def test_preferred_method_short_circuits(self, env):
+        _, responder, *_ = env
+        add_server(env, "10.0.0.1", "rfc-compliant", SpfTiming.AFTER_MESSAGE)
+        result = detect(env, "10.0.0.1", preferred_method=ProbeMethod.BLANKMSG)
+        assert result.outcome == DetectionOutcome.COMPLIANT
+        assert list(result.method_outcomes) == [ProbeMethod.BLANKMSG]
+        assert len(result.test_ids) == 1
+
+    def test_message_stage_failure_counts_as_blankmsg_failure(self, env):
+        add_server(env, "10.0.0.1", policy=ServerPolicy(failure_stage=FailureStage.MESSAGE))
+        result = detect(env, "10.0.0.1")
+        assert result.method_outcomes[ProbeMethod.NOMSG] == DetectionOutcome.NO_SPF
+        assert result.method_outcomes[ProbeMethod.BLANKMSG] == DetectionOutcome.SMTP_FAILED
+
+
+class TestUsernameIteration:
+    def test_walks_username_list_until_accepted(self, env):
+        policy = ServerPolicy(
+            recipients=RecipientPolicy(
+                accept_any=False, accepted_usernames=frozenset({"postmaster"})
+            )
+        )
+        server = add_server(
+            env, "10.0.0.1", "rfc-compliant", SpfTiming.AFTER_MESSAGE, policy=policy
+        )
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.COMPLIANT
+        # postmaster is the 5th recipient username tried.
+        recipients = [t.recipient.split("@")[0] for t in result.transactions]
+        assert "postmaster" in recipients
+        assert recipients[0] == "mmj7yzdm0tbk"
+
+    def test_random_username_tried_first(self, env):
+        add_server(env, "10.0.0.1", "rfc-compliant")
+        result = detect(env, "10.0.0.1")
+        assert result.transactions[0].sender.startswith(PROBE_USERNAMES[0] + "@")
+
+    def test_all_usernames_rejected_is_failure(self, env):
+        policy = ServerPolicy(recipients=RecipientPolicy(accept_any=False))
+        add_server(env, "10.0.0.1", policy=policy)
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.SMTP_FAILED
+        assert len(result.transactions) == len(PROBE_USERNAMES)
+
+    def test_spf_at_mail_from_conclusive_despite_rcpt_rejection(self, env):
+        """The paper's observation: many conclusive NoMsg results came
+        from transactions that were rejected before completing."""
+        policy = ServerPolicy(recipients=RecipientPolicy(accept_any=False))
+        add_server(env, "10.0.0.1", "vulnerable-libspf2", policy=policy)
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.VULNERABLE
+        assert len(result.transactions) == 1  # no username iteration needed
+
+
+class TestGreylisting:
+    def test_greylisted_server_retried_and_measured(self, env):
+        clock = env[0]
+        policy = ServerPolicy(
+            greylist=GreylistPolicy(enabled=True, retry_after_seconds=300)
+        )
+        add_server(env, "10.0.0.1", "rfc-compliant", SpfTiming.AFTER_MESSAGE, policy=policy)
+        start = clock.now
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.COMPLIANT
+        # The 8-minute greylist wait was honored on the simulated clock.
+        assert (clock.now - start).total_seconds() >= 480
+
+    def test_persistent_greylisting_gives_up(self, env):
+        policy = ServerPolicy(
+            greylist=GreylistPolicy(enabled=True, retry_after_seconds=10**9)
+        )
+        add_server(env, "10.0.0.1", policy=policy)
+        result = detect(env, "10.0.0.1")
+        assert result.outcome == DetectionOutcome.SMTP_FAILED
+
+
+class TestEthicsIntegration:
+    def test_reconnects_spaced_90_seconds(self, env):
+        clock, detector = env[0], env[4]
+        policy = ServerPolicy(recipients=RecipientPolicy(accept_any=False))
+        add_server(env, "10.0.0.1", policy=policy)
+        start = clock.now
+        result = detect(env, "10.0.0.1")
+        elapsed = (clock.now - start).total_seconds()
+        # 14 usernames, each retry spaced >= 90 simulated seconds.
+        assert elapsed >= 13 * 90
+
+    def test_multiple_patterns_reported(self, env):
+        clock, responder, resolver, network, detector, labels = env
+        server = SmtpServer(
+            "10.0.0.9",
+            spf_stacks=[
+                SpfStack.named("vulnerable-libspf2", SpfTiming.ON_MAIL_FROM),
+                SpfStack.named("rfc-compliant", SpfTiming.ON_MAIL_FROM),
+            ],
+            resolver=StubResolver(resolver, identity="10.0.0.9", clock=lambda: clock.now),
+        )
+        network.register(server)
+        result = detect(env, "10.0.0.9")
+        assert result.multiple_patterns
+        assert result.outcome == DetectionOutcome.VULNERABLE  # vulnerable wins

@@ -1,0 +1,144 @@
+"""Tests for expansion-prefix classification (the detection core)."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import (
+    ExpansionBehavior,
+    classify_prefix,
+    classify_prefixes,
+    expected_prefixes,
+)
+from repro.dns.name import Name
+from repro.spf.implementations import behavior_by_name
+from repro.spf.macro import MacroContext
+
+BASE = Name.from_text("spf-test.dns-lab.org")
+SUITE = "s1"
+TEST_ID = "ab1"
+
+
+def prefix(text):
+    return Name.from_text(text)
+
+
+class TestExpectedPrefixes:
+    def test_section_4_2_example_shape(self):
+        expected = expected_prefixes(TEST_ID, SUITE, BASE)
+        assert expected[ExpansionBehavior.RFC_COMPLIANT] == ["ab1"]
+        assert expected[ExpansionBehavior.VULNERABLE_LIBSPF2] == [
+            "org", "org", "dns-lab", "spf-test", "s1", "ab1",
+        ]
+        assert expected[ExpansionBehavior.REVERSED_NOT_TRUNCATED] == [
+            "org", "dns-lab", "spf-test", "s1", "ab1",
+        ]
+        assert expected[ExpansionBehavior.TRUNCATED_NOT_REVERSED] == ["org"]
+        assert expected[ExpansionBehavior.NO_EXPANSION] == ["%{d1r}"]
+
+    def test_expected_prefixes_all_distinct(self):
+        expected = expected_prefixes(TEST_ID, SUITE, BASE)
+        as_tuples = [tuple(v) for v in expected.values()]
+        assert len(set(as_tuples)) == len(as_tuples)
+
+
+class TestClassifyPrefix:
+    @pytest.mark.parametrize(
+        "text,behavior",
+        [
+            ("ab1", ExpansionBehavior.RFC_COMPLIANT),
+            ("org.org.dns-lab.spf-test.s1.ab1", ExpansionBehavior.VULNERABLE_LIBSPF2),
+            ("org.dns-lab.spf-test.s1.ab1", ExpansionBehavior.REVERSED_NOT_TRUNCATED),
+            ("org", ExpansionBehavior.TRUNCATED_NOT_REVERSED),
+            ("%{d1r}", ExpansionBehavior.NO_EXPANSION),
+            ("unknown", ExpansionBehavior.OTHER_ERRONEOUS),
+            ("com.example", ExpansionBehavior.OTHER_ERRONEOUS),
+        ],
+    )
+    def test_classification(self, text, behavior):
+        assert classify_prefix(prefix(text), TEST_ID, SUITE, BASE) == behavior
+
+    def test_control_mechanism_ignored(self):
+        assert classify_prefix(prefix("b"), TEST_ID, SUITE, BASE) is None
+
+    def test_case_insensitive(self):
+        assert (
+            classify_prefix(prefix("AB1"), TEST_ID, SUITE, BASE)
+            == ExpansionBehavior.RFC_COMPLIANT
+        )
+
+    def test_vulnerability_flags(self):
+        assert ExpansionBehavior.VULNERABLE_LIBSPF2.is_vulnerable
+        assert ExpansionBehavior.VULNERABLE_LIBSPF2.is_erroneous
+        assert not ExpansionBehavior.RFC_COMPLIANT.is_erroneous
+        assert ExpansionBehavior.NO_EXPANSION.is_erroneous
+        assert not ExpansionBehavior.NO_EXPANSION.is_vulnerable
+
+
+class TestClassifyPrefixes:
+    def test_multiple_patterns_collected(self):
+        behaviors = classify_prefixes(
+            [prefix("ab1"), prefix("org.org.dns-lab.spf-test.s1.ab1"), prefix("b")],
+            TEST_ID, SUITE, BASE,
+        )
+        assert behaviors == {
+            ExpansionBehavior.RFC_COMPLIANT,
+            ExpansionBehavior.VULNERABLE_LIBSPF2,
+        }
+
+    def test_duplicates_collapse(self):
+        behaviors = classify_prefixes(
+            [prefix("ab1")] * 5, TEST_ID, SUITE, BASE
+        )
+        assert behaviors == {ExpansionBehavior.RFC_COMPLIANT}
+
+    def test_only_control_queries_is_empty(self):
+        assert classify_prefixes([prefix("b")], TEST_ID, SUITE, BASE) == set()
+
+
+class TestEndToEndAgainstImplementations:
+    """The classifier must recover each implementation's identity from the
+    actual expansion that implementation produces."""
+
+    MAPPING = {
+        "rfc-compliant": ExpansionBehavior.RFC_COMPLIANT,
+        "patched-libspf2": ExpansionBehavior.RFC_COMPLIANT,
+        "vulnerable-libspf2": ExpansionBehavior.VULNERABLE_LIBSPF2,
+        "no-expansion": ExpansionBehavior.NO_EXPANSION,
+        "reversed-not-truncated": ExpansionBehavior.REVERSED_NOT_TRUNCATED,
+        "truncated-not-reversed": ExpansionBehavior.TRUNCATED_NOT_REVERSED,
+        "static-expansion": ExpansionBehavior.OTHER_ERRONEOUS,
+    }
+
+    @pytest.mark.parametrize("impl_name,expected", sorted(MAPPING.items()))
+    def test_implementation_recovered(self, impl_name, expected):
+        domain = f"{TEST_ID}.{SUITE}.{BASE}"
+        ctx = MacroContext(
+            sender=f"noreply@{domain}",
+            domain=domain,
+            client_ip=ipaddress.IPv4Address("198.51.100.7"),
+        )
+        behavior = behavior_by_name(impl_name)
+        expansion = behavior.expand_domain_spec("%{d1r}", ctx).output
+        observed = classify_prefix(
+            Name.from_text(expansion), TEST_ID, SUITE, BASE
+        )
+        assert observed == expected
+
+
+id_st = st.text(alphabet="abcdefghij0123456789", min_size=4, max_size=5)
+
+
+class TestProperties:
+    @given(id_st)
+    def test_expected_prefixes_classify_to_themselves(self, test_id):
+        expected = expected_prefixes(test_id, SUITE, BASE)
+        for behavior, labels in expected.items():
+            observed = classify_prefix(Name(labels), test_id, SUITE, BASE)
+            assert observed == behavior
+
+    @given(id_st, st.lists(st.sampled_from("abcxyz"), min_size=1, max_size=4))
+    def test_random_garbage_is_other_erroneous_or_known(self, test_id, labels):
+        observed = classify_prefix(Name(labels), test_id, SUITE, BASE)
+        assert observed is None or isinstance(observed, ExpansionBehavior)

@@ -1,0 +1,242 @@
+"""Tests for the inference rules (paper Section 7.6)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import utc
+from repro.core.campaign import (
+    DomainStatus,
+    InitialMeasurement,
+    IpInitialRecord,
+    MeasurementRound,
+)
+from repro.core.detector import DetectionOutcome, DetectionResult
+from repro.core.inference import (
+    InferenceEngine,
+    InferredStatus,
+    IpTimeline,
+    Provenance,
+)
+
+T0 = utc(2021, 10, 11)
+R1 = utc(2021, 10, 26)
+R2 = utc(2021, 10, 28)
+R3 = utc(2021, 10, 30)
+R4 = utc(2021, 11, 1)
+
+
+def make_initial(vulnerable_ips, domain_ips):
+    records = {}
+    for ips in domain_ips.values():
+        for ip in ips:
+            outcome = (
+                DetectionOutcome.VULNERABLE
+                if ip in vulnerable_ips
+                else DetectionOutcome.COMPLIANT
+            )
+            records[ip] = IpInitialRecord(
+                ip=ip,
+                result=DetectionResult(ip=ip, suite="s", outcome=outcome),
+            )
+    status = {
+        name: (
+            DomainStatus.VULNERABLE
+            if any(ip in vulnerable_ips for ip in ips)
+            else DomainStatus.NOT_VULNERABLE
+        )
+        for name, ips in domain_ips.items()
+    }
+    return InitialMeasurement(
+        date=T0, domain_ips=domain_ips, ip_records=records, domain_status=status
+    )
+
+
+def rounds(*specs):
+    """specs: (date, {ip: outcome})"""
+    return [MeasurementRound(date=date, results=dict(res)) for date, res in specs]
+
+
+class TestIpTimeline:
+    def test_rule1_vulnerable_inferred_backwards(self):
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R3, DetectionOutcome.VULNERABLE)
+        status, provenance = timeline.status_at(R1)
+        assert status == InferredStatus.VULNERABLE
+        assert provenance == Provenance.INFERRED
+
+    def test_rule2_patched_inferred_forwards(self):
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R1, DetectionOutcome.COMPLIANT)
+        status, provenance = timeline.status_at(R4)
+        assert status == InferredStatus.PATCHED
+        assert provenance == Provenance.INFERRED
+
+    def test_measured_beats_inferred(self):
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R1, DetectionOutcome.VULNERABLE)
+        timeline.observe(R3, DetectionOutcome.VULNERABLE)
+        status, provenance = timeline.status_at(R1)
+        assert provenance == Provenance.MEASURED
+
+    def test_gap_between_vulnerable_and_patched_inconclusive(self):
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R1, DetectionOutcome.VULNERABLE)
+        timeline.observe(R4, DetectionOutcome.COMPLIANT)
+        status, provenance = timeline.status_at(R2)
+        assert status == InferredStatus.INCONCLUSIVE
+
+    def test_erroneous_counts_as_patched(self):
+        # Switching to a different (broken but not vulnerable) SPF library
+        # still ends vulnerability.
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R2, DetectionOutcome.ERRONEOUS)
+        status, _ = timeline.status_at(R3)
+        assert status == InferredStatus.PATCHED
+
+    def test_unmeasured_rounds_with_no_observations(self):
+        timeline = IpTimeline("10.0.0.1")
+        status, provenance = timeline.status_at(R1)
+        assert status == InferredStatus.INCONCLUSIVE
+        assert provenance == Provenance.NONE
+
+    def test_failed_round_is_not_an_observation(self):
+        timeline = IpTimeline("10.0.0.1")
+        timeline.observe(R1, DetectionOutcome.VULNERABLE)
+        timeline.observe(R2, DetectionOutcome.SMTP_FAILED)
+        status, provenance = timeline.status_at(R2)
+        # Falls back to rule 1 via the *later*... no later vulnerable here,
+        # so only the R1 observation bounds it: R2 is past last_vulnerable.
+        assert status == InferredStatus.INCONCLUSIVE
+
+
+class TestEngineIpLevel:
+    def test_initial_measurement_seeds_timelines(self):
+        initial = make_initial({"10.0.0.1"}, {"a.com": ["10.0.0.1"]})
+        engine = InferenceEngine(initial, [])
+        status, _ = engine.ip_status("10.0.0.1", T0)
+        assert status == InferredStatus.VULNERABLE
+
+    def test_untracked_ip_inconclusive(self):
+        initial = make_initial({"10.0.0.1"}, {"a.com": ["10.0.0.1"]})
+        engine = InferenceEngine(initial, [])
+        status, _ = engine.ip_status("10.9.9.9", T0)
+        assert status == InferredStatus.INCONCLUSIVE
+
+    def test_round_observations_applied(self):
+        initial = make_initial({"10.0.0.1"}, {"a.com": ["10.0.0.1"]})
+        engine = InferenceEngine(
+            initial,
+            rounds(
+                (R1, {"10.0.0.1": DetectionOutcome.VULNERABLE}),
+                (R2, {"10.0.0.1": DetectionOutcome.COMPLIANT}),
+            ),
+        )
+        assert engine.ip_status("10.0.0.1", R1)[0] == InferredStatus.VULNERABLE
+        assert engine.ip_status("10.0.0.1", R2)[0] == InferredStatus.PATCHED
+        assert engine.ip_status("10.0.0.1", R3)[0] == InferredStatus.PATCHED
+
+
+class TestEngineDomainLevel:
+    def setup_engine(self):
+        initial = make_initial(
+            {"10.0.0.1", "10.0.0.2"},
+            {"a.com": ["10.0.0.1", "10.0.0.2"], "b.com": ["10.0.0.2"]},
+        )
+        return InferenceEngine(
+            initial,
+            rounds(
+                (R1, {
+                    "10.0.0.1": DetectionOutcome.COMPLIANT,
+                    "10.0.0.2": DetectionOutcome.VULNERABLE,
+                }),
+                (R2, {
+                    "10.0.0.1": DetectionOutcome.COMPLIANT,
+                    "10.0.0.2": DetectionOutcome.COMPLIANT,
+                }),
+            ),
+        )
+
+    def test_domain_vulnerable_while_any_ip_vulnerable(self):
+        engine = self.setup_engine()
+        assert engine.domain_status("a.com", R1)[0] == InferredStatus.VULNERABLE
+
+    def test_domain_patched_when_all_ips_patched(self):
+        engine = self.setup_engine()
+        assert engine.domain_status("a.com", R2)[0] == InferredStatus.PATCHED
+
+    def test_domain_with_single_ip_follows_it(self):
+        engine = self.setup_engine()
+        assert engine.domain_status("b.com", R1)[0] == InferredStatus.VULNERABLE
+        assert engine.domain_status("b.com", R2)[0] == InferredStatus.PATCHED
+
+    def test_unknown_domain_inconclusive(self):
+        engine = self.setup_engine()
+        assert engine.domain_status("zz.com", R1)[0] == InferredStatus.INCONCLUSIVE
+
+    def test_only_initially_vulnerable_ips_considered(self):
+        initial = make_initial(
+            {"10.0.0.1"}, {"a.com": ["10.0.0.1", "10.0.0.5"]}
+        )
+        engine = InferenceEngine(initial, [])
+        assert engine.domain_vulnerable_ips["a.com"] == ["10.0.0.1"]
+
+
+class TestSummaries:
+    def test_counts_partition(self):
+        initial = make_initial(
+            {"10.0.0.1", "10.0.0.2", "10.0.0.3"},
+            {"a.com": ["10.0.0.1"], "b.com": ["10.0.0.2"], "c.com": ["10.0.0.3"]},
+        )
+        engine = InferenceEngine(
+            initial,
+            rounds(
+                (R1, {
+                    "10.0.0.1": DetectionOutcome.VULNERABLE,
+                    "10.0.0.2": DetectionOutcome.SMTP_FAILED,
+                }),
+                (R2, {
+                    "10.0.0.1": DetectionOutcome.COMPLIANT,
+                    "10.0.0.3": DetectionOutcome.VULNERABLE,
+                }),
+            ),
+        )
+        for summary in engine.round_summaries_ips():
+            assert summary.total == 3
+            assert summary.measured + summary.inferred + summary.inconclusive == 3
+            assert summary.vulnerable + summary.patched <= 3
+
+    def test_rule1_shows_in_first_round(self):
+        initial = make_initial({"10.0.0.1"}, {"a.com": ["10.0.0.1"]})
+        engine = InferenceEngine(
+            initial,
+            rounds(
+                (R1, {}),  # missed
+                (R2, {"10.0.0.1": DetectionOutcome.VULNERABLE}),
+            ),
+        )
+        first, second = engine.round_summaries_ips()
+        assert first.inferred == 1  # rule 1 backfills R1
+        assert second.measured == 1
+
+    def test_vulnerable_fraction(self):
+        initial = make_initial(
+            {"10.0.0.1", "10.0.0.2"},
+            {"a.com": ["10.0.0.1"], "b.com": ["10.0.0.2"]},
+        )
+        engine = InferenceEngine(
+            initial,
+            rounds(
+                (R1, {
+                    "10.0.0.1": DetectionOutcome.VULNERABLE,
+                    "10.0.0.2": DetectionOutcome.COMPLIANT,
+                }),
+            ),
+        )
+        summary = engine.round_summaries_ips()[0]
+        assert summary.vulnerable_fraction == 0.5
+
+    def test_domain_summaries_filterable(self):
+        engine = TestEngineDomainLevel().setup_engine()
+        only_b = engine.round_summaries_domains(["b.com"])
+        assert all(s.total == 1 for s in only_b)

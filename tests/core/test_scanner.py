@@ -1,0 +1,119 @@
+"""Tests for the operator-facing scanner API."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.detector import DetectionOutcome
+from repro.core.scanner import SpfVulnerabilityScanner
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.errors import ResolutionError
+from repro.internet.mta_fleet import PopulationDnsBackend
+from repro.smtp import Network, ServerPolicy, SmtpServer, SpfStack, SpfTiming
+
+BASE = "spf-test.dns-lab.org"
+
+
+@pytest.fixture()
+def setup():
+    clock = SimulatedClock()
+    responder = SpfTestResponder(Name.from_text(BASE))
+    population_dns = PopulationDnsBackend()
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register(BASE, responder)
+    resolver.register(Name.root(), population_dns)
+    network = Network(clock=lambda: clock.now)
+
+    def add_server(ip, behavior=None, timing=SpfTiming.ON_MAIL_FROM, **policy):
+        stacks = [] if behavior is None else [SpfStack.named(behavior, timing)]
+        network.register(
+            SmtpServer(
+                ip,
+                policy=ServerPolicy(**policy) if policy else None,
+                spf_stacks=stacks,
+                resolver=StubResolver(resolver, identity=ip, clock=lambda: clock.now),
+            )
+        )
+
+    add_server("10.0.0.1", "vulnerable-libspf2")
+    add_server("10.0.0.2", "rfc-compliant")
+    add_server("10.0.0.3", "no-expansion")
+    add_server("10.0.0.4", refuse_connections=True)
+    scanner = SpfVulnerabilityScanner(
+        network,
+        responder,
+        clock=clock,
+        resolver=StubResolver(resolver, identity="scanner", clock=lambda: clock.now),
+    )
+    return scanner, population_dns
+
+
+class TestScanIps:
+    def test_classification(self, setup):
+        scanner, _ = setup
+        report = scanner.scan_ips(["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4"])
+        assert report.scanned == 4
+        assert report.vulnerable_ips() == ["10.0.0.1"]
+        assert report.erroneous_ips() == ["10.0.0.3"]
+        assert report.results["10.0.0.2"].outcome == DetectionOutcome.COMPLIANT
+        assert report.results["10.0.0.4"].outcome == DetectionOutcome.REFUSED
+
+    def test_duplicates_scanned_once(self, setup):
+        scanner, _ = setup
+        report = scanner.scan_ips(["10.0.0.1"] * 5)
+        assert report.scanned == 1
+
+    def test_outcome_counts(self, setup):
+        scanner, _ = setup
+        report = scanner.scan_ips(["10.0.0.1", "10.0.0.2"])
+        counts = report.outcome_counts()
+        assert counts[DetectionOutcome.VULNERABLE] == 1
+        assert counts[DetectionOutcome.COMPLIANT] == 1
+
+    def test_summary_names_vulnerable(self, setup):
+        scanner, _ = setup
+        report = scanner.scan_ips(["10.0.0.1", "10.0.0.2"])
+        summary = report.summary()
+        assert "10.0.0.1" in summary
+        assert "vulnerable-libspf2" in summary
+        assert "scanned 2" in summary
+
+
+class TestScanDomains:
+    def test_resolves_and_scans(self, setup):
+        scanner, population_dns = setup
+        population_dns.set_mx("victim.example", [(10, "mx.victim.example")])
+        population_dns.set_a("mx.victim.example", ["10.0.0.1"])
+        population_dns.set_mx("fine.example", [(10, "mx.fine.example")])
+        population_dns.set_a("mx.fine.example", ["10.0.0.2"])
+        report = scanner.scan_domains(["victim.example", "fine.example"])
+        assert report.vulnerable_domains() == ["victim.example"]
+        assert report.domain_ips["fine.example"] == ["10.0.0.2"]
+
+    def test_shared_mx_scanned_once(self, setup):
+        scanner, population_dns = setup
+        for name in ("a.example", "b.example"):
+            population_dns.set_mx(name, [(10, "shared.example")])
+        population_dns.set_a("shared.example", ["10.0.0.1"])
+        report = scanner.scan_domains(["a.example", "b.example"])
+        assert report.scanned == 1
+        assert report.vulnerable_domains() == ["a.example", "b.example"]
+
+    def test_unresolvable_domain_empty(self, setup):
+        scanner, _ = setup
+        report = scanner.scan_domains(["ghost.example"])
+        assert report.domain_ips["ghost.example"] == []
+        assert report.scanned == 0
+
+    def test_requires_resolver(self, setup):
+        scanner, _ = setup
+        scanner.resolver = None
+        with pytest.raises(ResolutionError):
+            scanner.scan_domains(["x.example"])
+
+
+class TestEthics:
+    def test_scanner_honors_ethics_limits(self, setup):
+        scanner, _ = setup
+        scanner.scan_ips(["10.0.0.1", "10.0.0.2"])
+        assert scanner.ethics.peak_concurrency <= 250
+        assert scanner.ethics.connections_opened >= 2

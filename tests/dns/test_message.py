@@ -1,0 +1,83 @@
+"""Tests for repro.dns.message."""
+
+from repro.dns.message import Message, Opcode, Question, Rcode
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, RRType, ResourceRecord
+
+
+def _query(name="example.com", rrtype=RRType.A, **kwargs):
+    return Message.make_query(Name.from_text(name), rrtype, **kwargs)
+
+
+class TestMakeQuery:
+    def test_question_set(self):
+        message = _query("foo.example.com", RRType.TXT)
+        assert message.question == Question(
+            Name.from_text("foo.example.com"), RRType.TXT
+        )
+
+    def test_defaults(self):
+        message = _query()
+        assert not message.is_response
+        assert message.recursion_desired
+        assert message.opcode == Opcode.QUERY
+        assert message.rcode == Rcode.NOERROR
+
+    def test_id_carried(self):
+        assert _query(id=1234).id == 1234
+
+    def test_iterative_query(self):
+        assert not _query(recursion_desired=False).recursion_desired
+
+
+class TestMakeResponse:
+    def test_echoes_question_and_id(self):
+        query = _query(id=7)
+        response = query.make_response()
+        assert response.id == 7
+        assert response.question == query.question
+        assert response.is_response
+
+    def test_rcode_override(self):
+        assert _query().make_response(Rcode.NXDOMAIN).rcode == Rcode.NXDOMAIN
+
+    def test_sections_start_empty(self):
+        response = _query().make_response()
+        assert response.answers == []
+        assert response.authority == []
+        assert response.additional == []
+
+
+class TestAnswerRrset:
+    def test_filters_by_question_type(self):
+        message = _query("a.com", RRType.A).make_response()
+        message.answers = [
+            ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1")),
+            ResourceRecord(name=Name.from_text("a.com"), rdata=AAAA("2001:db8::1")),
+        ]
+        assert len(message.answer_rrset()) == 1
+        assert message.answer_rrset()[0].rrtype == RRType.A
+
+    def test_explicit_type(self):
+        message = _query("a.com", RRType.A).make_response()
+        message.answers = [
+            ResourceRecord(name=Name.from_text("a.com"), rdata=AAAA("2001:db8::1"))
+        ]
+        assert len(message.answer_rrset(RRType.AAAA)) == 1
+
+
+class TestToText:
+    def test_contains_sections(self):
+        message = _query("a.com").make_response()
+        message.answers = [
+            ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1"))
+        ]
+        text = message.to_text()
+        assert "RESPONSE" in text
+        assert "QUESTION" in text
+        assert "192.0.2.1" in text
+
+    def test_flags_rendered(self):
+        message = _query().make_response()
+        message.authoritative = True
+        assert "aa" in message.to_text()

@@ -1,0 +1,170 @@
+"""Tests for repro.dns.rdata."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    RRType,
+    ResourceRecord,
+    SOA,
+    TXT,
+    rdata_class_for,
+)
+from repro.errors import WireFormatError
+
+
+class TestA:
+    def test_text(self):
+        assert A("192.0.2.1").to_text() == "192.0.2.1"
+
+    def test_wire_roundtrip(self):
+        rdata = A("198.51.100.200")
+        assert A.from_wire(rdata.to_wire()) == rdata
+
+    def test_wire_is_packed_address(self):
+        assert A("1.2.3.4").to_wire() == bytes([1, 2, 3, 4])
+
+    def test_bad_wire_length(self):
+        with pytest.raises(WireFormatError):
+            A.from_wire(b"\x01\x02\x03")
+
+    def test_accepts_ipaddress_object(self):
+        assert A(ipaddress.IPv4Address("10.0.0.1")).to_text() == "10.0.0.1"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_any_address(self, value):
+        rdata = A(ipaddress.IPv4Address(value))
+        assert A.from_wire(rdata.to_wire()) == rdata
+
+
+class TestAAAA:
+    def test_wire_roundtrip(self):
+        rdata = AAAA("2001:db8::1")
+        assert AAAA.from_wire(rdata.to_wire()) == rdata
+
+    def test_wire_length(self):
+        assert len(AAAA("::1").to_wire()) == 16
+
+    def test_bad_wire_length(self):
+        with pytest.raises(WireFormatError):
+            AAAA.from_wire(b"\x00" * 4)
+
+
+class TestTXT:
+    def test_single_string(self):
+        assert TXT("v=spf1 -all").text == "v=spf1 -all"
+
+    def test_presentation_quotes(self):
+        assert TXT("hello").to_text() == '"hello"'
+
+    def test_long_string_split_at_255(self):
+        rdata = TXT("x" * 600)
+        assert [len(s) for s in rdata.strings] == [255, 255, 90]
+        assert rdata.text == "x" * 600
+
+    def test_multiple_strings_concatenated(self):
+        assert TXT(["v=spf1 ", "-all"]).text == "v=spf1 -all"
+
+    def test_wire_roundtrip(self):
+        rdata = TXT(["abc", "def"])
+        assert TXT.from_wire(rdata.to_wire()) == rdata
+
+    def test_wire_has_length_prefixes(self):
+        assert TXT("ab").to_wire() == b"\x02ab"
+
+    def test_from_wire_truncated_string(self):
+        with pytest.raises(WireFormatError):
+            TXT.from_wire(b"\x05ab")
+
+    @given(st.lists(st.binary(min_size=0, max_size=255), min_size=1, max_size=4))
+    def test_wire_roundtrip_property(self, strings):
+        rdata = TXT(list(strings))
+        assert TXT.from_wire(rdata.to_wire()).strings == rdata.strings
+
+
+class TestMX:
+    def test_fields(self):
+        rdata = MX(10, "mail.example.com")
+        assert rdata.preference == 10
+        assert rdata.exchange == Name.from_text("mail.example.com")
+
+    def test_wire_roundtrip(self):
+        rdata = MX(20, "mx2.example.org")
+        decoded = MX.from_wire(rdata.to_wire())
+        assert (decoded.preference, decoded.exchange) == (20, rdata.exchange)
+
+    def test_preference_out_of_range(self):
+        with pytest.raises(WireFormatError):
+            MX(70000, "mail.example.com")
+
+    def test_text(self):
+        assert MX(5, "m.example.com").to_text() == "5 m.example.com."
+
+
+class TestNameRdatas:
+    @pytest.mark.parametrize("cls", [NS, CNAME, PTR])
+    def test_wire_roundtrip(self, cls):
+        rdata = cls("target.example.net")
+        assert cls.from_wire(rdata.to_wire()).target == rdata.target
+
+    def test_cname_text(self):
+        assert CNAME("www.example.com").to_text() == "www.example.com."
+
+
+class TestSOA:
+    def test_wire_roundtrip(self):
+        rdata = SOA("ns1.example.com", "hostmaster.example.com", serial=42)
+        decoded = SOA.from_wire(rdata.to_wire())
+        assert decoded.mname == rdata.mname
+        assert decoded.rname == rdata.rname
+        assert decoded.serial == 42
+
+    def test_defaults(self):
+        rdata = SOA("ns1.x", "root.x")
+        assert rdata.minimum == 300
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "rrtype,cls",
+        [
+            (RRType.A, A),
+            (RRType.AAAA, AAAA),
+            (RRType.TXT, TXT),
+            (RRType.MX, MX),
+            (RRType.NS, NS),
+            (RRType.CNAME, CNAME),
+            (RRType.PTR, PTR),
+            (RRType.SOA, SOA),
+        ],
+    )
+    def test_class_lookup(self, rrtype, cls):
+        assert rdata_class_for(rrtype) is cls
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireFormatError):
+            rdata_class_for(RRType.ANY)
+
+
+class TestResourceRecord:
+    def test_rrtype_delegates_to_rdata(self):
+        rr = ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1"))
+        assert rr.rrtype == RRType.A
+
+    def test_to_text(self):
+        rr = ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1"), ttl=60)
+        assert rr.to_text() == "a.com. 60 IN A 192.0.2.1"
+
+    def test_equality_by_value(self):
+        a = ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1"))
+        b = ResourceRecord(name=Name.from_text("A.COM"), rdata=A("192.0.2.1"))
+        assert a == b

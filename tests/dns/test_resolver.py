@@ -1,0 +1,166 @@
+"""Tests for the caching resolver and stub resolver."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns.message import Message, Rcode
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, RRType, TXT
+from repro.dns.resolver import CachingResolver, StubResolver
+from repro.dns.server import AuthoritativeServer, SpfTestResponder
+from repro.dns.zone import Zone
+from repro.errors import ResolutionError
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture()
+def setup(clock):
+    zone = Zone("example.com")
+    zone.add("example.com", TXT("v=spf1 -all"))
+    zone.add("example.com", MX(20, "mx2.example.com"))
+    zone.add("example.com", MX(10, "mx1.example.com"))
+    zone.add("mx1", A("192.0.2.1"))
+    zone.add("mx2", A("192.0.2.2"))
+    auth = AuthoritativeServer([zone])
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register("example.com", auth)
+    return resolver, auth
+
+
+class TestRouting:
+    def test_routes_to_registered_backend(self, setup):
+        resolver, _ = setup
+        response = resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        assert response.answers
+
+    def test_servfail_for_unrouted_name(self, setup):
+        resolver, _ = setup
+        response = resolver.query(
+            Message.make_query(Name.from_text("other.org"), RRType.A)
+        )
+        assert response.rcode == Rcode.SERVFAIL
+
+    def test_longest_suffix_wins(self, clock):
+        broad = SpfTestResponder(Name.from_text("org"))
+        narrow = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("org", broad)
+        resolver.register("spf-test.dns-lab.org", narrow)
+        resolver.query(
+            Message.make_query(
+                Name.from_text("x.id1.s1.spf-test.dns-lab.org"), RRType.A
+            )
+        )
+        assert len(narrow.log) == 1
+        assert len(broad.log) == 0
+
+    def test_recursion_available_flag(self, setup):
+        resolver, _ = setup
+        response = resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        assert response.recursion_available
+
+
+class TestCaching:
+    def test_positive_cache_hit(self, setup):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()
+        query()
+        assert resolver.cache_hits == 1
+
+    def test_cache_expires_with_ttl(self, setup, clock):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()
+        clock.advance(dt.timedelta(seconds=301))  # zone default TTL is 300
+        query()
+        assert resolver.cache_hits == 0
+
+    def test_negative_answers_cached(self, setup):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("missing.example.com"), RRType.A)
+        )
+        first = query()
+        assert first.rcode == Rcode.NXDOMAIN
+        second = query()
+        assert second.rcode == Rcode.NXDOMAIN
+        assert resolver.cache_hits == 1
+
+    def test_flush_clears_cache(self, setup):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()
+        resolver.flush()
+        query()
+        assert resolver.cache_hits == 0
+
+    def test_unique_labels_defeat_caching(self, clock):
+        """The measurement-critical property: every probe's unique labels
+        guarantee its queries reach the measurement server uncached."""
+        responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("spf-test.dns-lab.org", responder)
+        for i in range(10):
+            resolver.query(
+                Message.make_query(
+                    Name.from_text(f"id{i}.s1.spf-test.dns-lab.org"), RRType.TXT
+                )
+            )
+        assert len(responder.log) == 10
+        assert resolver.cache_hits == 0
+
+
+class TestStubResolver:
+    def test_get_txt(self, setup, clock):
+        resolver, _ = setup
+        stub = StubResolver(resolver, clock=lambda: clock.now)
+        assert stub.get_txt("example.com") == ["v=spf1 -all"]
+
+    def test_get_mx_sorted_by_preference(self, setup, clock):
+        resolver, _ = setup
+        stub = StubResolver(resolver, clock=lambda: clock.now)
+        exchanges = stub.get_mx("example.com")
+        assert [pref for pref, _ in exchanges] == [10, 20]
+        assert exchanges[0][1] == Name.from_text("mx1.example.com")
+
+    def test_get_addresses(self, setup, clock):
+        resolver, _ = setup
+        stub = StubResolver(resolver, clock=lambda: clock.now)
+        addresses = stub.get_addresses("mx1.example.com", want_ipv6=False)
+        assert [str(a) for a in addresses] == ["192.0.2.1"]
+
+    def test_nxdomain_returns_empty(self, setup, clock):
+        resolver, _ = setup
+        stub = StubResolver(resolver, clock=lambda: clock.now)
+        assert stub.get_txt("nothing.example.com") == []
+
+    def test_servfail_raises(self, setup, clock):
+        resolver, _ = setup
+        stub = StubResolver(resolver, clock=lambda: clock.now)
+        with pytest.raises(ResolutionError):
+            stub.get_txt("unrouted.org")
+
+    def test_identity_reaches_query_log(self, clock):
+        responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("spf-test.dns-lab.org", responder)
+        stub = StubResolver(resolver, identity="10.9.8.7", clock=lambda: clock.now)
+        stub.get_txt("aa.s1.spf-test.dns-lab.org")
+        assert list(responder.log)[-1].source == "10.9.8.7"

@@ -1,0 +1,151 @@
+"""Tests for the RFC 1035 wire codec."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.message import Message, Rcode
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, RRType, ResourceRecord, TXT
+from repro.dns.wire import from_wire, to_wire
+from repro.errors import WireFormatError
+
+
+def _query(name="example.com", rrtype=RRType.A, **kwargs):
+    return Message.make_query(Name.from_text(name), rrtype, **kwargs)
+
+
+class TestRoundTrip:
+    def test_query(self):
+        message = _query("mail.example.com", RRType.TXT, id=99)
+        decoded = from_wire(to_wire(message))
+        assert decoded.id == 99
+        assert decoded.question == message.question
+        assert not decoded.is_response
+
+    def test_response_with_answers(self):
+        message = _query("a.com").make_response()
+        message.authoritative = True
+        message.answers = [
+            ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.1"), ttl=60),
+            ResourceRecord(name=Name.from_text("a.com"), rdata=A("192.0.2.2"), ttl=60),
+        ]
+        decoded = from_wire(to_wire(message))
+        assert decoded.authoritative
+        assert [rr.rdata.to_text() for rr in decoded.answers] == [
+            "192.0.2.1",
+            "192.0.2.2",
+        ]
+        assert decoded.answers[0].ttl == 60
+
+    def test_rcode_preserved(self):
+        message = _query().make_response(Rcode.NXDOMAIN)
+        assert from_wire(to_wire(message)).rcode == Rcode.NXDOMAIN
+
+    def test_all_sections(self):
+        from repro.dns.rdata import SOA
+
+        message = _query("x.example.com").make_response()
+        message.answers = [
+            ResourceRecord(name=Name.from_text("x.example.com"), rdata=A("192.0.2.1"))
+        ]
+        message.authority = [
+            ResourceRecord(
+                name=Name.from_text("example.com"),
+                rdata=SOA("ns1.example.com", "root.example.com"),
+            )
+        ]
+        message.additional = [
+            ResourceRecord(name=Name.from_text("ns1.example.com"), rdata=A("192.0.2.53"))
+        ]
+        decoded = from_wire(to_wire(message))
+        assert len(decoded.answers) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+
+
+class TestCompression:
+    def test_repeated_owner_names_compress(self):
+        message = _query("very-long-label-here.example.com").make_response()
+        rr = ResourceRecord(
+            name=Name.from_text("very-long-label-here.example.com"),
+            rdata=A("192.0.2.1"),
+        )
+        message.answers = [rr, rr, rr]
+        wire = to_wire(message)
+        # Without compression each owner name costs ~34 bytes; compressed
+        # repeats cost a 2-byte pointer.
+        uncompressed_estimate = 12 + 4 + 34 + 3 * (34 + 14)
+        assert len(wire) < uncompressed_estimate - 60
+        decoded = from_wire(wire)
+        assert all(a.name == rr.name for a in decoded.answers)
+
+    def test_suffix_sharing(self):
+        message = _query("a.example.com").make_response()
+        message.answers = [
+            ResourceRecord(name=Name.from_text("a.example.com"), rdata=A("192.0.2.1")),
+            ResourceRecord(name=Name.from_text("b.example.com"), rdata=A("192.0.2.2")),
+        ]
+        decoded = from_wire(to_wire(message))
+        assert decoded.answers[1].name == Name.from_text("b.example.com")
+
+
+class TestMalformed:
+    def test_too_short(self):
+        with pytest.raises(WireFormatError):
+            from_wire(b"\x00\x01")
+
+    def test_truncated_question(self):
+        wire = to_wire(_query("example.com"))
+        with pytest.raises(WireFormatError):
+            from_wire(wire[:-3])
+
+    def test_forward_pointer_rejected(self):
+        # Header + a name that is just a pointer pointing forward.
+        header = struct.pack("!HHHHHH", 1, 0, 1, 0, 0, 0)
+        bogus = header + struct.pack("!H", 0xC000 | 0x0FFF) + struct.pack("!HH", 1, 1)
+        with pytest.raises(WireFormatError):
+            from_wire(bogus)
+
+    def test_bad_label_length_bits(self):
+        header = struct.pack("!HHHHHH", 1, 0, 1, 0, 0, 0)
+        bogus = header + b"\x80abc\x00" + struct.pack("!HH", 1, 1)
+        with pytest.raises(WireFormatError):
+            from_wire(bogus)
+
+
+label_st = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=1,
+    max_size=10,
+)
+name_st = st.lists(label_st, min_size=1, max_size=5).map(Name)
+
+
+class TestProperties:
+    @given(name_st, st.integers(min_value=0, max_value=0xFFFF))
+    def test_query_roundtrip(self, name, message_id):
+        message = Message.make_query(name, RRType.TXT, id=message_id)
+        decoded = from_wire(to_wire(message))
+        assert decoded.question.name == name
+        assert decoded.id == message_id
+
+    @given(st.lists(name_st, min_size=1, max_size=6))
+    def test_answer_names_roundtrip(self, names):
+        message = Message.make_query(names[0], RRType.A).make_response()
+        message.answers = [
+            ResourceRecord(name=name, rdata=A("192.0.2.1")) for name in names
+        ]
+        decoded = from_wire(to_wire(message))
+        assert [a.name for a in decoded.answers] == names
+
+    @given(st.text(min_size=0, max_size=300, alphabet=st.characters(min_codepoint=32, max_codepoint=126)))
+    def test_txt_payload_roundtrip(self, text):
+        message = Message.make_query(Name.from_text("t.example"), RRType.TXT)
+        response = message.make_response()
+        response.answers = [
+            ResourceRecord(name=Name.from_text("t.example"), rdata=TXT(text))
+        ]
+        decoded = from_wire(to_wire(response))
+        assert decoded.answers[0].rdata.text == text

@@ -1,0 +1,104 @@
+"""Tests for the wire-format transport adapter."""
+
+import ipaddress
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns import (
+    A,
+    AuthoritativeServer,
+    CachingResolver,
+    Name,
+    SpfTestResponder,
+    StubResolver,
+    TXT,
+    WireTransportBackend,
+    Zone,
+)
+from repro.spf import SpfEvaluator, SpfResult
+
+
+class TestWireTransport:
+    def test_answers_identical_to_direct(self):
+        zone = Zone("example.com")
+        zone.add("mail", A("192.0.2.25"))
+        zone.add("example.com", TXT("v=spf1 a:mail.example.com -all"))
+        server = AuthoritativeServer([zone])
+        wired = WireTransportBackend(server)
+
+        from repro.dns import Message, RRType
+
+        query = Message.make_query(Name.from_text("mail.example.com"), RRType.A)
+        direct = server.query(query)
+        over_wire = wired.query(query)
+        assert [rr.rdata.to_text() for rr in over_wire.answers] == [
+            rr.rdata.to_text() for rr in direct.answers
+        ]
+        assert over_wire.rcode == direct.rcode
+        assert over_wire.authoritative == direct.authoritative
+
+    def test_byte_accounting(self):
+        zone = Zone("example.com")
+        zone.add("mail", A("192.0.2.25"))
+        wired = WireTransportBackend(AuthoritativeServer([zone]))
+        from repro.dns import Message, RRType
+
+        wired.query(Message.make_query(Name.from_text("mail.example.com"), RRType.A))
+        assert wired.messages == 1
+        assert wired.bytes_sent > 12  # at least a header
+        assert wired.bytes_received > wired.bytes_sent  # answer adds data
+
+    def test_spf_evaluation_identical_over_wire(self):
+        """check_host() over wire transport matches the in-memory path —
+        the substrate honesty check."""
+        zone = Zone("example.com")
+        zone.add("example.com", TXT("v=spf1 a:mail.example.com ip4:203.0.113.0/24 -all"))
+        zone.add("mail", A("192.0.2.25"))
+        server = AuthoritativeServer([zone])
+
+        def outcome_via(backend):
+            resolver = CachingResolver()
+            resolver.register("example.com", backend)
+            evaluator = SpfEvaluator(StubResolver(resolver))
+            return [
+                evaluator.check_host(
+                    ipaddress.ip_address(ip), "example.com", "u@example.com"
+                ).result
+                for ip in ("192.0.2.25", "203.0.113.9", "8.8.8.8")
+            ]
+
+        assert outcome_via(server) == outcome_via(WireTransportBackend(server))
+        assert outcome_via(server) == [SpfResult.PASS, SpfResult.PASS, SpfResult.FAIL]
+
+    def test_measurement_detection_identical_over_wire(self):
+        """The full detection path — macro fingerprint included — survives
+        wire encoding byte-for-byte."""
+        from repro.core import LabelAllocator, VulnerabilityDetector
+        from repro.core.detector import DetectionOutcome
+        from repro.smtp import Network, SmtpClient, SmtpServer, SpfStack, SpfTiming
+
+        def detect(wrap):
+            clock = SimulatedClock()
+            responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+            backend = WireTransportBackend(responder) if wrap else responder
+            resolver = CachingResolver(clock=lambda: clock.now)
+            resolver.register("spf-test.dns-lab.org", backend)
+            network = Network(clock=lambda: clock.now)
+            network.register(
+                SmtpServer(
+                    "10.0.0.1",
+                    spf_stacks=[SpfStack.named("vulnerable-libspf2", SpfTiming.ON_MAIL_FROM)],
+                    resolver=StubResolver(resolver, identity="10.0.0.1", clock=lambda: clock.now),
+                )
+            )
+            labels = LabelAllocator(Name.from_text("spf-test.dns-lab.org"))
+            detector = VulnerabilityDetector(
+                SmtpClient(network), responder, labels,
+                wait=lambda s: clock.advance_seconds(s), now=lambda: clock.now,
+            )
+            result = detector.detect("10.0.0.1", labels.new_suite())
+            return result.outcome, sorted(b.value for b in result.behaviors)
+
+        assert detect(wrap=False) == detect(wrap=True)
+        assert detect(wrap=True)[0] == DetectionOutcome.VULNERABLE

@@ -1,0 +1,123 @@
+"""Tests for master-file (zone file) parsing."""
+
+import pytest
+
+from repro.dns import Name, RRType
+from repro.dns.zonefile import parse_zone_file
+from repro.errors import DnsError
+
+SAMPLE = """
+$ORIGIN example.com.
+$TTL 300
+@        IN  SOA  ns1 hostmaster 7 3600 900 604800 60
+@        IN  MX   10 mail
+@        IN  MX   20 backup.other.org.
+@        IN  TXT  "v=spf1 a:mail.example.com " "-all"
+mail 600 IN  A    192.0.2.25
+         IN  A    192.0.2.26
+mail     IN  AAAA 2001:db8::25
+www      IN  CNAME mail        ; web alias
+ns1      IN  A    192.0.2.53
+"""
+
+
+@pytest.fixture()
+def zone():
+    return parse_zone_file(SAMPLE)
+
+
+class TestParsing:
+    def test_origin_from_directive(self, zone):
+        assert zone.origin == Name.from_text("example.com")
+
+    def test_at_sign_is_origin(self, zone):
+        assert zone.rrset("example.com", RRType.MX)
+
+    def test_relative_names_join_origin(self, zone):
+        assert zone.rrset("mail.example.com", RRType.A)
+
+    def test_absolute_names_kept(self, zone):
+        exchanges = zone.rrset("example.com", RRType.MX)
+        targets = {rr.rdata.exchange for rr in exchanges}
+        assert Name.from_text("backup.other.org") in targets
+        assert Name.from_text("mail.example.com") in targets
+
+    def test_blank_owner_continuation(self, zone):
+        addresses = {rr.rdata.to_text() for rr in zone.rrset("mail", RRType.A)}
+        assert addresses == {"192.0.2.25", "192.0.2.26"}
+
+    def test_explicit_ttl(self, zone):
+        assert zone.rrset("mail", RRType.A)[0].ttl == 600
+
+    def test_default_ttl(self, zone):
+        assert zone.rrset("ns1", RRType.A)[0].ttl == 300
+
+    def test_multi_string_txt_concatenated(self, zone):
+        assert zone.rrset("example.com", RRType.TXT)[0].rdata.text == (
+            "v=spf1 a:mail.example.com -all"
+        )
+
+    def test_comments_stripped(self, zone):
+        assert zone.rrset("www", RRType.CNAME)
+
+    def test_soa_replaces_synthetic(self, zone):
+        assert zone.soa.rdata.serial == 7
+        assert zone.soa.rdata.minimum == 60
+
+    def test_aaaa(self, zone):
+        assert zone.rrset("mail", RRType.AAAA)[0].rdata.to_text() == "2001:db8::25"
+
+
+class TestErrors:
+    def test_no_origin(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("@ IN A 192.0.2.1")
+
+    def test_origin_parameter_fallback(self):
+        zone = parse_zone_file("@ IN A 192.0.2.1", origin="fallback.test")
+        assert zone.rrset("fallback.test", RRType.A)
+
+    def test_empty_file(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("; nothing here\n")
+
+    def test_continuation_without_owner(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("$ORIGIN x.test.\n    IN A 192.0.2.1")
+
+    def test_missing_type(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("$ORIGIN x.test.\nhost IN")
+
+    def test_unknown_type(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("$ORIGIN x.test.\nhost IN SRV 0 0 25 mail")
+
+    def test_bad_mx(self):
+        with pytest.raises(DnsError):
+            parse_zone_file("$ORIGIN x.test.\n@ IN MX mail")
+
+
+class TestServingParsedZone:
+    def test_parsed_zone_answers_queries(self, zone):
+        from repro.dns import AuthoritativeServer, Message
+
+        server = AuthoritativeServer([zone])
+        response = server.query(
+            Message.make_query(Name.from_text("mail.example.com"), RRType.A)
+        )
+        assert len(response.answers) == 2
+
+    def test_spf_policy_from_zone_file_evaluates(self, zone):
+        import ipaddress
+
+        from repro.dns import AuthoritativeServer, CachingResolver, StubResolver
+        from repro.spf import SpfEvaluator, SpfResult
+
+        resolver = CachingResolver()
+        resolver.register("example.com", AuthoritativeServer([zone]))
+        evaluator = SpfEvaluator(StubResolver(resolver))
+        outcome = evaluator.check_host(
+            ipaddress.ip_address("192.0.2.25"), "example.com", "u@example.com"
+        )
+        assert outcome.result == SpfResult.PASS

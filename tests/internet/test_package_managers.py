@@ -1,0 +1,76 @@
+"""Tests for the package-manager timeline (paper Table 6)."""
+
+import pytest
+
+from repro.clock import PUBLIC_DISCLOSURE, utc
+from repro.internet.package_managers import (
+    CVE_2021_20314_DISCLOSURE,
+    PACKAGE_MANAGER_TIMELINE,
+    UNMANAGED_SHARE,
+    deployment_shares,
+    manager_by_name,
+    managers_patched_by,
+)
+
+
+class TestTable6Data:
+    """The timeline is recorded history: assert the paper's exact values."""
+
+    @pytest.mark.parametrize(
+        "name,days_20314",
+        [
+            ("Debian", 0),
+            ("Alpine", 0),
+            ("RedHat", 42),
+            ("Gentoo", 75),
+            ("Arch Linux", 103),
+        ],
+    )
+    def test_days_to_patch_20314(self, name, days_20314):
+        assert manager_by_name(name).days_to_patch_20314() == days_20314
+
+    @pytest.mark.parametrize(
+        "name",
+        ["Ubuntu", "FreeBSD Ports", "NetBSD", "SUSE Hub"],
+    )
+    def test_never_patched(self, name):
+        record = manager_by_name(name)
+        assert record.days_to_patch_20314() is None
+        assert record.days_to_patch_33912() is None
+
+    def test_debian_patched_day_after_disclosure(self):
+        assert manager_by_name("Debian").days_to_patch_33912() == 1
+
+    def test_alpine_50_days(self):
+        assert manager_by_name("Alpine").days_to_patch_33912() in (50, 51)
+
+    @pytest.mark.parametrize("name", ["RedHat", "Gentoo", "Arch Linux"])
+    def test_folded_fixes_count_as_zero_days(self, name):
+        record = manager_by_name(name)
+        assert record.folded_into_20314
+        assert record.days_to_patch_33912() == 0
+        # The fix shipped before the SPFail public disclosure.
+        assert record.cve_33912_patch < PUBLIC_DISCLOSURE
+
+    def test_disclosure_date_constant(self):
+        assert CVE_2021_20314_DISCLOSURE == utc(2021, 8, 11)
+
+
+class TestQueries:
+    def test_managers_patched_by_disclosure(self):
+        patched = {r.name for r in managers_patched_by(PUBLIC_DISCLOSURE)}
+        assert patched == {"RedHat", "Gentoo", "Arch Linux"}
+
+    def test_managers_patched_by_study_end(self):
+        patched = {r.name for r in managers_patched_by(utc(2022, 2, 14))}
+        assert patched == {"RedHat", "Gentoo", "Arch Linux", "Debian"}
+
+    def test_unknown_manager(self):
+        with pytest.raises(KeyError):
+            manager_by_name("Slackware")
+
+    def test_shares_form_distribution(self):
+        shares = deployment_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        assert 0 <= UNMANAGED_SHARE <= 1
+        assert shares["(unmanaged)"] == UNMANAGED_SHARE

@@ -1,0 +1,180 @@
+"""Tests for the patch-behavior model."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import (
+    FINAL_MEASUREMENT,
+    INITIAL_MEASUREMENT,
+    PRIVATE_NOTIFICATION,
+    PUBLIC_DISCLOSURE,
+    SimulatedClock,
+)
+from repro.internet.mta_fleet import build_fleet
+from repro.internet.patching import PatchBehaviorModel, PatchTrigger
+from repro.internet.population import (
+    Domain,
+    DomainSet,
+    PopulationConfig,
+    generate_population,
+)
+from repro.internet.mta_fleet import HostingUnit, UnitCategory
+
+
+def unit_with(tld="com", domains_count=1, sets=DomainSet.ALEXA_TOP_LIST, vulnerable=True):
+    domains = [
+        Domain(name=f"d{i}.{tld}", tld=tld, sets=sets, alexa_rank=5000 + i)
+        for i in range(domains_count)
+    ]
+    return HostingUnit(
+        unit_id=0,
+        domains=domains,
+        ips=["10.0.0.1"],
+        mail_hostname=f"mx.d0.{tld}",
+        category=UnitCategory.SPF_NOMSG,
+        behavior_name="vulnerable-libspf2" if vulnerable else "rfc-compliant",
+    )
+
+
+def patch_rate(tld, *, n=400, seed=0, **unit_kwargs):
+    hits = 0
+    for i in range(n):
+        model = PatchBehaviorModel(seed=seed + i)
+        unit = unit_with(tld=tld, **unit_kwargs)
+        plan = model.plan_for(unit)
+        if plan.patches and plan.patch_date <= FINAL_MEASUREMENT:
+            hits += 1
+    return hits / n
+
+
+class TestPlanBasics:
+    def test_non_vulnerable_units_never_plan(self):
+        model = PatchBehaviorModel(seed=1)
+        plan = model.plan_for(unit_with(vulnerable=False))
+        assert not plan.patches
+        assert plan.trigger == PatchTrigger.NONE
+
+    def test_plans_cached(self):
+        model = PatchBehaviorModel(seed=1)
+        unit = unit_with()
+        assert model.plan_for(unit) is model.plan_for(unit)
+
+    def test_patch_dates_never_before_campaign(self):
+        for seed in range(200):
+            model = PatchBehaviorModel(seed=seed)
+            plan = model.plan_for(unit_with())
+            if plan.patches:
+                assert plan.patch_date > INITIAL_MEASUREMENT
+
+    def test_patched_by(self):
+        model = PatchBehaviorModel(seed=1)
+        for seed in range(100):
+            plan = PatchBehaviorModel(seed=seed).plan_for(unit_with())
+            if plan.patches:
+                assert plan.patched_by(plan.patch_date)
+                assert not plan.patched_by(plan.patch_date - dt.timedelta(days=1))
+
+
+class TestTldEffects:
+    def test_za_patches_most(self):
+        assert patch_rate("za") > 0.6
+
+    def test_za_patches_early(self):
+        """98% of .za patching happened before the private notification."""
+        early = total = 0
+        for seed in range(300):
+            plan = PatchBehaviorModel(seed=seed).plan_for(unit_with(tld="za"))
+            if plan.patches:
+                total += 1
+                if plan.patch_date < PRIVATE_NOTIFICATION + dt.timedelta(days=15):
+                    early += 1
+        assert total > 0
+        assert early / total > 0.8
+
+    def test_tw_never_patches(self):
+        assert patch_rate("tw", n=150) == 0.0
+
+    def test_ru_rarely_patches(self):
+        assert patch_rate("ru") < 0.08
+
+    def test_com_reference_rate(self):
+        rate = patch_rate("com")
+        assert 0.08 < rate < 0.30  # 15% target with small-unit boost
+
+    def test_ordering_matches_table5(self):
+        assert patch_rate("za") > patch_rate("de") > patch_rate("ru")
+
+
+class TestSizeAndRankEffects:
+    def test_alexa_1000_penalized(self):
+        top_rate = patch_rate(
+            "com", sets=DomainSet.ALEXA_TOP_LIST | DomainSet.ALEXA_1000
+        )
+        bulk_rate = patch_rate("com")
+        assert top_rate < bulk_rate
+
+    def test_providers_never_patch(self):
+        rate = patch_rate(
+            "com",
+            sets=DomainSet.TOP_EMAIL_PROVIDERS | DomainSet.ALEXA_1000,
+            n=150,
+        )
+        assert rate == 0.0
+
+    def test_large_units_patch_less(self):
+        small = patch_rate("com", domains_count=1)
+        large = patch_rate("com", domains_count=30)
+        assert large < small
+
+
+class TestNotificationCoupling:
+    def test_opened_notification_sometimes_accelerates(self):
+        changed = 0
+        for seed in range(600):
+            model = PatchBehaviorModel(seed=seed)
+            unit = unit_with(tld="ru")  # almost never patches on its own
+            model.plan_for(unit)
+            if model.on_notification_opened(unit, PRIVATE_NOTIFICATION):
+                changed += 1
+                plan = model.plan_for(unit)
+                assert plan.trigger == PatchTrigger.PRIVATE_NOTIFICATION
+                assert PRIVATE_NOTIFICATION < plan.patch_date < PUBLIC_DISCLOSURE
+        # ~2% response probability, further thinned by the date window.
+        assert 0 < changed < 60
+
+    def test_already_patched_units_unaffected(self):
+        for seed in range(100):
+            model = PatchBehaviorModel(seed=seed)
+            unit = unit_with(tld="za")
+            plan = model.plan_for(unit)
+            if plan.patches and plan.patch_date < PRIVATE_NOTIFICATION:
+                assert not model.on_notification_opened(unit, PRIVATE_NOTIFICATION)
+
+
+class TestApplication:
+    def test_apply_schedules_and_fires(self):
+        population = generate_population(PopulationConfig(scale=0.01, seed=2))
+        fleet = build_fleet(population)
+        clock = SimulatedClock()
+        from repro.dns import CachingResolver
+
+        network = fleet.build_network(
+            lambda: clock.now, CachingResolver(clock=lambda: clock.now)
+        )
+        model = PatchBehaviorModel(seed=2)
+        scheduled = model.apply(fleet, network, clock)
+        assert scheduled > 0
+        clock.advance_to(FINAL_MEASUREMENT + dt.timedelta(days=40))
+        patched_servers = sum(
+            1
+            for unit in fleet.vulnerable_units()
+            for ip in unit.ips
+            if not network.server_at(ip).is_vulnerable
+        )
+        planned = sum(
+            len(unit.ips)
+            for unit in fleet.vulnerable_units()
+            if model.plan_for(unit).patches
+        )
+        assert patched_servers == planned

@@ -1,0 +1,153 @@
+"""Tests for the simulated C heap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryCorruptionError, SimulationError
+from repro.libspf2.cmem import CHeap
+
+
+class TestAllocation:
+    def test_malloc_returns_writable_buffer(self):
+        heap = CHeap()
+        buf = heap.malloc(8)
+        buf.write_bytes(0, b"hello\x00")
+        assert buf.cstring() == b"hello"
+
+    def test_negative_malloc_rejected(self):
+        with pytest.raises(SimulationError):
+            CHeap().malloc(-1)
+
+    def test_zero_size_allocation(self):
+        heap = CHeap()
+        buf = heap.malloc(0)
+        with pytest.raises(MemoryCorruptionError):
+            buf.write_byte(0, 1)  # slack 0: immediate report
+
+    def test_live_block_accounting(self):
+        heap = CHeap()
+        a = heap.malloc(4)
+        b = heap.malloc(4)
+        assert heap.live_blocks == 2
+        heap.free(a)
+        assert heap.live_blocks == 1
+        assert heap.total_allocated == 8
+
+
+class TestBounds:
+    def test_in_bounds_writes_clean(self):
+        heap = CHeap()
+        buf = heap.malloc(4)
+        for i in range(4):
+            buf.write_byte(i, 0x41)
+        assert not heap.corrupted
+
+    def test_write_past_end_raises_with_zero_slack(self):
+        heap = CHeap(slack=0)
+        buf = heap.malloc(4)
+        with pytest.raises(MemoryCorruptionError) as excinfo:
+            buf.write_byte(4, 0x41)
+        assert excinfo.value.offset == 4
+        assert heap.corrupted
+
+    def test_slack_tolerates_small_overruns(self):
+        heap = CHeap(slack=8)
+        buf = heap.malloc(4)
+        buf.write_byte(4, 0x41)  # inside slack: silent corruption
+        assert heap.corrupted
+        assert buf.overflowed
+
+    def test_overrun_past_slack_raises(self):
+        heap = CHeap(slack=2)
+        buf = heap.malloc(4)
+        buf.write_byte(5, 0x41)
+        with pytest.raises(MemoryCorruptionError):
+            buf.write_byte(6, 0x41)
+
+    def test_underflow_rejected(self):
+        heap = CHeap()
+        buf = heap.malloc(4)
+        with pytest.raises(MemoryCorruptionError):
+            buf.write_byte(-1, 0x41)
+
+    def test_wild_write_beyond_guard(self):
+        heap = CHeap(slack=4, guard_size=8)
+        buf = heap.malloc(2)
+        with pytest.raises(MemoryCorruptionError):
+            buf.write_byte(2 + 8, 0x41)
+
+    def test_out_of_bounds_read_rejected(self):
+        heap = CHeap(guard_size=4)
+        buf = heap.malloc(2)
+        with pytest.raises(MemoryCorruptionError):
+            buf.read_byte(10)
+
+    def test_overflow_bytes_forensics(self):
+        heap = CHeap(slack=8)
+        buf = heap.malloc(2)
+        buf.write_bytes(0, b"ab")
+        buf.write_bytes(2, b"XYZ")
+        assert buf.overflow_bytes() == b"XYZ"
+
+    def test_overflow_events_recorded(self):
+        heap = CHeap(slack=8)
+        buf = heap.malloc(2)
+        buf.write_bytes(2, b"XY")
+        assert heap.overflow_events == [(buf.block_id, 2), (buf.block_id, 3)]
+
+
+class TestLifetime:
+    def test_use_after_free(self):
+        heap = CHeap()
+        buf = heap.malloc(4)
+        heap.free(buf)
+        with pytest.raises(MemoryCorruptionError):
+            buf.write_byte(0, 1)
+
+    def test_read_after_free(self):
+        heap = CHeap()
+        buf = heap.malloc(4)
+        heap.free(buf)
+        with pytest.raises(MemoryCorruptionError):
+            buf.read_byte(0)
+
+    def test_double_free(self):
+        heap = CHeap()
+        buf = heap.malloc(4)
+        heap.free(buf)
+        with pytest.raises(MemoryCorruptionError):
+            heap.free(buf)
+
+    def test_guard_must_cover_slack(self):
+        with pytest.raises(SimulationError):
+            CHeap(slack=16, guard_size=8)
+
+
+class TestCString:
+    def test_cstring_stops_at_nul(self):
+        heap = CHeap()
+        buf = heap.malloc(8)
+        buf.write_bytes(0, b"ab\x00cd")
+        assert buf.cstring() == b"ab"
+
+    def test_cstring_without_nul_returns_everything(self):
+        heap = CHeap(guard_size=0)
+        buf = heap.malloc(2)
+        buf.write_bytes(0, b"ab")
+        assert buf.cstring() == b"ab"
+
+
+class TestProperties:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_write_then_read_roundtrip(self, data):
+        heap = CHeap()
+        buf = heap.malloc(len(data) + 1)
+        buf.write_bytes(0, data + b"\x00")
+        assert buf.cstring() == data.split(b"\x00")[0]
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=16))
+    def test_high_water_tracks_furthest_write(self, size, slack):
+        heap = CHeap(slack=slack, guard_size=max(slack, 16))
+        buf = heap.malloc(size)
+        buf.write_byte(size - 1, 1)
+        assert buf.high_water == size

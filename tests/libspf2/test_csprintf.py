@@ -1,0 +1,84 @@
+"""Tests for the C sprintf semantics behind CVE-2021-33912."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryCorruptionError
+from repro.libspf2.cmem import CHeap
+from repro.libspf2.csprintf import c_hex_of_char, sprintf_url_encode_byte
+
+
+class TestHexOfChar:
+    @pytest.mark.parametrize(
+        "byte,expected",
+        [
+            (0x00, "00"),
+            (0x0F, "0f"),
+            (0x41, "41"),
+            (0x7F, "7f"),
+            (0x80, "ffffff80"),  # the widening begins at 0x80
+            (0xC3, "ffffffc3"),
+            (0xFE, "fffffffe"),
+            (0xFF, "ffffffff"),
+        ],
+    )
+    def test_signed_char_platform(self, byte, expected):
+        assert c_hex_of_char(byte) == expected
+
+    @pytest.mark.parametrize("byte", [0x80, 0xFE, 0xFF])
+    def test_unsigned_char_platform_is_safe(self, byte):
+        assert len(c_hex_of_char(byte, char_is_signed=False)) == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            c_hex_of_char(256)
+        with pytest.raises(ValueError):
+            c_hex_of_char(-1)
+
+    @given(st.integers(min_value=0, max_value=0x7F))
+    def test_low_bytes_always_two_digits(self, byte):
+        assert len(c_hex_of_char(byte)) == 2
+
+    @given(st.integers(min_value=0x80, max_value=0xFF))
+    def test_high_bytes_always_eight_digits(self, byte):
+        hex_digits = c_hex_of_char(byte)
+        assert len(hex_digits) == 8
+        assert hex_digits.startswith("ffffff")
+
+
+class TestSprintf:
+    def test_low_byte_writes_four_bytes_total(self):
+        heap = CHeap()
+        buf = heap.malloc(4)  # '%' + 2 hex + NUL: the author's assumption
+        written = sprintf_url_encode_byte(buf, 0, 0x2F)
+        assert written == 3
+        assert buf.cstring() == b"%2f"
+        assert not heap.corrupted
+
+    def test_high_byte_overflows_the_assumed_four(self):
+        heap = CHeap(slack=16)
+        buf = heap.malloc(4)
+        written = sprintf_url_encode_byte(buf, 0, 0xFE)
+        assert written == 9  # '%' + 8 hex digits
+        assert buf.cstring() == b"%fffffffe"
+        assert heap.corrupted  # 6 bytes past the allocation
+
+    def test_high_byte_crashes_without_slack(self):
+        heap = CHeap(slack=0)
+        buf = heap.malloc(4)
+        with pytest.raises(MemoryCorruptionError):
+            sprintf_url_encode_byte(buf, 0, 0xFE)
+
+    def test_unsigned_platform_never_overflows(self):
+        heap = CHeap(slack=0)
+        buf = heap.malloc(4)
+        sprintf_url_encode_byte(buf, 0, 0xFE, char_is_signed=False)
+        assert buf.cstring() == b"%fe"
+        assert not heap.corrupted
+
+    def test_offset_respected(self):
+        heap = CHeap()
+        buf = heap.malloc(8)
+        buf.write_bytes(0, b"ab")
+        sprintf_url_encode_byte(buf, 2, 0x21)
+        assert buf.cstring() == b"ab%21"

@@ -1,0 +1,150 @@
+"""Tests for the ported spf_expand with both CVEs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MacroError
+from repro.libspf2.expand import LibSpf2Expander
+
+
+def values(domain="example.com", local="user"):
+    table = {
+        "d": domain,
+        "l": local,
+        "o": domain,
+        "s": f"{local}@{domain}",
+        "i": "192.0.2.3",
+        "h": "helo.example",
+        "p": "unknown",
+        "v": "in-addr",
+        "c": "192.0.2.3",
+        "r": "receiver",
+        "t": "0",
+    }
+    return lambda letter: table[letter]
+
+
+VULN = LibSpf2Expander(patched=False)
+FIXED = LibSpf2Expander(patched=True)
+
+
+class TestFingerprint:
+    def test_paper_example(self):
+        """Section 4.2: a:%d1r.foo.com for user@example.com."""
+        outcome = VULN.expand("%{d1r}.foo.com", values("example.com"))
+        assert outcome.output == "com.com.example.foo.com"
+        assert outcome.memory_safe  # wrong, but benign: the detectable case
+
+    def test_patched_is_rfc_compliant(self):
+        outcome = FIXED.expand("%{d1r}.foo.com", values("example.com"))
+        assert outcome.output == "example.foo.com"
+
+    def test_measurement_policy_expansion(self):
+        domain = "ab1.s1.spf-test.dns-lab.org"
+        outcome = VULN.expand("%{d1r}." + domain, values(domain))
+        assert outcome.output == (
+            "org.org.dns-lab.spf-test.s1.ab1." + domain
+        )
+        assert outcome.memory_safe
+
+    def test_reversal_without_truncation_also_buggy(self):
+        outcome = VULN.expand("%{dr}", values("a.b.c"))
+        assert outcome.output == "c.c.b.a"
+
+    def test_non_reversed_macros_expand_correctly(self):
+        assert VULN.expand("%{d2}", values("a.b.c")).output == "b.c"
+        assert VULN.expand("%{l}", values()).output == "user"
+
+    def test_literals_untouched(self):
+        assert VULN.expand("plain.text", values()).output == "plain.text"
+
+    def test_escapes(self):
+        assert VULN.expand("a%_b%-c%%", values()).output == "a b%20c%"
+
+
+class TestCve33912:
+    """URL-encoding sprintf overflow."""
+
+    def test_high_byte_corrupts(self):
+        outcome = VULN.expand("%{L}", values(local="café"))
+        assert not outcome.memory_safe
+        assert outcome.overflow_byte_count > 0
+
+    def test_multiple_high_bytes_crash(self):
+        outcome = VULN.expand("%{L}", values(local="çéü"))
+        assert outcome.crashed
+
+    def test_ascii_url_encoding_is_safe(self):
+        outcome = VULN.expand("%{S}", values())  # '@' escapes to %40
+        assert outcome.memory_safe
+        assert "%40" in outcome.output.lower()
+
+    def test_patched_encodes_high_bytes_safely(self):
+        outcome = FIXED.expand("%{L}", values(local="café"))
+        assert outcome.memory_safe
+        assert outcome.output == "caf%C3%A9"
+
+    def test_unsigned_char_platform_not_affected(self):
+        expander = LibSpf2Expander(patched=False, char_is_signed=False)
+        outcome = expander.expand("%{L}", values(local="café"))
+        assert outcome.memory_safe
+
+
+class TestCve33913:
+    """Buffer-length reassignment on reversal + URL encoding."""
+
+    def test_reverse_plus_url_encode_overflows(self):
+        outcome = VULN.expand("%{D1R}", values("a.b.c.d.e.f.g.h"))
+        assert not outcome.memory_safe
+
+    def test_overflow_is_attacker_sized(self):
+        long_domain = ".".join(f"part{i}" for i in range(10))
+        outcome = VULN.expand("%{D1R}", values(long_domain))
+        assert outcome.crashed
+
+    def test_patched_handles_reverse_url(self):
+        outcome = FIXED.expand("%{D1R}", values("a.b.c.d.e.f.g.h"))
+        assert outcome.memory_safe
+        assert outcome.output == "a"
+
+    def test_reverse_without_url_is_the_benign_fingerprint(self):
+        outcome = VULN.expand("%{d1r}", values("a.b.c.d.e.f.g.h"))
+        assert outcome.memory_safe
+
+
+class TestSyntax:
+    def test_bad_macro_rejected(self):
+        with pytest.raises(MacroError):
+            VULN.expand("%{q}", values())
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(MacroError):
+            VULN.expand("%{d1r", values())
+
+    def test_trailing_percent_rejected(self):
+        with pytest.raises(MacroError):
+            VULN.expand("abc%", values())
+
+
+domain_st = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=5), min_size=1, max_size=6
+).map(".".join)
+
+
+class TestProperties:
+    @given(domain_st)
+    def test_vulnerable_reversal_never_corrupts_without_url(self, domain):
+        outcome = VULN.expand("%{d1r}.tail.example", values(domain))
+        assert outcome.memory_safe
+
+    @given(domain_st, st.sampled_from(["%{d}", "%{d1}", "%{d2}", "%{dr}", "%{d1r}"]))
+    def test_patched_never_corrupts(self, domain, macro):
+        outcome = FIXED.expand(macro, values(domain))
+        assert outcome.memory_safe
+
+    @given(domain_st)
+    def test_fingerprint_always_has_duplicated_head(self, domain):
+        outcome = VULN.expand("%{d1r}", values(domain))
+        labels = outcome.output.split(".")
+        assert labels[0] == labels[1] == domain.split(".")[-1]
+        assert len(labels) == len(domain.split(".")) + 1

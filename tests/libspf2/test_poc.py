@@ -1,0 +1,54 @@
+"""Tests for the CVE proof-of-concept triggers."""
+
+import pytest
+
+from repro.libspf2.poc import (
+    fingerprint_for,
+    trigger_cve_2021_33912,
+    trigger_cve_2021_33913,
+)
+
+
+class TestPocs:
+    @pytest.mark.parametrize(
+        "trigger,cve",
+        [
+            (trigger_cve_2021_33912, "CVE-2021-33912"),
+            (trigger_cve_2021_33913, "CVE-2021-33913"),
+        ],
+    )
+    def test_triggers_on_vulnerable(self, trigger, cve):
+        report = trigger(patched=False)
+        assert report.triggered
+        assert report.cve == cve
+        assert "overflow" in report.summary()
+
+    @pytest.mark.parametrize(
+        "trigger", [trigger_cve_2021_33912, trigger_cve_2021_33913]
+    )
+    def test_safe_on_patched(self, trigger):
+        report = trigger(patched=True)
+        assert not report.triggered
+        assert "memory safe" in report.summary()
+
+    def test_33912_needs_high_bytes(self):
+        report = trigger_cve_2021_33912()
+        assert any(ord(c) > 0x7F for c in report.sender)
+
+    def test_33913_uses_reverse_and_url_macro(self):
+        report = trigger_cve_2021_33913()
+        macro = report.macro_string
+        assert "R" in macro and macro.count("%{") == 1
+        assert macro[2].isupper()  # uppercase letter => URL encoding
+
+
+class TestFingerprintHelper:
+    def test_paper_example(self):
+        assert fingerprint_for("example.com") == "com.com.example"
+
+    def test_patched(self):
+        assert fingerprint_for("example.com", patched=True) == "example"
+
+    def test_single_label_domain(self):
+        assert fingerprint_for("localhost") == "localhost.localhost"
+        assert fingerprint_for("localhost", patched=True) == "localhost"

@@ -1,0 +1,51 @@
+"""Tests for notification email composition."""
+
+from repro.clock import CVE_IDS, PUBLIC_DISCLOSURE
+from repro.notification.composer import TRACKING_HOST, compose_notification
+
+
+class TestCompose:
+    def test_addressed_to_postmaster(self):
+        email = compose_notification("example.com", "tok1")
+        assert email.recipient == "postmaster@example.com"
+
+    def test_subject_names_domain(self):
+        email = compose_notification("example.com", "tok1")
+        assert "example.com" in email.subject
+
+    def test_body_names_both_cves(self):
+        email = compose_notification("example.com", "tok1")
+        for cve in CVE_IDS:
+            assert cve in email.plain_body
+
+    def test_body_announces_disclosure_date(self):
+        email = compose_notification("example.com", "tok1")
+        assert PUBLIC_DISCLOSURE.date().isoformat() in email.plain_body
+
+    def test_body_offers_remediation_options(self):
+        email = compose_notification("example.com", "tok1")
+        assert "upgrade" in email.plain_body.lower()
+        assert "different SPF" in email.plain_body
+
+    def test_tracking_pixel_in_html_only(self):
+        email = compose_notification("example.com", "tokXYZ")
+        assert "tokXYZ" in email.html_body
+        assert TRACKING_HOST in email.html_body
+        assert "tokXYZ" not in email.plain_body  # plain part untracked
+
+    def test_plain_text_alternative_present(self):
+        email = compose_notification("example.com", "tok1")
+        assert email.plain_body.strip()
+        assert "<img" not in email.plain_body
+
+    def test_tracking_url_carries_token(self):
+        email = compose_notification("example.com", "tok42")
+        assert email.tracking_url.endswith("tok42.png")
+
+    def test_custom_disclosure_date(self):
+        from repro.clock import utc
+
+        email = compose_notification(
+            "example.com", "t", disclosure_date=utc(2022, 3, 1)
+        )
+        assert "2022-03-01" in email.plain_body

@@ -1,0 +1,41 @@
+"""Tests for the tracking-pixel server."""
+
+import datetime as dt
+
+from repro.notification.tracking import TrackingServer
+
+T0 = dt.datetime(2021, 11, 15, tzinfo=dt.timezone.utc)
+
+
+class TestTracking:
+    def test_fetch_registered_token(self):
+        server = TrackingServer()
+        server.register("tok1", "example.com")
+        assert server.fetch_pixel("tok1", T0)
+        assert server.opened_domains() == ["example.com"]
+
+    def test_unknown_token_rejected(self):
+        server = TrackingServer()
+        assert not server.fetch_pixel("nope", T0)
+        assert server.total_requests == 0
+
+    def test_first_open_preserved_across_refetches(self):
+        server = TrackingServer()
+        server.register("tok1", "example.com")
+        server.fetch_pixel("tok1", T0)
+        server.fetch_pixel("tok1", T0 + dt.timedelta(days=3))
+        assert server.first_open("tok1") == T0
+        assert server.total_requests == 2
+        assert server.opened_tokens() == ["tok1"]
+
+    def test_unopened_token_has_no_first_open(self):
+        server = TrackingServer()
+        server.register("tok1", "example.com")
+        assert server.first_open("tok1") is None
+
+    def test_multiple_tokens_independent(self):
+        server = TrackingServer()
+        server.register("a", "a.com")
+        server.register("b", "b.com")
+        server.fetch_pixel("b", T0)
+        assert server.opened_domains() == ["b.com"]

@@ -1,0 +1,149 @@
+"""Tests for the probing SMTP client (NoMsg / BlankMsg)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.smtp.client import SmtpClient, TransactionKind, TransactionStatus
+from repro.smtp.policies import (
+    FailureStage,
+    GreylistPolicy,
+    RecipientPolicy,
+    ServerPolicy,
+    SpfTiming,
+)
+from repro.smtp.server import SmtpServer, SpfStack
+from repro.smtp.transport import Network
+
+BASE = "spf-test.dns-lab.org"
+SENDER = "noreply@ab1.s1.spf-test.dns-lab.org"
+
+
+@pytest.fixture()
+def env():
+    clock = SimulatedClock()
+    responder = SpfTestResponder(Name.from_text(BASE))
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register(BASE, responder)
+    network = Network(clock=lambda: clock.now)
+    client = SmtpClient(network)
+    return clock, responder, resolver, network, client
+
+
+def add_server(env, ip, behavior=None, timing=SpfTiming.ON_MAIL_FROM, policy=None):
+    clock, responder, resolver, network, client = env
+    stacks = [] if behavior is None else [SpfStack.named(behavior, timing)]
+    server = SmtpServer(
+        ip,
+        policy=policy,
+        spf_stacks=stacks,
+        resolver=StubResolver(resolver, identity=ip, clock=lambda: clock.now),
+    )
+    network.register(server)
+    return server
+
+
+def probe(env, ip, kind=TransactionKind.NOMSG, sender=SENDER):
+    client = env[4]
+    return client.probe(ip, sender=sender, recipient="x@y.example", kind=kind)
+
+
+class TestNoMsg:
+    def test_completes_without_delivery(self, env):
+        server = add_server(env, "10.0.0.1")
+        result = probe(env, "10.0.0.1")
+        assert result.status == TransactionStatus.COMPLETED
+        assert result.reached_data
+        assert not server.inbox  # NoMsg guarantees no delivery
+
+    def test_refused(self, env):
+        add_server(env, "10.0.0.1", policy=ServerPolicy(refuse_connections=True))
+        assert probe(env, "10.0.0.1").status == TransactionStatus.REFUSED
+
+    def test_no_host(self, env):
+        assert probe(env, "10.9.9.9").status == TransactionStatus.REFUSED
+
+    @pytest.mark.parametrize(
+        "stage",
+        [FailureStage.BANNER, FailureStage.HELO, FailureStage.MAIL_FROM, FailureStage.DATA],
+    )
+    def test_failures(self, env, stage):
+        add_server(env, "10.0.0.1", policy=ServerPolicy(failure_stage=stage))
+        assert probe(env, "10.0.0.1").status == TransactionStatus.FAILED
+
+    def test_greylisted(self, env):
+        add_server(
+            env, "10.0.0.1", policy=ServerPolicy(greylist=GreylistPolicy(enabled=True))
+        )
+        assert probe(env, "10.0.0.1").status == TransactionStatus.GREYLISTED
+
+    def test_rcpt_rejected(self, env):
+        add_server(
+            env,
+            "10.0.0.1",
+            policy=ServerPolicy(recipients=RecipientPolicy(accept_any=False)),
+        )
+        assert probe(env, "10.0.0.1").status == TransactionStatus.RCPT_REJECTED
+
+    def test_spf_queries_from_mail_from_validator(self, env):
+        _, responder, *_ = env
+        add_server(env, "10.0.0.1", behavior="vulnerable-libspf2")
+        result = probe(env, "10.0.0.1")
+        # Strict -all policy: the server rejects at RCPT...
+        assert result.status == TransactionStatus.RCPT_REJECTED
+        # ...but the fingerprint queries already happened.
+        assert responder.log.expansion_prefixes("s1", "ab1")
+
+    def test_no_queries_from_deferred_validator(self, env):
+        _, responder, *_ = env
+        add_server(env, "10.0.0.1", behavior="rfc-compliant", timing=SpfTiming.AFTER_MESSAGE)
+        result = probe(env, "10.0.0.1")
+        assert result.status == TransactionStatus.COMPLETED
+        assert len(responder.log) == 0
+
+
+class TestBlankMsg:
+    def test_elicits_deferred_validation(self, env):
+        _, responder, *_ = env
+        add_server(env, "10.0.0.1", behavior="rfc-compliant", timing=SpfTiming.AFTER_MESSAGE)
+        result = probe(env, "10.0.0.1", kind=TransactionKind.BLANKMSG)
+        assert responder.log.saw_policy_fetch("s1", "ab1")
+        # The blank email is rejected by the -all policy, not delivered.
+        assert result.status == TransactionStatus.FAILED
+
+    def test_delivers_blank_to_non_validating_server(self, env):
+        server = add_server(env, "10.0.0.1")
+        server.spf_stacks.clear()
+        result = probe(env, "10.0.0.1", kind=TransactionKind.BLANKMSG)
+        assert result.status == TransactionStatus.COMPLETED
+        assert len(server.inbox) == 1
+        assert server.inbox[0].data == ""  # entirely empty message
+
+    def test_message_stage_failure(self, env):
+        add_server(
+            env, "10.0.0.1", policy=ServerPolicy(failure_stage=FailureStage.MESSAGE)
+        )
+        result = probe(env, "10.0.0.1", kind=TransactionKind.BLANKMSG)
+        assert result.status == TransactionStatus.FAILED
+
+
+class TestAccounting:
+    def test_replies_recorded(self, env):
+        add_server(env, "10.0.0.1")
+        result = probe(env, "10.0.0.1")
+        assert [int(r.code) for r in result.replies] == [220, 250, 250, 250, 354]
+
+    def test_network_counters(self, env):
+        clock, responder, resolver, network, client = env
+        add_server(env, "10.0.0.1")
+        probe(env, "10.0.0.1")
+        probe(env, "10.9.9.9")
+        assert network.connection_attempts == 2
+        assert network.connections_established == 1
+
+    def test_duplicate_registration_rejected(self, env):
+        from repro.errors import SmtpError
+
+        add_server(env, "10.0.0.1")
+        with pytest.raises(SmtpError):
+            add_server(env, "10.0.0.1")

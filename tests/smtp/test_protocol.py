@@ -1,0 +1,81 @@
+"""Tests for SMTP protocol primitives."""
+
+import pytest
+
+from repro.errors import SmtpProtocolError
+from repro.smtp.protocol import (
+    Command,
+    Reply,
+    ReplyCode,
+    address_domain,
+    parse_command_line,
+    parse_path,
+)
+
+
+class TestParseCommandLine:
+    @pytest.mark.parametrize(
+        "line,command,argument",
+        [
+            ("HELO mta.example.com", Command.HELO, "mta.example.com"),
+            ("EHLO mta.example.com", Command.EHLO, "mta.example.com"),
+            ("MAIL FROM:<u@d.com>", Command.MAIL, "FROM:<u@d.com>"),
+            ("RCPT TO:<x@y.org>", Command.RCPT, "TO:<x@y.org>"),
+            ("DATA", Command.DATA, ""),
+            ("QUIT", Command.QUIT, ""),
+            ("rset", Command.RSET, ""),
+            ("noop ignored", Command.NOOP, "ignored"),
+        ],
+    )
+    def test_parse(self, line, command, argument):
+        assert parse_command_line(line) == (command, argument)
+
+    def test_unknown_verb(self):
+        with pytest.raises(SmtpProtocolError):
+            parse_command_line("VRFY user")
+
+    def test_empty_line(self):
+        with pytest.raises(SmtpProtocolError):
+            parse_command_line("   ")
+
+
+class TestParsePath:
+    def test_angle_brackets_stripped(self):
+        assert parse_path("FROM:<user@example.com>", "FROM") == "user@example.com"
+
+    def test_without_brackets(self):
+        assert parse_path("FROM:user@example.com", "FROM") == "user@example.com"
+
+    def test_empty_reverse_path(self):
+        assert parse_path("FROM:<>", "FROM") == ""
+
+    def test_case_insensitive_keyword(self):
+        assert parse_path("from:<a@b.c>", "FROM") == "a@b.c"
+
+    def test_wrong_keyword_rejected(self):
+        with pytest.raises(SmtpProtocolError):
+            parse_path("TO:<a@b.c>", "FROM")
+
+
+class TestAddressDomain:
+    def test_domain_extracted_lowercase(self):
+        assert address_domain("User@EXAMPLE.com") == "example.com"
+
+    def test_no_at_sign(self):
+        assert address_domain("postmaster") is None
+
+    def test_empty_domain(self):
+        assert address_domain("user@") is None
+
+
+class TestReply:
+    def test_categories(self):
+        assert Reply(ReplyCode.OK).is_positive
+        assert Reply(ReplyCode.START_MAIL_INPUT).is_intermediate
+        assert Reply(ReplyCode.MAILBOX_BUSY).is_transient_failure
+        assert Reply(ReplyCode.MAILBOX_UNAVAILABLE).is_permanent_failure
+        assert Reply(ReplyCode.SERVICE_UNAVAILABLE).is_transient_failure
+
+    def test_to_text(self):
+        assert Reply(ReplyCode.OK, "done").to_text() == "250 done"
+        assert Reply(ReplyCode.OK).to_text() == "250"

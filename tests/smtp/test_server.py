@@ -1,0 +1,290 @@
+"""Tests for the MTA state machine."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
+from repro.errors import SmtpProtocolError
+from repro.smtp.policies import (
+    FailureStage,
+    GreylistPolicy,
+    RecipientPolicy,
+    ServerPolicy,
+    SpfTiming,
+)
+from repro.smtp.protocol import ReplyCode
+from repro.smtp.server import SmtpServer, SpfStack
+
+BASE = "spf-test.dns-lab.org"
+SENDER = "noreply@ab1.s1.spf-test.dns-lab.org"
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture()
+def dns(clock):
+    responder = SpfTestResponder(Name.from_text(BASE))
+    resolver = CachingResolver(clock=lambda: clock.now)
+    resolver.register(BASE, responder)
+    return responder, resolver
+
+
+def make_server(clock, dns, behavior=None, timing=SpfTiming.ON_MAIL_FROM, policy=None):
+    responder, resolver = dns
+    stacks = [] if behavior is None else [SpfStack.named(behavior, timing)]
+    return SmtpServer(
+        "10.0.0.1",
+        policy=policy,
+        spf_stacks=stacks,
+        resolver=StubResolver(resolver, identity="10.0.0.1", clock=lambda: clock.now),
+    )
+
+
+def dialogue(session, *lines):
+    return [session.command(line) for line in lines]
+
+
+class TestHappyPath:
+    def test_full_transaction_delivers(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("198.51.100.7", clock.now)
+        assert session.banner().code == ReplyCode.READY
+        replies = dialogue(
+            session,
+            "EHLO probe.example",
+            f"MAIL FROM:<{SENDER}>",
+            "RCPT TO:<postmaster@dest.example>",
+            "DATA",
+        )
+        assert [r.code for r in replies] == [
+            ReplyCode.OK, ReplyCode.OK, ReplyCode.OK, ReplyCode.START_MAIL_INPUT,
+        ]
+        final = session.send_message("Subject: hi\n\nbody")
+        assert final.code == ReplyCode.OK
+        assert len(server.inbox) == 1
+        assert server.inbox[0].sender == SENDER
+
+    def test_quit_closes(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        reply = session.command("QUIT")
+        assert reply.code == ReplyCode.CLOSING
+        assert session.closed
+
+    def test_rset_clears_transaction(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        session.command("RSET")
+        reply = session.command("RCPT TO:<a@b.c>")
+        assert reply.code == ReplyCode.BAD_SEQUENCE
+
+
+class TestSequencing:
+    def test_mail_before_helo_rejected(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        assert session.command(f"MAIL FROM:<{SENDER}>").code == ReplyCode.BAD_SEQUENCE
+
+    def test_rcpt_before_mail_rejected(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        session.command("EHLO x")
+        assert session.command("RCPT TO:<a@b.c>").code == ReplyCode.BAD_SEQUENCE
+
+    def test_data_before_rcpt_rejected(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        assert session.command("DATA").code == ReplyCode.BAD_SEQUENCE
+
+    def test_message_without_354_rejected(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        with pytest.raises(SmtpProtocolError):
+            session.send_message("x")
+
+    def test_command_after_close_rejected(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        session.command("QUIT")
+        with pytest.raises(SmtpProtocolError):
+            session.command("NOOP")
+
+    def test_unknown_command_is_500(self, clock, dns):
+        server = make_server(clock, dns)
+        session = server.accept("c", clock.now)
+        session.banner()
+        assert session.command("VRFY root").code == ReplyCode.SYNTAX_ERROR
+
+
+class TestFailureStages:
+    @pytest.mark.parametrize(
+        "stage,step",
+        [
+            (FailureStage.BANNER, 0),
+            (FailureStage.HELO, 1),
+            (FailureStage.MAIL_FROM, 2),
+            (FailureStage.RCPT_TO, 3),
+            (FailureStage.DATA, 4),
+        ],
+    )
+    def test_failure_at_each_stage(self, clock, dns, stage, step):
+        policy = ServerPolicy(failure_stage=stage)
+        server = make_server(clock, dns, policy=policy)
+        session = server.accept("c", clock.now)
+        replies = [session.banner()]
+        if step >= 1 and replies[-1].is_positive:
+            replies.append(session.command("EHLO x"))
+        if step >= 2 and replies[-1].is_positive:
+            replies.append(session.command(f"MAIL FROM:<{SENDER}>"))
+        if step >= 3 and replies[-1].is_positive:
+            replies.append(session.command("RCPT TO:<a@b.c>"))
+        if step >= 4 and replies[-1].is_positive:
+            replies.append(session.command("DATA"))
+        assert replies[-1].is_transient_failure or replies[-1].is_permanent_failure
+        assert session.closed
+
+    def test_message_stage_failure(self, clock, dns):
+        policy = ServerPolicy(failure_stage=FailureStage.MESSAGE)
+        server = make_server(clock, dns, policy=policy)
+        session = server.accept("c", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>", "RCPT TO:<a@b.c>", "DATA")
+        reply = session.send_message("")
+        assert reply.code == ReplyCode.TRANSACTION_FAILED
+        assert not server.inbox
+
+
+class TestGreylisting:
+    def policy(self):
+        return ServerPolicy(greylist=GreylistPolicy(enabled=True, retry_after_seconds=300))
+
+    def run_rcpt(self, server, clock):
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        return session.command("RCPT TO:<a@b.c>")
+
+    def test_first_attempt_greylisted(self, clock, dns):
+        server = make_server(clock, dns, policy=self.policy())
+        assert self.run_rcpt(server, clock).code == ReplyCode.MAILBOX_BUSY
+
+    def test_retry_too_soon_still_greylisted(self, clock, dns):
+        server = make_server(clock, dns, policy=self.policy())
+        self.run_rcpt(server, clock)
+        clock.advance(dt.timedelta(seconds=60))
+        assert self.run_rcpt(server, clock).code == ReplyCode.MAILBOX_BUSY
+
+    def test_retry_after_window_accepted(self, clock, dns):
+        server = make_server(clock, dns, policy=self.policy())
+        self.run_rcpt(server, clock)
+        clock.advance(dt.timedelta(minutes=8))
+        assert self.run_rcpt(server, clock).code == ReplyCode.OK
+
+
+class TestRecipients:
+    def test_restricted_usernames(self, clock, dns):
+        policy = ServerPolicy(
+            recipients=RecipientPolicy(
+                accept_any=False, accepted_usernames=frozenset({"postmaster"})
+            )
+        )
+        server = make_server(clock, dns, policy=policy)
+        session = server.accept("c", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        assert session.command("RCPT TO:<nobody@d>").code == ReplyCode.MAILBOX_UNAVAILABLE
+        assert session.command("RCPT TO:<postmaster@d>").code == ReplyCode.OK
+
+
+class TestBlacklisting:
+    def test_blacklists_after_n_sessions(self, clock, dns):
+        policy = ServerPolicy(blacklists_after_probes=2)
+        server = make_server(clock, dns, policy=policy)
+        for _ in range(2):
+            session = server.accept("c", clock.now)
+            assert session.banner().code == ReplyCode.READY
+            session.abort()
+        session = server.accept("c", clock.now)
+        assert session.banner().code == ReplyCode.SERVICE_UNAVAILABLE
+        assert session.closed
+
+
+class TestSpfIntegration:
+    def test_on_mail_from_validates_and_rejects_at_rcpt(self, clock, dns):
+        responder, _ = dns
+        server = make_server(clock, dns, behavior="rfc-compliant")
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        replies = dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        assert replies[-1].code == ReplyCode.OK
+        # Our measurement policy -all fails the client, enforced at RCPT.
+        assert session.command("RCPT TO:<a@b.c>").code == ReplyCode.MAILBOX_UNAVAILABLE
+        assert responder.log.saw_policy_fetch("s1", "ab1")
+
+    def test_after_message_timing_defers_lookup(self, clock, dns):
+        responder, _ = dns
+        server = make_server(
+            clock, dns, behavior="rfc-compliant", timing=SpfTiming.AFTER_MESSAGE
+        )
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>", "RCPT TO:<a@b.c>", "DATA")
+        assert len(responder.log) == 0
+        reply = session.send_message("")
+        assert reply.code == ReplyCode.TRANSACTION_FAILED  # SPF -all
+        assert responder.log.saw_policy_fetch("s1", "ab1")
+        assert not server.inbox
+
+    def test_multiple_stacks_both_query(self, clock, dns):
+        responder, resolver = dns
+        server = SmtpServer(
+            "10.0.0.2",
+            spf_stacks=[
+                SpfStack.named("vulnerable-libspf2", SpfTiming.ON_MAIL_FROM),
+                SpfStack.named("rfc-compliant", SpfTiming.AFTER_MESSAGE),
+            ],
+            resolver=StubResolver(resolver, identity="10.0.0.2", clock=lambda: clock.now),
+        )
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        dialogue(session, "EHLO x", f"MAIL FROM:<{SENDER}>")
+        session.command("RCPT TO:<a@b.c>")
+        prefixes = {str(p) for p in responder.log.expansion_prefixes("s1", "ab1")}
+        assert "org.org.dns-lab.spf-test.s1.ab1" in prefixes
+
+    def test_patch_swaps_vulnerable_stack(self, clock, dns):
+        server = make_server(clock, dns, behavior="vulnerable-libspf2")
+        assert server.is_vulnerable
+        assert server.patch()
+        assert not server.is_vulnerable
+        assert server.spf_stacks[0].behavior.name == "patched-libspf2"
+
+    def test_patch_noop_without_vulnerable_stack(self, clock, dns):
+        server = make_server(clock, dns, behavior="rfc-compliant")
+        assert not server.patch()
+
+    def test_empty_sender_uses_helo_domain(self, clock, dns):
+        responder, _ = dns
+        server = make_server(clock, dns, behavior="rfc-compliant")
+        session = server.accept("198.51.100.7", clock.now)
+        session.banner()
+        dialogue(session, "EHLO zz9.s1.spf-test.dns-lab.org", "MAIL FROM:<>")
+        assert responder.log.saw_policy_fetch("s1", "zz9")
+
+    def test_validates_spf_property(self, clock, dns):
+        assert make_server(clock, dns, behavior="rfc-compliant").validates_spf
+        assert not make_server(clock, dns).validates_spf

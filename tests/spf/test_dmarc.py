@@ -1,0 +1,209 @@
+"""Tests for the DMARC subset (paper Section 6.2's delivery safeguard)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dns import (
+    AuthoritativeServer,
+    CachingResolver,
+    Name,
+    SpfTestResponder,
+    StubResolver,
+    TXT,
+    Zone,
+)
+from repro.errors import SpfSyntaxError
+from repro.spf.dmarc import (
+    AlignmentMode,
+    Disposition,
+    DmarcPolicy,
+    evaluate_dmarc,
+    looks_like_dmarc,
+    lookup_dmarc,
+    organizational_domain,
+    parse_dmarc,
+    spf_aligned,
+)
+from repro.spf.result import SpfResult
+
+
+class TestParse:
+    def test_minimal_record(self):
+        record = parse_dmarc("v=DMARC1; p=none")
+        assert record.policy == DmarcPolicy.NONE
+        assert record.percentage == 100
+
+    def test_full_record(self):
+        record = parse_dmarc("v=DMARC1; p=reject; sp=quarantine; aspf=s; pct=50")
+        assert record.policy == DmarcPolicy.REJECT
+        assert record.subdomain_policy == DmarcPolicy.QUARANTINE
+        assert record.spf_alignment == AlignmentMode.STRICT
+        assert record.percentage == 50
+
+    def test_effective_policy_for_subdomain(self):
+        record = parse_dmarc("v=DMARC1; p=none; sp=reject")
+        assert record.effective_policy(is_subdomain=True) == DmarcPolicy.REJECT
+        assert record.effective_policy(is_subdomain=False) == DmarcPolicy.NONE
+
+    def test_missing_p_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_dmarc("v=DMARC1; sp=reject")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_dmarc("v=DMARC1; p=bounce")
+
+    def test_bad_pct_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_dmarc("v=DMARC1; p=none; pct=150")
+
+    def test_not_dmarc_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_dmarc("v=spf1 -all")
+
+    def test_looks_like_dmarc(self):
+        assert looks_like_dmarc("v=DMARC1; p=reject")
+        assert looks_like_dmarc("V=dmarc1")
+        assert not looks_like_dmarc("v=DMARC12; p=reject")
+
+
+class TestAlignment:
+    def test_organizational_domain(self):
+        assert organizational_domain("a.b.example.com") == "example.com"
+        assert organizational_domain("example.com") == "example.com"
+        assert organizational_domain("com") == "com"
+
+    def test_relaxed_alignment(self):
+        assert spf_aligned("mail.example.com", "example.com", AlignmentMode.RELAXED)
+        assert not spf_aligned("mail.example.com", "other.org", AlignmentMode.RELAXED)
+
+    def test_strict_alignment(self):
+        assert spf_aligned("example.com", "EXAMPLE.COM", AlignmentMode.STRICT)
+        assert not spf_aligned("mail.example.com", "example.com", AlignmentMode.STRICT)
+
+
+@pytest.fixture()
+def resolver():
+    zone = Zone("example.com")
+    zone.add("_dmarc", TXT("v=DMARC1; p=reject; sp=quarantine"))
+    bare = Zone("nopolicy.org")
+    server = AuthoritativeServer([zone, bare])
+    caching = CachingResolver()
+    caching.register("example.com", server)
+    caching.register("nopolicy.org", server)
+    return StubResolver(caching)
+
+
+class TestLookup:
+    def test_direct_lookup(self, resolver):
+        record, is_subdomain = lookup_dmarc(resolver, "example.com")
+        assert record.policy == DmarcPolicy.REJECT
+        assert not is_subdomain
+
+    def test_organizational_fallback(self, resolver):
+        record, is_subdomain = lookup_dmarc(resolver, "deep.sub.example.com")
+        assert record.policy == DmarcPolicy.REJECT
+        assert is_subdomain
+
+    def test_no_policy(self, resolver):
+        assert lookup_dmarc(resolver, "nopolicy.org") is None
+
+
+class TestEvaluate:
+    def test_aligned_pass_accepts(self, resolver):
+        disposition = evaluate_dmarc(
+            resolver,
+            header_from_domain="example.com",
+            spf_result=SpfResult.PASS,
+            spf_domain="example.com",
+        )
+        assert disposition == Disposition.ACCEPT
+
+    def test_fail_hits_reject_policy(self, resolver):
+        disposition = evaluate_dmarc(
+            resolver,
+            header_from_domain="example.com",
+            spf_result=SpfResult.FAIL,
+            spf_domain="example.com",
+        )
+        assert disposition == Disposition.REJECT
+
+    def test_subdomain_policy_applies(self, resolver):
+        disposition = evaluate_dmarc(
+            resolver,
+            header_from_domain="sub.example.com",
+            spf_result=SpfResult.FAIL,
+            spf_domain="sub.example.com",
+        )
+        assert disposition == Disposition.QUARANTINE
+
+    def test_unaligned_pass_is_not_a_dmarc_pass(self, resolver):
+        disposition = evaluate_dmarc(
+            resolver,
+            header_from_domain="example.com",
+            spf_result=SpfResult.PASS,
+            spf_domain="unrelated.org",
+        )
+        assert disposition == Disposition.REJECT
+
+    def test_no_policy_disposition(self, resolver):
+        disposition = evaluate_dmarc(
+            resolver,
+            header_from_domain="nopolicy.org",
+            spf_result=SpfResult.FAIL,
+            spf_domain="nopolicy.org",
+        )
+        assert disposition == Disposition.NO_POLICY
+
+
+class TestMeasurementIntegration:
+    """The paper's safeguard: probe source domains publish p=reject, so
+    even servers that ignore SPF results refuse probe email under DMARC."""
+
+    def test_responder_serves_dmarc_reject(self):
+        clock = SimulatedClock()
+        responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        caching = CachingResolver(clock=lambda: clock.now)
+        caching.register("spf-test.dns-lab.org", responder)
+        stub = StubResolver(caching, clock=lambda: clock.now)
+        txts = stub.get_txt("_dmarc.ab1.s1.spf-test.dns-lab.org")
+        assert any(looks_like_dmarc(t) for t in txts)
+        record, _ = lookup_dmarc(stub, "ab1.s1.spf-test.dns-lab.org")
+        assert record.policy == DmarcPolicy.REJECT
+
+    def test_dmarc_enforcing_server_rejects_blank_probe(self):
+        from repro.smtp import (
+            Network,
+            ServerPolicy,
+            SmtpClient,
+            SmtpServer,
+            SpfStack,
+            SpfTiming,
+            TransactionKind,
+            TransactionStatus,
+        )
+
+        clock = SimulatedClock()
+        responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        caching = CachingResolver(clock=lambda: clock.now)
+        caching.register("spf-test.dns-lab.org", responder)
+        network = Network(clock=lambda: clock.now)
+        # This server does not validate SPF at all; DMARC enforcement
+        # alone keeps the blank probe out of its inbox.
+        server = SmtpServer(
+            "10.0.0.1",
+            policy=ServerPolicy(enforce_dmarc=True),
+            spf_stacks=[],
+            resolver=StubResolver(caching, identity="10.0.0.1", clock=lambda: clock.now),
+        )
+        network.register(server)
+        client = SmtpClient(network)
+        result = client.probe(
+            "10.0.0.1",
+            sender="noreply@ab1.s1.spf-test.dns-lab.org",
+            recipient="postmaster@target.example",
+            kind=TransactionKind.BLANKMSG,
+        )
+        assert result.status == TransactionStatus.FAILED
+        assert any("DMARC" in r.text for r in result.replies)
+        assert not server.inbox

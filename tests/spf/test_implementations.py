@@ -1,0 +1,156 @@
+"""Tests for the pluggable macro-expansion behaviors."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spf.implementations import (
+    NoExpansionBehavior,
+    PatchedLibSpf2Behavior,
+    ReversedNotTruncatedBehavior,
+    RfcCompliantBehavior,
+    StaticExpansionBehavior,
+    TruncatedNotReversedBehavior,
+    VulnerableLibSpf2Behavior,
+    all_behaviors,
+    behavior_by_name,
+)
+from repro.spf.macro import MacroContext, expand_macros
+
+
+def ctx_for(domain="example.com", sender=None):
+    return MacroContext(
+        sender=sender or f"user@{domain}",
+        domain=domain,
+        client_ip=ipaddress.IPv4Address("192.0.2.3"),
+    )
+
+
+SPEC = "%{d1r}.probe.example"
+
+
+class TestBehaviorTable:
+    """The module docstring's behavior table, asserted."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("rfc-compliant", "example.probe.example"),
+            ("patched-libspf2", "example.probe.example"),
+            ("vulnerable-libspf2", "com.com.example.probe.example"),
+            ("no-expansion", "%{d1r}.probe.example"),
+            ("reversed-not-truncated", "com.example.probe.example"),
+            ("truncated-not-reversed", "com.probe.example"),
+            ("static-expansion", "unknown.probe.example"),
+        ],
+    )
+    def test_d1r_expansion(self, name, expected):
+        behavior = behavior_by_name(name)
+        assert behavior.expand_domain_spec(SPEC, ctx_for()).output == expected
+
+    def test_all_behaviors_distinct_on_fingerprint(self):
+        outputs = {
+            b.name: b.expand_domain_spec(SPEC, ctx_for()).output
+            for b in all_behaviors()
+        }
+        # The fingerprint macro separates every behavior except the two
+        # compliant implementations (identical by design).
+        assert outputs["rfc-compliant"] == outputs["patched-libspf2"]
+        non_compliant = {k: v for k, v in outputs.items() if k != "patched-libspf2"}
+        assert len(set(non_compliant.values())) == len(non_compliant)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(behavior_by_name("rfc-compliant"), RfcCompliantBehavior)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            behavior_by_name("nonexistent")
+
+    def test_flags(self):
+        assert behavior_by_name("vulnerable-libspf2").vulnerable
+        assert not behavior_by_name("vulnerable-libspf2").rfc_compliant
+        assert behavior_by_name("rfc-compliant").rfc_compliant
+        assert behavior_by_name("patched-libspf2").rfc_compliant
+        assert not behavior_by_name("no-expansion").rfc_compliant
+
+
+class TestVulnerableBehavior:
+    def test_no_crash_on_plain_reversal(self):
+        outcome = VulnerableLibSpf2Behavior().expand(SPEC, ctx_for())
+        assert not outcome.crashed
+        assert not outcome.corrupted
+
+    def test_crash_on_reversal_plus_url_encoding(self):
+        outcome = VulnerableLibSpf2Behavior().expand(
+            "%{D2R}.x.example", ctx_for("a.b.c.d.example.com")
+        )
+        assert outcome.crashed or outcome.corrupted
+
+    def test_patched_survives_same_input(self):
+        outcome = PatchedLibSpf2Behavior().expand(
+            "%{D2R}.x.example", ctx_for("a.b.c.d.example.com")
+        )
+        assert not outcome.crashed
+        assert not outcome.corrupted
+
+
+class TestVariants:
+    def test_reversed_not_truncated_honors_reverse_only(self):
+        behavior = ReversedNotTruncatedBehavior()
+        out = behavior.expand("%{d1r}", ctx_for("a.b.c")).output
+        assert out == "c.b.a"
+
+    def test_truncated_not_reversed_honors_digits_only(self):
+        behavior = TruncatedNotReversedBehavior()
+        out = behavior.expand("%{d2r}", ctx_for("a.b.c")).output
+        assert out == "b.c"
+
+    def test_no_expansion_is_verbatim(self):
+        behavior = NoExpansionBehavior()
+        assert behavior.expand("%{l}.%{d}", ctx_for()).output == "%{l}.%{d}"
+
+    def test_static_placeholder_configurable(self):
+        behavior = StaticExpansionBehavior(placeholder="spf")
+        assert behavior.expand("%{d}.tail", ctx_for()).output == "spf.tail"
+
+    def test_variants_match_rfc_on_macro_free_specs(self):
+        spec = "plain.example.com"
+        for behavior in all_behaviors():
+            assert behavior.expand_domain_spec(spec, ctx_for()).output == spec
+
+
+domain_st = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6), min_size=1, max_size=5
+).map(".".join)
+macro_expr_st = st.builds(
+    lambda letter, digits, reverse: "%{" + letter + digits + ("r" if reverse else "") + "}",
+    st.sampled_from(["l", "d", "o", "s"]),
+    st.sampled_from(["", "1", "2", "3"]),
+    st.booleans(),
+)
+
+
+class TestPatchedEquivalence:
+    """The patched libSPF2 port must agree with the reference RFC engine
+    on arbitrary macro-strings — the property that makes the patched
+    build 'fixed'."""
+
+    @given(domain_st, macro_expr_st)
+    def test_patched_equals_rfc(self, domain, macro):
+        ctx = ctx_for(domain)
+        patched = PatchedLibSpf2Behavior().expand(macro, ctx)
+        assert patched.output == expand_macros(macro, ctx)
+        assert not patched.crashed
+
+    @given(domain_st)
+    def test_vulnerable_fingerprint_shape(self, domain):
+        """The vulnerable %{d1r} output is always: last label duplicated,
+        then all labels reversed, never truncated."""
+        ctx = ctx_for(domain)
+        out = VulnerableLibSpf2Behavior().expand("%{d1r}", ctx).output
+        labels = domain.split(".")
+        expected = ".".join([labels[-1]] + list(reversed(labels)))
+        assert out == expected

@@ -1,0 +1,253 @@
+"""Tests for the RFC 7208 macro engine."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MacroError
+from repro.spf.macro import (
+    MacroContext,
+    contains_macros,
+    expand_macros,
+    parse_macro_expr,
+    split_on_delimiters,
+    url_escape,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return MacroContext(
+        sender="user@example.com",
+        domain="example.com",
+        client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        helo_domain="mta.example.com",
+    )
+
+
+class TestPaperExamples:
+    """The exact translations listed in the paper's Section 2.2."""
+
+    @pytest.mark.parametrize(
+        "macro,expected",
+        [
+            ("%{l}", "user"),
+            ("%{d}", "example.com"),
+            ("%{d2}", "example.com"),
+            ("%{d1}", "com"),
+            ("%{dr}", "com.example"),
+            ("%{d1r}", "example"),
+        ],
+    )
+    def test_translation(self, ctx, macro, expected):
+        assert expand_macros(macro, ctx) == expected
+
+    def test_mechanism_from_paper(self, ctx):
+        assert expand_macros("%{d1r}.foo.com", ctx) == "example.foo.com"
+
+
+class TestLetters:
+    def test_sender(self, ctx):
+        assert expand_macros("%{s}", ctx) == "user@example.com"
+
+    def test_sender_without_local_part_gets_postmaster(self):
+        ctx = MacroContext(
+            sender="example.com",
+            domain="example.com",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        assert expand_macros("%{s}", ctx) == "postmaster@example.com"
+        assert expand_macros("%{l}", ctx) == "postmaster"
+
+    def test_o_is_sender_domain(self, ctx):
+        assert expand_macros("%{o}", ctx) == "example.com"
+
+    def test_i_ipv4(self, ctx):
+        assert expand_macros("%{i}", ctx) == "192.0.2.3"
+
+    def test_i_ipv6_nibbles(self):
+        ctx = MacroContext(
+            sender="u@example.com",
+            domain="example.com",
+            client_ip=ipaddress.IPv6Address("2001:db8::1"),
+        )
+        expanded = expand_macros("%{i}", ctx)
+        assert expanded.startswith("2.0.0.1.0.d.b.8")
+        assert expanded.endswith(".0.0.0.1")
+        assert len(expanded.split(".")) == 32
+
+    def test_ir_reverses_address(self, ctx):
+        assert expand_macros("%{ir}", ctx) == "3.2.0.192"
+
+    def test_v_in_addr(self, ctx):
+        assert expand_macros("%{v}", ctx) == "in-addr"
+
+    def test_v_ip6(self):
+        ctx = MacroContext(
+            sender="u@x.org", domain="x.org",
+            client_ip=ipaddress.IPv6Address("::1"),
+        )
+        assert expand_macros("%{v}", ctx) == "ip6"
+
+    def test_h_helo(self, ctx):
+        assert expand_macros("%{h}", ctx) == "mta.example.com"
+
+    def test_p_defaults_unknown(self, ctx):
+        assert expand_macros("%{p}", ctx) == "unknown"
+
+    def test_exp_only_letters_rejected_in_domain_spec(self, ctx):
+        for letter in "crt":
+            with pytest.raises(MacroError):
+                expand_macros("%{" + letter + "}", ctx)
+
+    def test_exp_letters_allowed_in_exp(self, ctx):
+        assert expand_macros("%{c}", ctx, in_exp=True) == "192.0.2.3"
+        assert expand_macros("%{r}", ctx, in_exp=True) == "unknown"
+
+
+class TestTransformers:
+    def test_digits_keep_rightmost(self, ctx):
+        ctx.domain = "a.b.c.d.e"
+        assert expand_macros("%{d3}", ctx) == "c.d.e"
+
+    def test_digits_larger_than_labels(self, ctx):
+        assert expand_macros("%{d9}", ctx) == "example.com"
+
+    def test_reverse_then_truncate_order(self, ctx):
+        ctx.domain = "a.b.c"
+        # reverse -> c.b.a, keep rightmost 2 -> b.a
+        assert expand_macros("%{d2r}", ctx) == "b.a"
+
+    def test_custom_delimiter(self):
+        ctx = MacroContext(
+            sender="one-two-three@example.com",
+            domain="example.com",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        assert expand_macros("%{l1r-}", ctx) == "one"
+        assert expand_macros("%{lr-}", ctx) == "three.two.one"
+
+    def test_multiple_delimiters(self):
+        ctx = MacroContext(
+            sender="a-b+c@x.org", domain="x.org",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        assert expand_macros("%{lr-+}", ctx) == "c.b.a"
+
+
+class TestEscapes:
+    def test_percent_percent(self, ctx):
+        assert expand_macros("100%%", ctx) == "100%"
+
+    def test_underscore_space(self, ctx):
+        assert expand_macros("a%_b", ctx) == "a b"
+
+    def test_dash_url_space(self, ctx):
+        assert expand_macros("a%-b", ctx) == "a%20b"
+
+    def test_bare_percent_rejected(self, ctx):
+        with pytest.raises(MacroError):
+            expand_macros("100%", ctx)
+
+    def test_unknown_escape_rejected(self, ctx):
+        with pytest.raises(MacroError):
+            expand_macros("%x", ctx)
+
+    def test_unterminated_macro_rejected(self, ctx):
+        with pytest.raises(MacroError):
+            expand_macros("%{d1r", ctx)
+
+
+class TestUrlEscape:
+    def test_uppercase_letter_escapes(self):
+        ctx = MacroContext(
+            sender="a/b@x.org", domain="x.org",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        assert expand_macros("%{L}", ctx) == "a%2Fb"
+
+    def test_unreserved_untouched(self):
+        assert url_escape("Az09-._~") == "Az09-._~"
+
+    def test_utf8_bytes_escaped_individually(self):
+        assert url_escape("é") == "%C3%A9"
+
+    def test_space(self):
+        assert url_escape("a b") == "a%20b"
+
+
+class TestParse:
+    def test_basic(self):
+        macro = parse_macro_expr("d1r")
+        assert (macro.letter, macro.keep, macro.reverse) == ("d", 1, True)
+
+    def test_defaults(self):
+        macro = parse_macro_expr("s")
+        assert macro.keep is None
+        assert not macro.reverse
+        assert macro.delimiters == "."
+
+    def test_multi_digit(self):
+        assert parse_macro_expr("d12").keep == 12
+
+    def test_zero_digit_rejected(self):
+        with pytest.raises(MacroError):
+            parse_macro_expr("d0")
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(MacroError):
+            parse_macro_expr("q")
+
+    def test_bad_delimiter_rejected(self):
+        with pytest.raises(MacroError):
+            parse_macro_expr("d1r!")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MacroError):
+            parse_macro_expr("")
+
+    def test_uppercase_marks_url_escape(self):
+        assert parse_macro_expr("D2").url_escape
+        assert not parse_macro_expr("d2").url_escape
+
+
+class TestHelpers:
+    def test_split_on_delimiters(self):
+        assert split_on_delimiters("a.b-c", ".-") == ["a", "b", "c"]
+
+    def test_split_preserves_empties(self):
+        assert split_on_delimiters("a..b", ".") == ["a", "", "b"]
+
+    def test_contains_macros(self):
+        assert contains_macros("x.%{d}.y")
+        assert not contains_macros("plain.example.com")
+        assert not contains_macros("100%%")
+
+
+literal_st = st.text(
+    alphabet=st.characters(
+        min_codepoint=ord("a"), max_codepoint=ord("z")
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestProperties:
+    @given(literal_st)
+    def test_literals_pass_through(self, text, ):
+        ctx = MacroContext(
+            sender="u@x.org", domain="x.org",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        assert expand_macros(text, ctx) == text
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_digit_transformer_bounds_labels(self, keep):
+        ctx = MacroContext(
+            sender="u@a.b.c.d.e.f", domain="a.b.c.d.e.f",
+            client_ip=ipaddress.IPv4Address("192.0.2.3"),
+        )
+        expanded = expand_macros("%{d" + str(keep) + "}", ctx)
+        assert len(expanded.split(".")) == min(keep, 6)

@@ -1,0 +1,181 @@
+"""Tests for SPF record parsing."""
+
+import pytest
+
+from repro.errors import SpfSyntaxError
+from repro.spf.record import (
+    Mechanism,
+    Qualifier,
+    SpfRecord,
+    looks_like_spf,
+    parse_record,
+)
+from repro.spf.result import SpfResult
+
+
+class TestVersionTag:
+    def test_looks_like_spf(self):
+        assert looks_like_spf("v=spf1 -all")
+        assert looks_like_spf("v=spf1")
+        assert looks_like_spf("V=SPF1 a -all")
+
+    def test_not_spf(self):
+        assert not looks_like_spf("v=spf10 -all")
+        assert not looks_like_spf("spf1 -all")
+        assert not looks_like_spf("google-site-verification=abc")
+
+    def test_parse_rejects_non_spf(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("not spf at all")
+
+    def test_bare_version_is_empty_record(self):
+        record = parse_record("v=spf1")
+        assert record.mechanisms == []
+        assert record.modifiers == []
+
+
+class TestMechanisms:
+    def test_all(self):
+        record = parse_record("v=spf1 -all")
+        assert record.mechanisms == [Mechanism("all", Qualifier.FAIL)]
+
+    def test_all_takes_no_argument(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 all:example.com")
+
+    @pytest.mark.parametrize(
+        "qualifier,expected",
+        [("+", Qualifier.PASS), ("-", Qualifier.FAIL),
+         ("~", Qualifier.SOFTFAIL), ("?", Qualifier.NEUTRAL)],
+    )
+    def test_qualifiers(self, qualifier, expected):
+        record = parse_record(f"v=spf1 {qualifier}all")
+        assert record.mechanisms[0].qualifier == expected
+
+    def test_default_qualifier_is_pass(self):
+        assert parse_record("v=spf1 mx").mechanisms[0].qualifier == Qualifier.PASS
+
+    def test_qualifier_results(self):
+        assert Qualifier.FAIL.result == SpfResult.FAIL
+        assert Qualifier.PASS.result == SpfResult.PASS
+        assert Qualifier.SOFTFAIL.result == SpfResult.SOFTFAIL
+        assert Qualifier.NEUTRAL.result == SpfResult.NEUTRAL
+
+    def test_a_bare(self):
+        mech = parse_record("v=spf1 a").mechanisms[0]
+        assert (mech.name, mech.value) == ("a", None)
+
+    def test_a_with_domain(self):
+        mech = parse_record("v=spf1 a:mail.example.com").mechanisms[0]
+        assert mech.value == "mail.example.com"
+
+    def test_a_with_macro_domain(self):
+        mech = parse_record("v=spf1 a:%{d1r}.foo.com").mechanisms[0]
+        assert mech.value == "%{d1r}.foo.com"
+
+    def test_a_with_cidr(self):
+        mech = parse_record("v=spf1 a/24").mechanisms[0]
+        assert mech.prefix_length == 24
+
+    def test_a_with_domain_and_dual_cidr(self):
+        mech = parse_record("v=spf1 a:example.com/24//64").mechanisms[0]
+        assert (mech.value, mech.prefix_length, mech.prefix_length6) == (
+            "example.com", 24, 64,
+        )
+
+    def test_mx(self):
+        mech = parse_record("v=spf1 mx:other.org").mechanisms[0]
+        assert (mech.name, mech.value) == ("mx", "other.org")
+
+    def test_ip4(self):
+        mech = parse_record("v=spf1 ip4:192.0.2.0/28").mechanisms[0]
+        assert mech.value == "192.0.2.0/28"
+
+    def test_ip4_single_address(self):
+        assert parse_record("v=spf1 ip4:192.0.2.1").mechanisms[0].value == "192.0.2.1"
+
+    def test_ip4_requires_address(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ip4")
+
+    def test_ip4_bad_address(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ip4:999.1.2.3")
+
+    def test_ip6(self):
+        mech = parse_record("v=spf1 ip6:2001:db8::/32").mechanisms[0]
+        assert mech.value == "2001:db8::/32"
+
+    def test_include_requires_domain(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 include")
+
+    def test_include(self):
+        mech = parse_record("v=spf1 include:bar.org").mechanisms[0]
+        assert (mech.name, mech.value) == ("include", "bar.org")
+
+    def test_exists(self):
+        mech = parse_record("v=spf1 exists:%{ir}.rbl.example.org").mechanisms[0]
+        assert mech.name == "exists"
+
+    def test_ptr(self):
+        assert parse_record("v=spf1 ptr").mechanisms[0].name == "ptr"
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 bogus:thing")
+
+    def test_order_preserved(self):
+        record = parse_record("v=spf1 ip4:192.0.2.1 a mx -all")
+        assert [m.name for m in record.mechanisms] == ["ip4", "a", "mx", "all"]
+
+
+class TestModifiers:
+    def test_redirect(self):
+        record = parse_record("v=spf1 redirect=_spf.example.com")
+        assert record.redirect == "_spf.example.com"
+        assert record.mechanisms == []
+
+    def test_exp(self):
+        assert parse_record("v=spf1 -all exp=why.example.com").exp == "why.example.com"
+
+    def test_unknown_modifier_tolerated(self):
+        record = parse_record("v=spf1 -all custom=value")
+        assert record.modifiers[-1].value == "value"
+
+    def test_duplicate_redirect_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 redirect=a.com redirect=b.com")
+
+    def test_redirect_requires_value(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 redirect=")
+
+    def test_no_redirect_is_none(self):
+        assert parse_record("v=spf1 -all").redirect is None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org -all",
+            "v=spf1 mx ~all",
+            "v=spf1 ?all",
+            "v=spf1 a:%{d1r}.foo.com -all",
+            "v=spf1 redirect=_spf.example.com",
+        ],
+    )
+    def test_parse_render_parse(self, text):
+        first = parse_record(text)
+        second = parse_record(first.to_text())
+        assert first.to_text() == second.to_text()
+
+    def test_paper_policy_parses(self):
+        policy = (
+            "v=spf1 a:%{d1r}.ab1.s1.spf-test.dns-lab.org "
+            "a:b.ab1.s1.spf-test.dns-lab.org -all"
+        )
+        record = parse_record(policy)
+        assert len(record.mechanisms) == 3
+        assert record.mechanisms[0].value == "%{d1r}.ab1.s1.spf-test.dns-lab.org"

@@ -1,0 +1,29 @@
+"""Tests for the SpfResult enum semantics."""
+
+import pytest
+
+from repro.spf.result import SpfResult
+
+
+class TestSpfResult:
+    @pytest.mark.parametrize(
+        "result",
+        [SpfResult.PASS, SpfResult.FAIL, SpfResult.SOFTFAIL, SpfResult.NEUTRAL],
+    )
+    def test_definitive_results(self, result):
+        assert result.is_definitive()
+
+    @pytest.mark.parametrize(
+        "result", [SpfResult.NONE, SpfResult.TEMPERROR, SpfResult.PERMERROR]
+    )
+    def test_non_definitive_results(self, result):
+        assert not result.is_definitive()
+
+    def test_str_is_lowercase_keyword(self):
+        assert str(SpfResult.PASS) == "pass"
+        assert str(SpfResult.PERMERROR) == "permerror"
+
+    def test_values_cover_rfc_7208(self):
+        assert {r.value for r in SpfResult} == {
+            "none", "neutral", "pass", "fail", "softfail", "temperror", "permerror",
+        }

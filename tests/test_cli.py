@@ -1,0 +1,46 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import ARTIFACT_NAMES, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACT_NAMES:
+            assert name in out
+
+    def test_single_artifact(self, capsys):
+        assert main(["--scale", "0.002", "--seed", "5", "--artifact", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Debian" in out
+        assert "Unpatched" in out
+
+    def test_report_and_csv(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        csv_dir = tmp_path / "csv"
+        assert (
+            main(
+                [
+                    "--scale", "0.002", "--seed", "5",
+                    "--report", str(report),
+                    "--export-csv", str(csv_dir),
+                ]
+            )
+            == 0
+        )
+        assert "Paper-target scorecard" in report.read_text()
+        assert (csv_dir / "figure7.csv").exists()
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--list"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "table1" in proc.stdout

@@ -1,0 +1,120 @@
+"""Tests for the simulated clock."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import (
+    CVE_IDS,
+    FINAL_MEASUREMENT,
+    INITIAL_MEASUREMENT,
+    PRIVATE_NOTIFICATION,
+    PUBLIC_DISCLOSURE,
+    SimulatedClock,
+    utc,
+)
+from repro.errors import SimulationError
+
+
+class TestConstants:
+    def test_paper_timeline_ordering(self):
+        assert (
+            INITIAL_MEASUREMENT
+            < PRIVATE_NOTIFICATION
+            < PUBLIC_DISCLOSURE
+            < FINAL_MEASUREMENT
+        )
+
+    def test_paper_dates(self):
+        assert INITIAL_MEASUREMENT == utc(2021, 10, 11)
+        assert PRIVATE_NOTIFICATION == utc(2021, 11, 15)
+        assert PUBLIC_DISCLOSURE == utc(2022, 1, 19)
+        assert FINAL_MEASUREMENT == utc(2022, 2, 14)
+
+    def test_cves(self):
+        assert CVE_IDS == ("CVE-2021-33912", "CVE-2021-33913")
+
+    def test_utc_builder_is_aware(self):
+        assert utc(2021, 1, 1).tzinfo is not None
+
+
+class TestAdvancement:
+    def test_starts_at_initial_measurement(self):
+        assert SimulatedClock().now == INITIAL_MEASUREMENT
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(dt.timedelta(days=2))
+        assert clock.now == INITIAL_MEASUREMENT + dt.timedelta(days=2)
+
+    def test_advance_seconds(self):
+        clock = SimulatedClock()
+        clock.advance_seconds(90)
+        assert clock.now == INITIAL_MEASUREMENT + dt.timedelta(seconds=90)
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(PUBLIC_DISCLOSURE)
+        assert clock.now == PUBLIC_DISCLOSURE
+
+    def test_backwards_rejected(self):
+        clock = SimulatedClock()
+        clock.advance(dt.timedelta(days=1))
+        with pytest.raises(SimulationError):
+            clock.advance_to(INITIAL_MEASUREMENT)
+        with pytest.raises(SimulationError):
+            clock.advance(dt.timedelta(seconds=-1))
+
+    def test_naive_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulatedClock(start=dt.datetime(2021, 10, 11))
+
+
+class TestScheduling:
+    def test_callback_fires_when_reached(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(INITIAL_MEASUREMENT + dt.timedelta(days=3), fired.append)
+        clock.advance(dt.timedelta(days=2))
+        assert fired == []
+        clock.advance(dt.timedelta(days=2))
+        assert fired == [INITIAL_MEASUREMENT + dt.timedelta(days=3)]
+
+    def test_callbacks_fire_in_chronological_order(self):
+        clock = SimulatedClock()
+        order = []
+        clock.schedule(utc(2021, 11, 3), lambda _: order.append("later"))
+        clock.schedule(utc(2021, 10, 20), lambda _: order.append("earlier"))
+        clock.advance_to(utc(2021, 12, 1))
+        assert order == ["earlier", "later"]
+
+    def test_past_schedule_fires_immediately(self):
+        clock = SimulatedClock()
+        clock.advance(dt.timedelta(days=5))
+        fired = []
+        clock.schedule(INITIAL_MEASUREMENT, fired.append)
+        assert fired == [INITIAL_MEASUREMENT]
+
+    def test_callback_observes_its_own_instant(self):
+        clock = SimulatedClock()
+        seen = []
+        target = utc(2021, 10, 20)
+        clock.schedule(target, lambda when: seen.append((when, clock.now)))
+        clock.advance_to(utc(2021, 11, 1))
+        assert seen == [(target, target)]
+
+    def test_pending_count(self):
+        clock = SimulatedClock()
+        clock.schedule(utc(2022, 1, 1), lambda _: None)
+        clock.schedule(utc(2022, 2, 1), lambda _: None)
+        assert clock.pending() == 2
+        clock.advance_to(utc(2022, 1, 15))
+        assert clock.pending() == 1
+
+    def test_callback_fires_exactly_once(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(utc(2021, 10, 20), fired.append)
+        clock.advance_to(utc(2021, 11, 1))
+        clock.advance_to(utc(2021, 12, 1))
+        assert len(fired) == 1

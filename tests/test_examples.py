@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs and prints its key output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "vulnerable" in proc.stdout
+        assert "compliant" in proc.stdout
+        assert "org.org.dns-lab" in proc.stdout
+
+    def test_vulnerability_poc(self):
+        proc = run_example("vulnerability_poc.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "CVE-2021-33912" in proc.stdout
+        assert "CVE-2021-33913" in proc.stdout
+        assert "com.com.example" in proc.stdout
+        assert "memory safe" in proc.stdout
+
+    def test_spf_engine_demo(self):
+        proc = run_example("spf_engine_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "pass" in proc.stdout and "fail" in proc.stdout
+
+    def test_measurement_campaign_small(self):
+        proc = run_example("measurement_campaign.py", "0.002")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 4" in proc.stdout
+        assert "Figure 7" in proc.stdout
+
+    def test_operator_scan(self):
+        proc = run_example("operator_scan.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "ACTION REQUIRED: shop.example" in proc.stdout
+        assert "vulnerable domains: 1 of 3" in proc.stdout
+
+    def test_notification_study_runs(self):
+        proc = run_example("notification_study.py", timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        assert "Package Manager" in proc.stdout
+        assert "never patched" in proc.stdout

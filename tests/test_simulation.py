@@ -1,0 +1,42 @@
+"""Tests for the top-level Simulation facade."""
+
+import pytest
+
+from repro.simulation import Simulation
+
+
+class TestBuild:
+    def test_components_wired(self, session_sim):
+        assert session_sim.campaign.notifier is not None
+        assert len(session_sim.geography) >= len(session_sim.fleet.all_ips)
+        assert session_sim.population is session_sim.campaign.population
+
+    def test_run_caches_result(self, session_sim):
+        assert session_sim.run() is session_sim.run()
+
+    def test_notification_report_none_before_run(self):
+        sim = Simulation.build(scale=0.002, seed=99)
+        assert sim.notification_report is None
+
+    def test_inference_runs_campaign(self):
+        sim = Simulation.build(scale=0.002, seed=98)
+        engine = sim.inference()
+        assert len(engine.rounds) == len(sim.run().rounds)
+
+
+class TestDeterminism:
+    def test_two_builds_agree_on_headline_numbers(self):
+        a = Simulation.build(scale=0.003, seed=77)
+        b = Simulation.build(scale=0.003, seed=77)
+        ra, rb = a.run(), b.run()
+        assert len(ra.initial.ip_records) == len(rb.initial.ip_records)
+        assert sorted(ra.initial.vulnerable_ips()) == sorted(rb.initial.vulnerable_ips())
+        assert ra.snapshot_status == rb.snapshot_status
+        assert [r.results for r in ra.rounds] == [r.results for r in rb.rounds]
+
+    def test_different_seeds_differ(self):
+        a = Simulation.build(scale=0.003, seed=77)
+        b = Simulation.build(scale=0.003, seed=78)
+        assert sorted(a.run().initial.vulnerable_ips()) != sorted(
+            b.run().initial.vulnerable_ips()
+        )
