@@ -63,6 +63,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=20211011, help="simulation seed")
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="probe-execution worker count (N>1 selects the sharded executor)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "sharded"), default=None,
+        help="probe-execution strategy (default: derived from --workers); "
+        "results are byte-identical across strategies for the same seed",
+    )
+    parser.add_argument(
         "--artifact", choices=ARTIFACT_NAMES, action="append",
         help="regenerate only the named table/figure (repeatable)",
     )
@@ -84,10 +93,15 @@ def main(argv=None) -> int:
         return 0
 
     print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
-    sim = Simulation.build(scale=args.scale, seed=args.seed)
+    sim = Simulation.build(
+        scale=args.scale, seed=args.seed,
+        executor=args.executor, workers=args.workers,
+    )
+    executor_name = type(sim.campaign.executor).__name__
     print(
         f"  {len(sim.population):,} domains / {len(sim.fleet.all_ips):,} addresses; "
-        "running the four-month campaign..."
+        f"running the four-month campaign ({executor_name}, "
+        f"workers={args.workers})..."
     )
     if args.report:
         from .analysis.report import generate_report
@@ -110,6 +124,14 @@ def main(argv=None) -> int:
     for name in names:
         print()
         print(registry[name]())
+    total = sim.campaign.executor.metrics.total()
+    print()
+    print(
+        f"probe execution: {total.probes_attempted:,} probes "
+        f"({total.retried} retried, {total.refused} refused) in "
+        f"{total.wall_seconds:.2f}s wall / {total.sim_seconds:,.0f}s simulated "
+        f"({total.probes_per_second:,.0f} probes/s)"
+    )
     return 0
 
 

@@ -87,6 +87,16 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
     results = evaluate_targets(sim)
     write(_scorecard(results))
     write()
+    write("## Probe-execution metrics")
+    write()
+    executor = sim.campaign.executor
+    write(
+        f"Executor: {type(executor).__name__} "
+        f"(results are byte-identical across strategies for the same seed)."
+    )
+    write()
+    write(executor.metrics.render_markdown())
+    write()
 
     blocks = [
         render_table1(build_table1(sim.population)),

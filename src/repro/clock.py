@@ -17,7 +17,7 @@ and tests can reference the same dates as the paper:
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .errors import SimulationError
 
@@ -106,6 +106,23 @@ class SimulatedClock:
     def pending(self) -> int:
         """Number of callbacks not yet fired."""
         return len(self._callbacks)
+
+    def next_scheduled(
+        self, *, until: Optional[_dt.datetime] = None
+    ) -> Optional[_dt.datetime]:
+        """The earliest pending callback instant (optionally capped).
+
+        Returns ``None`` if nothing is scheduled, or nothing is scheduled
+        at or before ``until``.  This is how a batching probe executor
+        finds the next *event horizon* it must stop at.
+        """
+        earliest: Optional[_dt.datetime] = None
+        for at, _fn in self._callbacks:
+            if until is not None and at > until:
+                continue
+            if earliest is None or at < earliest:
+                earliest = at
+        return earliest
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedClock(now={self._now.isoformat()})"

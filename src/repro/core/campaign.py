@@ -30,16 +30,21 @@ from ..clock import SimulatedClock
 from ..dns.name import Name
 from ..dns.resolver import CachingResolver, StubResolver
 from ..dns.server import SpfTestResponder
-from ..errors import ResolutionError
+from ..errors import CampaignError, ResolutionError
+from ..exec import (
+    ClockRouter,
+    ExecutionEnvironment,
+    ProbeTask,
+    RetryPolicy,
+    make_executor,
+)
 from ..internet.mta_fleet import MtaFleet
 from ..internet.population import Domain, DomainPopulation, DomainSet
-from ..smtp.client import SmtpClient
 from ..smtp.transport import Network
 from .detector import (
     DetectionOutcome,
     DetectionResult,
     ProbeMethod,
-    VulnerabilityDetector,
 )
 from .ethics import EthicsControls
 from .fingerprint import ExpansionBehavior
@@ -158,6 +163,9 @@ class MeasurementCampaign:
         config: Optional[CampaignConfig] = None,
         clock: Optional[SimulatedClock] = None,
         notifier: Optional[NotifierFn] = None,
+        executor: Optional[object] = None,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.population = population
         self.fleet = fleet
@@ -167,31 +175,38 @@ class MeasurementCampaign:
 
         base = Name.from_text(self.config.base_domain)
         self.responder = SpfTestResponder(base)
-        self.resolver = CachingResolver(clock=lambda: self.clock.now)
+        # Every time read below the campaign goes through the router, so
+        # probes observe their task's virtual timeslot regardless of the
+        # execution strategy (see repro.exec).
+        self.clock_router = ClockRouter(self.clock)
+        self.resolver = CachingResolver(clock=self.clock_router)
         self.resolver.register(base, self.responder)
         self.resolver.register(Name.root(), self.fleet.dns_backend)
 
         self.network: Network = fleet.build_network(
-            lambda: self.clock.now, self.resolver
+            self.clock_router, self.resolver
         )
         self.labels = LabelAllocator(base)
         self.ethics = EthicsControls()
         self._stub = StubResolver(
-            self.resolver, identity="measurement", clock=lambda: self.clock.now
+            self.resolver, identity="measurement", clock=self.clock_router
         )
-        client = SmtpClient(self.network, client_ip=self.config.probe_client_ip)
-        self.detector = VulnerabilityDetector(
-            client,
-            self.responder,
-            self.labels,
+        self.env = ExecutionEnvironment(
+            clock=self.clock,
+            network=self.network,
+            responder=self.responder,
+            labels=self.labels,
             ethics=self.ethics,
-            wait=lambda seconds: self.clock.advance(_dt.timedelta(seconds=seconds)),
-            now=lambda: self.clock.now,
+            client_ip=self.config.probe_client_ip,
+            seconds_per_probe=self.config.seconds_per_probe,
+            router=self.clock_router,
         )
+        self.executor = make_executor(executor, self.env, workers=workers, retry=retry)
         #: preferred probe method per address, learned at initial time.
         self._preferred: Dict[str, ProbeMethod] = {}
         #: a representative hosted domain per address (RCPT TO targets).
         self._ip_domain: Dict[str, str] = {}
+        self.initial: Optional[InitialMeasurement] = None
 
     # -- resolution -----------------------------------------------------------
 
@@ -219,6 +234,50 @@ class MeasurementCampaign:
         except ResolutionError:
             return []
 
+    # -- probe dispatch ------------------------------------------------------------
+
+    def _probe_ips(
+        self,
+        stage: str,
+        ips: Sequence[str],
+        *,
+        use_preferred: bool = True,
+        recipient_domains: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, DetectionResult]:
+        """Run one stage's work list through the execution engine.
+
+        This is the single home of the bookkeeping the three measurement
+        loops used to copy: suite allocation, preferred-method learning,
+        and per-probe clock advancement (now the executor's clock-advance
+        protocol).
+        """
+        suite = self.labels.new_suite()
+        recipients = recipient_domains if recipient_domains is not None else self._ip_domain
+        tasks = [
+            ProbeTask(
+                ip=ip,
+                suite=suite,
+                preferred_method=self._preferred.get(ip) if use_preferred else None,
+                recipient_domain=recipients.get(ip),
+            )
+            for ip in ips
+        ]
+        results = self.executor.run_stage(stage, tasks)
+        out: Dict[str, DetectionResult] = {}
+        for task, result in zip(tasks, results):
+            if result.successful_method is not None:
+                self._preferred[task.ip] = result.successful_method
+            out[task.ip] = result
+        return out
+
+    def _require_initial(self) -> InitialMeasurement:
+        if self.initial is None:
+            raise CampaignError(
+                "the initial measurement has not run yet — call run_initial() "
+                "(or run()) before longitudinal rounds or the final snapshot"
+            )
+        return self.initial
+
     # -- initial measurement ------------------------------------------------------
 
     def run_initial(self) -> InitialMeasurement:
@@ -235,16 +294,11 @@ class MeasurementCampaign:
                     unique_ips.append(ip)
                     self._ip_domain[ip] = name
 
-        suite = self.labels.new_suite()
-        ip_records: Dict[str, IpInitialRecord] = {}
-        for ip in unique_ips:
-            result = self.detector.detect(
-                ip, suite, recipient_domain=self._ip_domain.get(ip)
-            )
-            ip_records[ip] = IpInitialRecord(ip=ip, result=result)
-            if result.successful_method is not None:
-                self._preferred[ip] = result.successful_method
-            self.clock.advance(_dt.timedelta(seconds=self.config.seconds_per_probe))
+        results = self._probe_ips("initial", unique_ips)
+        ip_records = {
+            ip: IpInitialRecord(ip=ip, result=result)
+            for ip, result in results.items()
+        }
 
         domain_status = {
             name: self._domain_status_from_ips(ips, ip_records)
@@ -274,27 +328,16 @@ class MeasurementCampaign:
 
     def tracked_ips(self) -> List[str]:
         """Addresses contacted after the initial sweep (Section 6.1)."""
-        return self.initial.vulnerable_ips() + self.initial.remeasurable_ips()
+        initial = self._require_initial()
+        return initial.vulnerable_ips() + initial.remeasurable_ips()
 
     def run_round(self, date: _dt.datetime, tracked: Sequence[str]) -> MeasurementRound:
         """One longitudinal measurement round."""
         self.clock.advance_to(max(self.clock.now, date))
         self.ethics.reset_round()
-        suite = self.labels.new_suite()
-        results: Dict[str, DetectionOutcome] = {}
-        methods: Dict[str, Optional[ProbeMethod]] = {}
-        for ip in tracked:
-            result = self.detector.detect(
-                ip,
-                suite,
-                preferred_method=self._preferred.get(ip),
-                recipient_domain=self._ip_domain.get(ip),
-            )
-            results[ip] = result.outcome
-            methods[ip] = result.successful_method
-            if result.successful_method is not None:
-                self._preferred[ip] = result.successful_method
-            self.clock.advance(_dt.timedelta(seconds=self.config.seconds_per_probe))
+        probe_results = self._probe_ips(f"round {date.date().isoformat()}", tracked)
+        results = {ip: r.outcome for ip, r in probe_results.items()}
+        methods = {ip: r.successful_method for ip, r in probe_results.items()}
         return MeasurementRound(date=date, results=results, methods=methods)
 
     def round_dates(self) -> List[_dt.datetime]:
@@ -352,30 +395,30 @@ class MeasurementCampaign:
         is why the paper's snapshot concluded on domains the longitudinal
         series had lost (Section 7.2).
         """
+        initial = self._require_initial()
         self.clock.advance_to(max(self.clock.now, date))
         self.resolver.flush()  # pick up moved MX/A data
-        vulnerable = self.initial.vulnerable_domains()
-        suite = self.labels.new_suite()
-        status: Dict[str, DomainStatus] = {}
-        ip_cache: Dict[str, DetectionOutcome] = {}
+        vulnerable = initial.vulnerable_domains()
+
+        # Fresh resolution first; duplicate addresses are probed once.
+        domain_ips: Dict[str, List[str]] = {}
+        unique_ips: List[str] = []
+        recipients: Dict[str, str] = {}
         for name in vulnerable:
             ips = self._resolve_one(name)
-            outcomes: List[DetectionOutcome] = []
+            domain_ips[name] = ips
             for ip in ips:
-                if ip not in ip_cache:
-                    result = self.detector.detect(
-                        ip,
-                        suite,
-                        preferred_method=self._preferred.get(ip),
-                        recipient_domain=self._ip_domain.get(ip, name),
-                    )
-                    ip_cache[ip] = result.outcome
-                    self.clock.advance(
-                        _dt.timedelta(seconds=self.config.seconds_per_probe)
-                    )
-                outcomes.append(ip_cache[ip])
-            status[name] = self._snapshot_status(outcomes)
-        return status
+                if ip not in recipients:
+                    recipients[ip] = self._ip_domain.get(ip, name)
+                    unique_ips.append(ip)
+
+        results = self._probe_ips(
+            "snapshot", unique_ips, recipient_domains=recipients
+        )
+        return {
+            name: self._snapshot_status([results[ip].outcome for ip in ips])
+            for name, ips in domain_ips.items()
+        }
 
     @staticmethod
     def _snapshot_status(outcomes: List[DetectionOutcome]) -> DomainStatus:

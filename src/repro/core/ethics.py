@@ -17,6 +17,7 @@ these limits as invariants, not suggestions.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
@@ -39,30 +40,37 @@ class EthicsControls:
     _active: int = 0
     peak_concurrency: int = 0
     connections_opened: int = 0
+    #: The ledger is shared by every probe-execution worker; the lock
+    #: keeps the accounting exact even under a threaded worker pool.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- connection accounting ------------------------------------------------
 
     def connection_opened(self, ip: str, now: _dt.datetime) -> None:
         """Record an outgoing connection; enforces concurrency and waits."""
-        if self._active >= self.max_concurrent_connections:
-            raise EthicsViolation(
-                f"concurrency cap exceeded ({self.max_concurrent_connections})"
-            )
-        last = self._last_contact.get(ip)
-        if last is not None and now - last < self.min_reconnect_wait:
-            raise EthicsViolation(
-                f"reconnected to {ip} after "
-                f"{(now - last).total_seconds():.0f}s (< 90s)"
-            )
-        self._active += 1
-        self.peak_concurrency = max(self.peak_concurrency, self._active)
-        self.connections_opened += 1
-        self._last_contact[ip] = now
+        with self._lock:
+            if self._active >= self.max_concurrent_connections:
+                raise EthicsViolation(
+                    f"concurrency cap exceeded ({self.max_concurrent_connections})"
+                )
+            last = self._last_contact.get(ip)
+            if last is not None and now - last < self.min_reconnect_wait:
+                raise EthicsViolation(
+                    f"reconnected to {ip} after "
+                    f"{(now - last).total_seconds():.0f}s (< 90s)"
+                )
+            self._active += 1
+            self.peak_concurrency = max(self.peak_concurrency, self._active)
+            self.connections_opened += 1
+            self._last_contact[ip] = now
 
     def connection_closed(self) -> None:
-        if self._active <= 0:
-            raise EthicsViolation("closing a connection that was never opened")
-        self._active -= 1
+        with self._lock:
+            if self._active <= 0:
+                raise EthicsViolation("closing a connection that was never opened")
+            self._active -= 1
 
     # -- wait computation ------------------------------------------------------
 

@@ -9,17 +9,30 @@ label.  Advertised MAIL FROM domains look like::
 Uniqueness serves two purposes: it ties every DNS query the measurement
 server receives to exactly one (round, server) pair, and it guarantees no
 query can be absorbed by a recursive resolver's cache.
+
+Two allocation modes coexist:
+
+- :meth:`LabelAllocator.new_id` hands out sequential ids — the simple
+  one-at-a-time mode;
+- :meth:`LabelAllocator.reserve_block` carves a fixed-size id range out
+  of a suite's space up front, so a probe-execution worker can label its
+  task's probes without coordinating with other workers, and the labels
+  a task uses depend only on its position in the work list.  All mutable
+  state is lock-guarded, so blocks may also be drawn from threads.
 """
 
 from __future__ import annotations
 
 import string
-from typing import Dict, Optional, Set, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 from ..dns.name import Name
 from ..errors import SimulationError
 
 _ALPHABET = string.ascii_lowercase + string.digits
+#: ids below this render as 4 characters; wider ones get 5.
+_WIDE_THRESHOLD = len(_ALPHABET) ** 4 // 2
 
 
 def _encode(value: int, width: int) -> str:
@@ -30,6 +43,11 @@ def _encode(value: int, width: int) -> str:
     return "".join(reversed(chars))
 
 
+def _label_for(counter: int) -> str:
+    width = 4 if counter < _WIDE_THRESHOLD else 5
+    return _encode(counter, width)
+
+
 class LabelAllocator:
     """Hands out unique id labels per suite and remembers the mapping."""
 
@@ -38,24 +56,42 @@ class LabelAllocator:
         self._next_suite = 0
         self._next_id: Dict[str, int] = {}
         self._ip_for_label: Dict[Tuple[str, str], str] = {}
+        self._lock = threading.Lock()
 
     def new_suite(self) -> str:
         """A fresh test-suite label."""
-        label = "s" + _encode(self._next_suite, 4)
-        self._next_suite += 1
-        self._next_id[label] = 0
+        with self._lock:
+            label = "s" + _encode(self._next_suite, 4)
+            self._next_suite += 1
+            self._next_id[label] = 0
         return label
 
     def new_id(self, suite: str, target_ip: str) -> str:
         """A fresh server id label within a suite, bound to ``target_ip``."""
-        if suite not in self._next_id:
-            raise SimulationError(f"unknown suite label {suite!r}")
-        counter = self._next_id[suite]
-        self._next_id[suite] = counter + 1
-        width = 4 if counter < len(_ALPHABET) ** 4 // 2 else 5
-        label = _encode(counter, width)
-        self._ip_for_label[(suite, label)] = target_ip
+        with self._lock:
+            if suite not in self._next_id:
+                raise SimulationError(f"unknown suite label {suite!r}")
+            counter = self._next_id[suite]
+            self._next_id[suite] = counter + 1
+            label = _label_for(counter)
+            self._ip_for_label[(suite, label)] = target_ip
         return label
+
+    def reserve_block(self, suite: str, start: int, size: int) -> "LabelBlock":
+        """Reserve ids ``[start, start + size)`` of ``suite`` for one task.
+
+        Sequential allocation in the same suite continues above the
+        highest reservation, so the two modes never collide.
+        """
+        with self._lock:
+            if suite not in self._next_id:
+                raise SimulationError(f"unknown suite label {suite!r}")
+            self._next_id[suite] = max(self._next_id[suite], start + size)
+        return LabelBlock(self, suite, start, size)
+
+    def _bind(self, suite: str, label: str, target_ip: str) -> None:
+        with self._lock:
+            self._ip_for_label[(suite, label)] = target_ip
 
     def ip_for(self, suite: str, test_id: str) -> Optional[str]:
         """Which server a (suite, id) pair was allocated to."""
@@ -64,3 +100,33 @@ class LabelAllocator:
     def mail_from_domain(self, suite: str, test_id: str) -> str:
         """The advertised MAIL FROM domain for one probe."""
         return f"{test_id}.{suite}.{self.base}"
+
+
+class LabelBlock:
+    """A contiguous id range reserved for one probe task."""
+
+    __slots__ = ("allocator", "suite", "_next", "_end")
+
+    def __init__(
+        self, allocator: LabelAllocator, suite: str, start: int, size: int
+    ) -> None:
+        self.allocator = allocator
+        self.suite = suite
+        self._next = start
+        self._end = start + size
+
+    def new_id(self, target_ip: str) -> str:
+        """The block's next id label, bound to ``target_ip``."""
+        if self._next >= self._end:
+            raise SimulationError(
+                f"label block for suite {self.suite!r} exhausted at id {self._end}"
+            )
+        counter = self._next
+        self._next += 1
+        label = _label_for(counter)
+        self.allocator._bind(self.suite, label, target_ip)
+        return label
+
+    @property
+    def remaining(self) -> int:
+        return self._end - self._next

@@ -25,9 +25,9 @@ from ..clock import SimulatedClock
 from ..dns.resolver import StubResolver
 from ..dns.server import SpfTestResponder
 from ..errors import ResolutionError
-from ..smtp.client import SmtpClient
+from ..exec import ExecutionEnvironment, ProbeTask, RetryPolicy, make_executor
 from ..smtp.transport import Network
-from .detector import DetectionOutcome, DetectionResult, VulnerabilityDetector
+from .detector import DetectionOutcome, DetectionResult
 from .ethics import EthicsControls
 from .fingerprint import ExpansionBehavior
 from .labels import LabelAllocator
@@ -109,21 +109,26 @@ class SpfVulnerabilityScanner:
         resolver: Optional[StubResolver] = None,
         client_ip: str = "198.51.100.7",
         ethics: Optional[EthicsControls] = None,
+        executor: Optional[object] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.responder = responder
         self.resolver = resolver
         self.labels = LabelAllocator(responder.base)
         self.ethics = ethics or EthicsControls()
-        client = SmtpClient(network, client_ip=client_ip)
-        self.detector = VulnerabilityDetector(
-            client,
-            responder,
-            self.labels,
+        # The scanner is handed an already-clocked network, so it runs the
+        # engine in direct-clock mode (no router): probes advance the
+        # scanner's clock itself, and the serial strategy is the default.
+        self.env = ExecutionEnvironment(
+            clock=self.clock,
+            network=network,
+            responder=responder,
+            labels=self.labels,
             ethics=self.ethics,
-            wait=lambda seconds: self.clock.advance_seconds(seconds),
-            now=lambda: self.clock.now,
+            client_ip=client_ip,
         )
+        self.executor = make_executor(executor, self.env, retry=retry)
 
     # -- scanning ---------------------------------------------------------------
 
@@ -135,14 +140,19 @@ class SpfVulnerabilityScanner:
         suite = self.labels.new_suite()
         recipient_domains = recipient_domains or {}
         seen = set()
+        unique: List[str] = []
         for ip in ips:
             if ip in seen:
                 continue  # paper §6.1: duplicate addresses tested once
             seen.add(ip)
-            report.results[ip] = self.detector.detect(
-                ip, suite, recipient_domain=recipient_domains.get(ip)
-            )
-            self.clock.advance_seconds(0.25)
+            unique.append(ip)
+        tasks = [
+            ProbeTask(ip=ip, suite=suite, recipient_domain=recipient_domains.get(ip))
+            for ip in unique
+        ]
+        results = self.executor.run_stage("scan", tasks)
+        for task, result in zip(tasks, results):
+            report.results[task.ip] = result
         return report
 
     def scan_domains(self, domains: Sequence[str]) -> ScanReport:

@@ -10,6 +10,7 @@ domains (Section 5.1 of the paper).
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -46,6 +47,10 @@ class QueryLog:
         self.base = base
         self._entries: List[QueryLogEntry] = []
         self._by_labels: Dict[Tuple[str, str], List[QueryLogEntry]] = {}
+        # Probe-execution workers append concurrently; per-label slices
+        # stay consistent because every (suite, id) pair belongs to one
+        # task and the append itself is guarded here.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,10 +67,11 @@ class QueryLog:
     ) -> QueryLogEntry:
         """Append one query to the log."""
         entry = QueryLogEntry(timestamp=timestamp, qname=qname, rrtype=rrtype, source=source)
-        self._entries.append(entry)
         labels = self.extract_labels(qname)
-        if labels is not None:
-            self._by_labels.setdefault(labels, []).append(entry)
+        with self._lock:
+            self._entries.append(entry)
+            if labels is not None:
+                self._by_labels.setdefault(labels, []).append(entry)
         return entry
 
     def extract_labels(self, qname: Name) -> Optional[Tuple[str, str]]:
@@ -118,5 +124,6 @@ class QueryLog:
         return [e for e in self._entries if start <= e.timestamp < end]
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._by_labels.clear()
+        with self._lock:
+            self._entries.clear()
+            self._by_labels.clear()

@@ -56,6 +56,11 @@ class SimulationError(ReproError):
     """The simulation itself was misconfigured or used inconsistently."""
 
 
+class CampaignError(ReproError):
+    """A measurement campaign was driven out of order (e.g. a snapshot or
+    longitudinal round requested before the initial sweep ran)."""
+
+
 class MemoryCorruptionError(ReproError):
     """The simulated C heap detected an out-of-bounds write.
 

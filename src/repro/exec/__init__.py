@@ -1,0 +1,55 @@
+"""The probe-execution engine.
+
+The paper's measurement tool probed ~180K MTA addresses per round
+*concurrently*; this package decouples **what to probe** (a work list of
+:class:`ProbeTask`) from **how probes run** (pluggable executor
+strategies), so the campaign, the scanner, and any future workload share
+one engine:
+
+- :class:`SerialExecutor` — the faithful one-at-a-time strategy: the
+  shared simulated clock advances after every probe, firing scheduled
+  events (patches, MX moves) exactly where the paper's serial tool would
+  have observed them.
+- :class:`ShardedExecutor` — a worker-pool strategy: the work list is
+  sharded over per-worker detection contexts (each with its own
+  :class:`~repro.smtp.client.SmtpClient` and
+  :class:`~repro.core.detector.VulnerabilityDetector`), dispatched in
+  batches, and the shared clock is advanced once per *event horizon*
+  instead of once per probe.
+
+Both strategies execute every task at the same simulated instant — task
+``k`` of a stage starts at ``stage_base + k * seconds_per_probe``, and
+in-task waits (greylist backoff, ethics pacing) advance only that task's
+:class:`VirtualClock` — so campaign results are byte-identical between
+executors for the same seed (asserted by ``tests/exec``).
+"""
+
+from .engine import (
+    ExecutionEnvironment,
+    ProbeExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ShardedExecutor,
+    WorkerContext,
+    make_executor,
+    transient_failure,
+)
+from .metrics import ExecutorMetrics, StageMetrics
+from .task import ProbeTask
+from .virtualclock import ClockRouter, VirtualClock
+
+__all__ = [
+    "ClockRouter",
+    "ExecutionEnvironment",
+    "ExecutorMetrics",
+    "ProbeExecutor",
+    "ProbeTask",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "StageMetrics",
+    "VirtualClock",
+    "WorkerContext",
+    "make_executor",
+    "transient_failure",
+]

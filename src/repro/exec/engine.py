@@ -1,0 +1,395 @@
+"""Pluggable probe-execution strategies.
+
+Both executors run every :class:`~repro.exec.task.ProbeTask` of a stage
+at the same simulated instant — task ``k`` starts at
+``stage_base + k * seconds_per_probe`` — and differ only in how the
+*shared* clock (which fires scheduled events: patches, MX migrations,
+blacklist flips) is driven forward:
+
+- :class:`SerialExecutor` advances it after every task, the way the
+  one-at-a-time paper tool experienced time;
+- :class:`ShardedExecutor` computes the next *event horizon*, dispatches
+  every task whose timeslot precedes it across the worker pool in
+  batches, and advances the clock once per horizon.
+
+An event scheduled at instant ``E`` therefore partitions the work list
+identically under both strategies (tasks with slots before ``E`` probe
+the pre-event world), which is what makes campaign results byte-identical
+between them — the property ``tests/exec`` asserts at scale 0.02.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..clock import SimulatedClock
+from ..core.detector import (
+    DetectionOutcome,
+    DetectionResult,
+    VulnerabilityDetector,
+)
+from ..core.ethics import EthicsControls
+from ..core.labels import LabelAllocator, LabelBlock
+from ..dns.server import SpfTestResponder
+from ..errors import SimulationError
+from ..smtp.client import SmtpClient, TransactionStatus
+from ..smtp.protocol import ReplyCode
+from ..smtp.transport import Network
+from .metrics import ExecutorMetrics, StageMetrics
+from .task import ProbeTask
+from .virtualclock import ClockRouter, VirtualClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient SMTP failures.
+
+    A probe whose dialogue broke on a transient condition — a 421
+    service-not-available reply, or greylist deferrals that outlasted the
+    detector's own 8-minute waits — is re-driven from scratch after
+    ``backoff_seconds * backoff_factor**attempt`` of (virtual) time, at
+    most ``max_retries`` times.  The default is no retries: the paper's
+    methodology took a broken dialogue as SMTP-Failed for the round.
+    """
+
+    max_retries: int = 0
+    backoff_seconds: float = 60.0
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-based)."""
+        return self.backoff_seconds * (self.backoff_factor ** attempt)
+
+
+def transient_failure(result: DetectionResult) -> bool:
+    """True if a failed detection looks retryable (421 / greylisting)."""
+    if result.outcome != DetectionOutcome.SMTP_FAILED:
+        return False
+    for transaction in result.transactions:
+        if transaction.status == TransactionStatus.GREYLISTED:
+            return True
+        if any(
+            reply.code == ReplyCode.SERVICE_UNAVAILABLE
+            for reply in transaction.replies
+        ):
+            return True
+    return False
+
+
+@dataclass
+class ExecutionEnvironment:
+    """Everything an executor needs from its host (campaign or scanner).
+
+    ``router`` enables the virtual-time protocol; when it is ``None``
+    (e.g. the scanner was handed a network it cannot re-clock), probes
+    read and advance the shared clock directly and only the serial
+    strategy is available.
+    """
+
+    clock: SimulatedClock
+    network: Network
+    responder: SpfTestResponder
+    labels: LabelAllocator
+    ethics: EthicsControls
+    client_ip: str = "198.51.100.7"
+    seconds_per_probe: float = 0.25
+    router: Optional[ClockRouter] = None
+    detector_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+class WorkerLabels:
+    """A per-worker :class:`LabelAllocator` facade.
+
+    Ids are drawn from the current task's reserved block, so the labels a
+    task uses depend only on its position in the work list — never on
+    which worker ran it or in what order.
+    """
+
+    def __init__(self, parent: LabelAllocator) -> None:
+        self.parent = parent
+        self._block: Optional[LabelBlock] = None
+
+    @property
+    def base(self):
+        return self.parent.base
+
+    def begin_task(self, block: LabelBlock) -> None:
+        self._block = block
+
+    def new_id(self, suite: str, target_ip: str) -> str:
+        block = self._block
+        if block is None or block.suite != suite:
+            raise SimulationError(
+                f"no label block reserved for suite {suite!r} on this worker"
+            )
+        return block.new_id(target_ip)
+
+    def ip_for(self, suite: str, test_id: str) -> Optional[str]:
+        return self.parent.ip_for(suite, test_id)
+
+    def mail_from_domain(self, suite: str, test_id: str) -> str:
+        return self.parent.mail_from_domain(suite, test_id)
+
+
+class WorkerContext:
+    """One worker's private detection context.
+
+    Each worker owns its SMTP client, its detector, its virtual clock,
+    and its label facade; all evidence still lands in the shared query
+    log, ethics ledger, and label registry.
+    """
+
+    def __init__(self, env: ExecutionEnvironment, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.env = env
+        self.vclock = VirtualClock(env.clock.now)
+        self.labels = WorkerLabels(env.labels)
+        self.client = SmtpClient(env.network, client_ip=env.client_ip)
+        if env.router is not None:
+            wait: Callable[[float], None] = self.vclock.advance_seconds
+            now = lambda: self.vclock.now
+        else:
+            wait = env.clock.advance_seconds
+            now = lambda: env.clock.now
+        self.detector = VulnerabilityDetector(
+            self.client,
+            env.responder,
+            self.labels,
+            ethics=env.ethics,
+            wait=wait,
+            now=now,
+            **env.detector_kwargs,
+        )
+
+
+class ProbeExecutor:
+    """Base strategy: per-task execution, retry, and metrics plumbing."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        env: ExecutionEnvironment,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.retry = retry or RetryPolicy()
+        self.metrics = ExecutorMetrics()
+        #: each detect() drives at most two probe methods; each attempt
+        #: (original + retries) therefore needs at most two id labels.
+        self._stride = 2 * (1 + self.retry.max_retries)
+
+    # -- public API -----------------------------------------------------------
+
+    def run_stage(
+        self, stage: str, tasks: Sequence[ProbeTask]
+    ) -> List[DetectionResult]:
+        """Execute one stage's work list; results align with ``tasks``."""
+        raise NotImplementedError
+
+    # -- shared machinery ------------------------------------------------------
+
+    def _slot(self, base: _dt.datetime, index: int, slot: _dt.timedelta) -> _dt.datetime:
+        return base + index * slot
+
+    def _execute(
+        self,
+        ctx: WorkerContext,
+        task: ProbeTask,
+        index: int,
+        virtual_start: _dt.datetime,
+        metrics: StageMetrics,
+    ) -> DetectionResult:
+        env = self.env
+        block = env.labels.reserve_block(
+            task.suite, index * self._stride, self._stride
+        )
+        ctx.labels.begin_task(block)
+        if env.router is not None:
+            ctx.vclock.reset(virtual_start)
+            env.router.push(ctx.vclock)
+        try:
+            return self._detect_with_retry(ctx, task, metrics)
+        finally:
+            if env.router is not None:
+                env.router.pop()
+
+    def _detect_with_retry(
+        self, ctx: WorkerContext, task: ProbeTask, metrics: StageMetrics
+    ) -> DetectionResult:
+        attempt = 0
+        while True:
+            result = ctx.detector.detect(
+                task.ip,
+                task.suite,
+                preferred_method=task.preferred_method,
+                recipient_domain=task.recipient_domain,
+            )
+            metrics.probes_attempted += 1
+            metrics.queries_observed += result.queries_observed
+            if result.outcome == DetectionOutcome.REFUSED:
+                metrics.refused += 1
+            if attempt >= self.retry.max_retries or not transient_failure(result):
+                return result
+            metrics.retried += 1
+            backoff = self.retry.delay(attempt)
+            attempt += 1
+            if self.env.router is not None:
+                ctx.vclock.advance_seconds(backoff)
+            else:
+                self.env.clock.advance_seconds(backoff)
+
+
+class SerialExecutor(ProbeExecutor):
+    """One probe at a time, advancing the shared clock after each."""
+
+    name = "serial"
+
+    def run_stage(
+        self, stage: str, tasks: Sequence[ProbeTask]
+    ) -> List[DetectionResult]:
+        env = self.env
+        metrics = self.metrics.begin_stage(stage, workers=1)
+        metrics.tasks = len(tasks)
+        started = time.perf_counter()
+        base = env.clock.now
+        slot = _dt.timedelta(seconds=env.seconds_per_probe)
+        ctx = WorkerContext(env, 0)
+        results: List[DetectionResult] = []
+        for index, task in enumerate(tasks):
+            results.append(
+                self._execute(ctx, task, index, self._slot(base, index, slot), metrics)
+            )
+            metrics.batches += 1
+            # Fire any events due inside this probe's timeslot before the
+            # next probe runs — the serial tool's view of time.
+            end_of_slot = self._slot(base, index + 1, slot)
+            if env.router is not None:
+                env.clock.advance_to(max(env.clock.now, end_of_slot))
+            else:
+                env.clock.advance_seconds(env.seconds_per_probe)
+        metrics.wall_seconds = time.perf_counter() - started
+        metrics.sim_seconds = (env.clock.now - base).total_seconds()
+        return results
+
+
+class ShardedExecutor(ProbeExecutor):
+    """A worker pool over a sharded work list, batching clock advances.
+
+    Tasks are assigned round-robin to ``workers`` private contexts and
+    dispatched in batches of ``workers * batch_size``.  The shared clock
+    advances only at event horizons (the next scheduled patch/move/flip)
+    and at stage end, so a stage costs O(events) clock scans instead of
+    O(tasks) — the difference is what ``benchmarks/bench_executor.py``
+    measures.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        env: ExecutionEnvironment,
+        *,
+        workers: int = 4,
+        batch_size: int = 64,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if env.router is None:
+            raise SimulationError(
+                "ShardedExecutor needs an environment with a ClockRouter "
+                "(virtual-time protocol); build the network through one"
+            )
+        if workers < 1:
+            raise SimulationError("ShardedExecutor needs at least one worker")
+        super().__init__(env, retry=retry)
+        self.workers = workers
+        self.batch_size = max(1, batch_size)
+
+    def run_stage(
+        self, stage: str, tasks: Sequence[ProbeTask]
+    ) -> List[DetectionResult]:
+        env = self.env
+        metrics = self.metrics.begin_stage(stage, workers=self.workers)
+        metrics.tasks = len(tasks)
+        started = time.perf_counter()
+        base = env.clock.now
+        slot = _dt.timedelta(seconds=env.seconds_per_probe)
+        count = len(tasks)
+        stage_end = self._slot(base, count, slot)
+        pool = [WorkerContext(env, w) for w in range(self.workers)]
+        results: List[Optional[DetectionResult]] = [None] * count
+
+        execute = self._execute
+        nworkers = self.workers
+        span = nworkers * self.batch_size
+        index = 0
+        while index < count:
+            horizon = env.clock.next_scheduled(until=stage_end)
+            limit = count if horizon is None else min(
+                count, _slots_before(horizon, base, slot)
+            )
+            # Timeslots advance incrementally: timedelta arithmetic is
+            # exact (integer microseconds), so base + k*slot == this sum.
+            virtual = self._slot(base, index, slot)
+            while index < limit:
+                batch_end = min(limit, index + span)
+                for k in range(index, batch_end):
+                    results[k] = execute(
+                        pool[k % nworkers], tasks[k], k, virtual, metrics
+                    )
+                    virtual += slot
+                metrics.batches += 1
+                index = batch_end
+            if horizon is not None:
+                # Every pre-horizon task has run; fire the event(s).
+                env.clock.advance_to(max(env.clock.now, horizon))
+        env.clock.advance_to(max(env.clock.now, stage_end))
+        metrics.wall_seconds = time.perf_counter() - started
+        metrics.sim_seconds = (env.clock.now - base).total_seconds()
+        return results  # type: ignore[return-value]
+
+
+def _slots_before(
+    instant: _dt.datetime, base: _dt.datetime, slot: _dt.timedelta
+) -> int:
+    """How many task slots start strictly before ``instant``.
+
+    Exact timedelta arithmetic (ceil division), so the sharded partition
+    matches the serial executor's "event fires at end-of-slot" rule.
+    """
+    delta = instant - base
+    if delta <= _dt.timedelta(0):
+        return 0
+    return -((-delta) // slot)
+
+
+ExecutorSpec = Union[str, ProbeExecutor, Callable[[ExecutionEnvironment], ProbeExecutor]]
+
+
+def make_executor(
+    spec: Optional[ExecutorSpec],
+    env: ExecutionEnvironment,
+    *,
+    workers: int = 1,
+    retry: Optional[RetryPolicy] = None,
+) -> ProbeExecutor:
+    """Resolve an executor from a name, instance, factory, or default.
+
+    ``None`` picks :class:`ShardedExecutor` when ``workers > 1`` (and the
+    environment supports it), else :class:`SerialExecutor`.
+    """
+    if isinstance(spec, ProbeExecutor):
+        return spec
+    if callable(spec):
+        return spec(env)
+    if spec is None:
+        spec = "sharded" if workers > 1 and env.router is not None else "serial"
+    if spec == "serial":
+        return SerialExecutor(env, retry=retry)
+    if spec == "sharded":
+        return ShardedExecutor(env, workers=max(workers, 1), retry=retry)
+    raise SimulationError(f"unknown executor {spec!r} (serial | sharded)")

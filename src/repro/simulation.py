@@ -59,8 +59,17 @@ class Simulation:
         seed: int = 20211011,
         population_config: Optional[PopulationConfig] = None,
         campaign_config: Optional[CampaignConfig] = None,
+        executor: Optional[object] = None,
+        workers: int = 1,
     ) -> "Simulation":
-        """Assemble (but do not run) a complete experiment."""
+        """Assemble (but do not run) a complete experiment.
+
+        ``executor`` selects the probe-execution strategy ("serial" or
+        "sharded", an executor instance, or a factory over the campaign's
+        :class:`~repro.exec.ExecutionEnvironment`); ``workers`` sizes the
+        sharded worker pool.  Results are byte-identical across
+        strategies for the same seed.
+        """
         population_config = population_config or PopulationConfig(scale=scale, seed=seed)
         campaign_config = campaign_config or CampaignConfig()
 
@@ -72,7 +81,12 @@ class Simulation:
         patch_model = PatchBehaviorModel(seed=seed)
 
         campaign = MeasurementCampaign(
-            population, fleet, config=campaign_config, clock=clock
+            population,
+            fleet,
+            config=campaign_config,
+            clock=clock,
+            executor=executor,
+            workers=workers,
         )
         notification = NotificationCampaign(
             fleet, patch_model, campaign.network, clock, seed=seed

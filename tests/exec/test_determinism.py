@@ -1,0 +1,117 @@
+"""Serial and sharded execution must produce byte-identical campaigns.
+
+The executors' contract (see :mod:`repro.exec.engine`) is that the
+strategy only changes *wall time*, never results: task ``k`` of a stage
+always runs at ``stage_base + k * seconds_per_probe`` of simulated time,
+labels come from position-reserved blocks, and scheduled events
+partition the work list identically.  This module runs the full
+four-month campaign twice at scale 0.02 — once serial, once sharded
+across 7 workers — and asserts the complete canonicalized
+:class:`~repro.core.campaign.CampaignResult` artifacts compare equal
+down to the byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Simulation
+
+SCALE = 0.02
+SEED = 20211011
+WORKERS = 7
+
+
+def _canon_transaction(transaction):
+    return (
+        transaction.kind.value,
+        transaction.status.value,
+        transaction.sender,
+        transaction.recipient,
+        transaction.server_ip,
+        tuple(reply.code.value for reply in transaction.replies),
+    )
+
+
+def _canon_detection(result):
+    return (
+        result.ip,
+        result.suite,
+        result.outcome.value,
+        tuple(sorted(b.value for b in result.behaviors)),
+        tuple(result.test_ids),
+        result.successful_method.value if result.successful_method else None,
+        result.queries_observed,
+        tuple(sorted((m.value, o.value) for m, o in result.method_outcomes.items())),
+        tuple(_canon_transaction(t) for t in result.transactions),
+    )
+
+
+def canonicalize(result):
+    """A strategy-independent, fully ordered view of a campaign result."""
+    initial = result.initial
+    out = [
+        initial.date.isoformat(),
+        tuple(sorted((d, tuple(ips)) for d, ips in initial.domain_ips.items())),
+        tuple(
+            sorted(
+                (ip, _canon_detection(record.result))
+                for ip, record in initial.ip_records.items()
+            )
+        ),
+        tuple(sorted((d, s.value) for d, s in initial.domain_status.items())),
+    ]
+    for rnd in result.rounds:
+        out.append(
+            (
+                rnd.date.isoformat(),
+                tuple(sorted((ip, o.value) for ip, o in rnd.results.items())),
+                tuple(
+                    sorted(
+                        (ip, m.value if m else None)
+                        for ip, m in rnd.methods.items()
+                    )
+                ),
+            )
+        )
+    out.append(
+        tuple(sorted((d, s.value) for d, s in result.snapshot_status.items()))
+    )
+    out.append(result.snapshot_date.isoformat() if result.snapshot_date else None)
+    return out
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return Simulation.build(scale=SCALE, seed=SEED, executor="serial").run()
+
+
+@pytest.fixture(scope="module")
+def sharded_result():
+    return Simulation.build(
+        scale=SCALE, seed=SEED, executor="sharded", workers=WORKERS
+    ).run()
+
+
+def test_campaign_results_byte_identical(serial_result, sharded_result):
+    serial_bytes = repr(canonicalize(serial_result)).encode()
+    sharded_bytes = repr(canonicalize(sharded_result)).encode()
+    assert serial_bytes == sharded_bytes
+
+
+def test_probe_counts_identical(serial_result, sharded_result):
+    assert len(serial_result.initial.ip_records) == len(
+        sharded_result.initial.ip_records
+    )
+    assert [r.date for r in serial_result.rounds] == [
+        r.date for r in sharded_result.rounds
+    ]
+
+
+def test_notification_funnel_identical(serial_result, sharded_result):
+    serial_report = serial_result.notification_report
+    sharded_report = sharded_result.notification_report
+    assert (serial_report is None) == (sharded_report is None)
+    if serial_report is not None:
+        assert serial_report.sent == sharded_report.sent
+        assert serial_report.bounced == sharded_report.bounced
