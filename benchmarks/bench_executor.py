@@ -55,6 +55,29 @@ def _compare():
     return serial_best, sharded_best
 
 
+def _record(serial_total, sharded_total) -> dict:
+    """The machine-readable payload behind ``BENCH_executor.json``."""
+    speedup = sharded_total.probes_per_second / max(
+        serial_total.probes_per_second, 1e-9
+    )
+    return {
+        "scale": EXEC_SCALE,
+        "seed": EXEC_SEED,
+        "workers": EXEC_WORKERS,
+        "reps": REPS,
+        "probes": serial_total.probes_attempted,
+        "serial": {
+            "wall_seconds": serial_total.wall_seconds,
+            "probes_per_second": serial_total.probes_per_second,
+        },
+        "sharded": {
+            "wall_seconds": sharded_total.wall_seconds,
+            "probes_per_second": sharded_total.probes_per_second,
+        },
+        "speedup": speedup,
+    }
+
+
 def _render(serial_total, sharded_total) -> str:
     speedup = sharded_total.probes_per_second / max(
         serial_total.probes_per_second, 1e-9
@@ -72,19 +95,24 @@ def _render(serial_total, sharded_total) -> str:
 
 
 def test_sharded_outpaces_serial(benchmark):
-    from conftest import emit
+    from conftest import emit, emit_json
 
     serial_total, sharded_total = benchmark.pedantic(
         _compare, rounds=1, iterations=1
     )
     emit(_render(serial_total, sharded_total))
+    emit_json("executor", _record(serial_total, sharded_total))
     assert sharded_total.probes_attempted == serial_total.probes_attempted
     assert sharded_total.probes_per_second >= serial_total.probes_per_second
 
 
 def main() -> int:
+    from conftest import emit_json
+
     serial_total, sharded_total = _compare()
     print(_render(serial_total, sharded_total))
+    path = emit_json("executor", _record(serial_total, sharded_total))
+    print(f"(record written to {path})")
     if sharded_total.probes_per_second < serial_total.probes_per_second:
         print("FAIL: sharded throughput fell below serial")
         return 1

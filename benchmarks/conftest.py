@@ -10,6 +10,7 @@ regenerated artifacts can be diffed against the paper.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import List
 
@@ -21,6 +22,7 @@ BENCH_SCALE = 0.02
 BENCH_SEED = 20211011
 
 RESULTS_PATH = pathlib.Path(__file__).resolve().parent / "latest_results.txt"
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent
 
 _EMITTED: List[str] = []
 
@@ -40,6 +42,13 @@ def result(sim):
 def emit(text: str) -> None:
     """Queue reproduced rows for the end-of-run summary and results file."""
     _EMITTED.append(text)
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark record to ``BENCH_<name>.json``."""
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

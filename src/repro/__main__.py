@@ -6,15 +6,19 @@ Usage::
     python -m repro --scale 0.02          # bigger synthetic Internet
     python -m repro --artifact table4     # one table/figure only
     python -m repro --list                # available artifacts
+    python -m repro --trace t.jsonl --metrics-out m.json   # observability
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
 from . import analysis
+from .obs import Observation, attach_trace_handler, configure_logging
+from .obs.logbridge import LEVELS
 from .simulation import Simulation
 
 
@@ -52,6 +56,29 @@ ARTIFACT_NAMES = (
 )
 
 
+def _write_trace(sim: Simulation, path: str) -> int:
+    """Write the canonical JSONL trace; returns the event count."""
+    assert sim.observation is not None
+    events = sim.observation.tracer.canonical_events()
+    sim.observation.tracer.write_jsonl(path)
+    return len(events)
+
+
+def _write_metrics(sim: Simulation, path: str, args: argparse.Namespace) -> None:
+    assert sim.observation is not None
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "workers": args.workers,
+        "executor": type(sim.campaign.executor).__name__,
+        "metrics": sim.observation.metrics.to_dict(),
+        "executor_stages": sim.campaign.executor.metrics.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -86,16 +113,38 @@ def main(argv=None) -> int:
         "--export-csv", metavar="DIR",
         help="write machine-readable CSVs for the key series to DIR",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a canonically ordered virtual-time trace (JSONL) to FILE; "
+        "byte-identical across executor strategies for the same seed",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the observability metrics registry (JSON) to FILE",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(LEVELS), default=None,
+        help="enable stdlib logging for the 'repro' logger at this level",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         print("\n".join(ARTIFACT_NAMES))
         return 0
 
+    observation = None
+    if args.trace or args.metrics_out or args.log_level:
+        observation = Observation(trace=bool(args.trace))
+    if args.log_level:
+        configure_logging(args.log_level)
+        if observation is not None and observation.tracer.enabled:
+            attach_trace_handler(observation.tracer)
+
     print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
     sim = Simulation.build(
         scale=args.scale, seed=args.seed,
         executor=args.executor, workers=args.workers,
+        observation=observation,
     )
     executor_name = type(sim.campaign.executor).__name__
     print(
@@ -115,15 +164,24 @@ def main(argv=None) -> int:
 
         written = export_all(sim, args.export_csv)
         print(f"{len(written)} CSV files written to {args.export_csv}")
-    if args.report or args.export_csv:
-        if not args.artifact:
-            return 0
 
-    registry = _artifact_registry(sim)
-    names = args.artifact or list(ARTIFACT_NAMES)
-    for name in names:
-        print()
-        print(registry[name]())
+    if not (args.report or args.export_csv) or args.artifact:
+        registry = _artifact_registry(sim)
+        names = args.artifact or list(ARTIFACT_NAMES)
+        for name in names:
+            print()
+            print(registry[name]())
+
+    # The campaign runs on every path above, so the execution summary —
+    # and any requested observability outputs — are always emitted.
+    sim.run()
+    if args.trace:
+        count = _write_trace(sim, args.trace)
+        print(f"trace: {count:,} events written to {args.trace}")
+    if args.metrics_out:
+        _write_metrics(sim, args.metrics_out, args)
+        print(f"metrics written to {args.metrics_out}")
+
     total = sim.campaign.executor.metrics.total()
     print()
     print(

@@ -97,6 +97,22 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
     write()
     write(executor.metrics.render_markdown())
     write()
+    write("## Observability")
+    write()
+    if sim.observation is not None:
+        obs = sim.observation
+        write(
+            f"Trace events captured: {len(obs.tracer.events()):,} "
+            f"(tracing {'enabled' if obs.tracer.enabled else 'disabled'})."
+        )
+        write()
+        write(obs.metrics.render_markdown())
+    else:
+        write(
+            "Observability disabled for this run. Re-run with `--trace` / "
+            "`--metrics-out` to capture virtual-time spans and metrics."
+        )
+    write()
 
     blocks = [
         render_table1(build_table1(sim.population)),

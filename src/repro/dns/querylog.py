@@ -14,6 +14,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import context as _obs
 from .name import Name
 from .rdata import RRType
 
@@ -72,6 +73,18 @@ class QueryLog:
             self._entries.append(entry)
             if labels is not None:
                 self._by_labels.setdefault(labels, []).append(entry)
+        obs = _obs.ACTIVE
+        if obs is not None and obs.tracer.enabled:
+            # The query-observed event: the paper's sole observable,
+            # linked to the originating probe by its embedded labels.
+            obs.tracer.event(
+                "dns.query",
+                qname=str(qname),
+                rrtype=rrtype.name,
+                source=source,
+                suite=labels[0] if labels is not None else None,
+                test_id=labels[1] if labels is not None else None,
+            )
         return entry
 
     def extract_labels(self, qname: Name) -> Optional[Tuple[str, str]]:

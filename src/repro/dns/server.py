@@ -17,6 +17,7 @@ import datetime as _dt
 from typing import Callable, Dict, List, Optional
 
 from ..errors import DnsError
+from ..obs import context as _obs
 from .message import Message, Rcode
 from .name import Name
 from .querylog import QueryLog
@@ -55,6 +56,9 @@ class AuthoritativeServer(DnsBackend):
         if message.question is None:
             return message.make_response(Rcode.FORMERR)
         qname, rrtype = message.question.name, message.question.rrtype
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.metrics.counter("dns.authoritative_queries").inc(rrtype.name)
         zone = self.zone_for(qname)
         if zone is None:
             return message.make_response(Rcode.REFUSED)
@@ -124,8 +128,13 @@ class SpfTestResponder(DnsBackend):
         if message.question is None:
             return message.make_response(Rcode.FORMERR)
         qname, rrtype = message.question.name, message.question.rrtype
+        obs = _obs.ACTIVE
         if not qname.is_subdomain_of(self.base):
+            if obs is not None:
+                obs.metrics.counter("dns.measurement_refused").inc()
             return message.make_response(Rcode.REFUSED)
+        if obs is not None:
+            obs.metrics.counter("dns.measurement_queries").inc(rrtype.name)
 
         timestamp = now if now is not None else _dt.datetime.now(tz=_dt.timezone.utc)
         self.log.record(timestamp, qname, rrtype, source=source)

@@ -21,11 +21,13 @@ between them — the property ``tests/exec`` asserts at scale 0.02.
 from __future__ import annotations
 
 import datetime as _dt
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..clock import SimulatedClock
+from ..obs import context as _obs
 from ..core.detector import (
     DetectionOutcome,
     DetectionResult,
@@ -41,6 +43,8 @@ from ..smtp.transport import Network
 from .metrics import ExecutorMetrics, StageMetrics
 from .task import ProbeTask
 from .virtualclock import ClockRouter, VirtualClock
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -196,6 +200,47 @@ class ProbeExecutor:
     def _slot(self, base: _dt.datetime, index: int, slot: _dt.timedelta) -> _dt.datetime:
         return base + index * slot
 
+    def _begin_stage_obs(self, stage: str, tasks: Sequence[ProbeTask]):
+        """Open a trace stage scope; returns the active observation."""
+        obs = _obs.ACTIVE
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.begin_stage(stage, tasks=len(tasks))
+        return obs
+
+    def _end_stage_obs(self, obs, metrics: StageMetrics) -> None:
+        """Close the stage scope and publish stage counters.
+
+        Trace attributes are limited to simulation-derived values (task
+        and probe counts, simulated seconds): wall time, worker counts,
+        and batch counts differ between executors and are banned from
+        the trace — they go to the metrics registry instead.
+        """
+        if obs is None:
+            return
+        m = obs.metrics
+        m.counter("exec.stages").inc(self.name)
+        m.counter("exec.probes").inc(amount=metrics.probes_attempted)
+        m.counter("exec.refused").inc(amount=metrics.refused)
+        m.counter("exec.batches").inc(amount=metrics.batches)
+        m.histogram("exec.stage_wall_seconds").observe(metrics.wall_seconds)
+        m.histogram("exec.stage_probes_per_second").observe(metrics.probes_per_second)
+        if obs.tracer.enabled:
+            obs.tracer.end_stage(
+                probes=metrics.probes_attempted,
+                retried=metrics.retried,
+                refused=metrics.refused,
+                queries=metrics.queries_observed,
+                sim_seconds=metrics.sim_seconds,
+            )
+        if _log.isEnabledFor(logging.INFO):
+            _log.info(
+                "stage %s: %d tasks, %d probes (%d retried, %d refused), "
+                "%d DNS queries over %.0f simulated seconds",
+                metrics.stage, metrics.tasks, metrics.probes_attempted,
+                metrics.retried, metrics.refused, metrics.queries_observed,
+                metrics.sim_seconds,
+            )
+
     def _execute(
         self,
         ctx: WorkerContext,
@@ -209,14 +254,54 @@ class ProbeExecutor:
             task.suite, index * self._stride, self._stride
         )
         ctx.labels.begin_task(block)
+        obs = _obs.ACTIVE
+        tracing = obs is not None and obs.tracer.enabled
+        if tracing:
+            obs.tracer.begin_task(
+                index,
+                f"{task.suite}/{task.ip}",
+                vt=virtual_start,
+                ip=task.ip,
+                suite=task.suite,
+                preferred_method=(
+                    task.preferred_method.value if task.preferred_method else None
+                ),
+            )
         if env.router is not None:
             ctx.vclock.reset(virtual_start)
             env.router.push(ctx.vclock)
         try:
-            return self._detect_with_retry(ctx, task, metrics)
+            result = self._detect_with_retry(ctx, task, metrics)
+            if obs is not None:
+                # Still inside the task's virtual timeslot: stamp the end
+                # event with the task clock, not the shared one.
+                end_vt = ctx.vclock.now if env.router is not None else env.clock.now
+                self._observe_task(obs, tracing, result, end_vt)
+            return result
+        except BaseException:
+            if tracing:
+                obs.tracer.drop_task()
+            raise
         finally:
             if env.router is not None:
                 env.router.pop()
+
+    def _observe_task(self, obs, tracing: bool, result, end_vt: _dt.datetime) -> None:
+        """Per-task metrics and the ``task.end`` trace event."""
+        obs.metrics.counter("exec.outcomes").inc(result.outcome.value)
+        obs.metrics.histogram("dns.queries_per_probe").observe(result.queries_observed)
+        if tracing:
+            obs.tracer.end_task(
+                vt=end_vt,
+                outcome=result.outcome.value,
+                queries=result.queries_observed,
+                method=(
+                    result.successful_method.value
+                    if result.successful_method is not None
+                    else None
+                ),
+                behaviors=sorted(b.value for b in result.behaviors),
+            )
 
     def _detect_with_retry(
         self, ctx: WorkerContext, task: ProbeTask, metrics: StageMetrics
@@ -237,6 +322,14 @@ class ProbeExecutor:
                 return result
             metrics.retried += 1
             backoff = self.retry.delay(attempt)
+            obs = _obs.ACTIVE
+            if obs is not None:
+                obs.metrics.counter("exec.retries").inc()
+                obs.metrics.histogram("exec.backoff_seconds").observe(backoff)
+                if obs.tracer.enabled:
+                    obs.tracer.event(
+                        "task.retry", attempt=attempt, backoff_seconds=backoff
+                    )
             attempt += 1
             if self.env.router is not None:
                 ctx.vclock.advance_seconds(backoff)
@@ -255,6 +348,7 @@ class SerialExecutor(ProbeExecutor):
         env = self.env
         metrics = self.metrics.begin_stage(stage, workers=1)
         metrics.tasks = len(tasks)
+        obs = self._begin_stage_obs(stage, tasks)
         started = time.perf_counter()
         base = env.clock.now
         slot = _dt.timedelta(seconds=env.seconds_per_probe)
@@ -274,6 +368,7 @@ class SerialExecutor(ProbeExecutor):
                 env.clock.advance_seconds(env.seconds_per_probe)
         metrics.wall_seconds = time.perf_counter() - started
         metrics.sim_seconds = (env.clock.now - base).total_seconds()
+        self._end_stage_obs(obs, metrics)
         return results
 
 
@@ -315,6 +410,7 @@ class ShardedExecutor(ProbeExecutor):
         env = self.env
         metrics = self.metrics.begin_stage(stage, workers=self.workers)
         metrics.tasks = len(tasks)
+        obs = self._begin_stage_obs(stage, tasks)
         started = time.perf_counter()
         base = env.clock.now
         slot = _dt.timedelta(seconds=env.seconds_per_probe)
@@ -350,6 +446,7 @@ class ShardedExecutor(ProbeExecutor):
         env.clock.advance_to(max(env.clock.now, stage_end))
         metrics.wall_seconds = time.perf_counter() - started
         metrics.sim_seconds = (env.clock.now - base).total_seconds()
+        self._end_stage_obs(obs, metrics)
         return results  # type: ignore[return-value]
 
 

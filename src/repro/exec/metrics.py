@@ -6,6 +6,11 @@ counters answer the operational questions a large-scale scan raises:
 how many probes ran (including retries), how many were refused, how much
 DNS evidence arrived, and how the stage's wall-clock cost compares to
 the simulated time it covered.
+
+When an observation is active (:mod:`repro.obs`), the executors also
+publish these counters — plus per-stage wall-time and backoff
+histograms — into the open :class:`~repro.obs.metrics.MetricsRegistry`,
+which generalizes this fixed schema to every subsystem.
 """
 
 from __future__ import annotations
@@ -39,6 +44,22 @@ class StageMetrics:
             return 0.0
         return self.probes_attempted / self.wall_seconds
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (``--metrics-out`` and benchmark files)."""
+        return {
+            "stage": self.stage,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "probes_attempted": self.probes_attempted,
+            "retried": self.retried,
+            "refused": self.refused,
+            "queries_observed": self.queries_observed,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "probes_per_second": self.probes_per_second,
+        }
+
 
 @dataclass
 class ExecutorMetrics:
@@ -65,6 +86,13 @@ class ExecutorMetrics:
             total.wall_seconds += stage.wall_seconds
             total.sim_seconds += stage.sim_seconds
         return total
+
+    def to_dict(self) -> dict:
+        """Per-stage snapshots plus the aggregate, JSON-ready."""
+        return {
+            "stages": [stage.to_dict() for stage in self.stages],
+            "total": self.total().to_dict(),
+        }
 
     def render_markdown(self) -> str:
         """A markdown table over every stage plus the aggregate row."""

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import MacroError, MemoryCorruptionError
+from ..obs import context as _obs
 from .cmem import CBuffer, CHeap
 from .csprintf import sprintf_url_encode_byte
 
@@ -277,10 +278,55 @@ class LibSpf2Expander:
 
         corrupted = heap.corrupted
         output = buf.cstring().decode("utf-8", errors="replace")
-        return ExpansionOutcome(
+        outcome = ExpansionOutcome(
             output=output,
             corrupted=corrupted,
             crashed=crashed,
             overflow_byte_count=len(buf.overflow_bytes()),
             crash_reason=crash_reason,
         )
+        if _obs.ACTIVE is not None:
+            self._observe(macro_string, tokens, outcome)
+        return outcome
+
+    def _observe(
+        self, macro_string: str, tokens: List[Tuple[str, object]], outcome: ExpansionOutcome
+    ) -> None:
+        obs = _obs.ACTIVE
+        if obs is None:
+            return
+        obs.metrics.counter("libspf2.expansions").inc(
+            "patched" if self.patched else "vulnerable"
+        )
+        if outcome.corrupted:
+            obs.metrics.counter("libspf2.corrupted").inc()
+        if outcome.crashed:
+            obs.metrics.counter("libspf2.crashed").inc()
+        if outcome.overflow_byte_count:
+            obs.metrics.histogram("libspf2.overflow_bytes").observe(
+                float(outcome.overflow_byte_count)
+            )
+        if not obs.tracer.enabled:
+            return
+        any_reverse = any(
+            kind == "macro" and tok.reverse  # type: ignore[union-attr]
+            for kind, tok in tokens
+        )
+        if not self.patched and any_reverse:
+            # The reversed-emission fingerprint (e.g. com.com.example) —
+            # the DNS-observable signal SPFail keys on.
+            obs.tracer.event(
+                "libspf2.misexpansion",
+                macro=macro_string,
+                output=outcome.output,
+            )
+        if outcome.corrupted or outcome.crashed:
+            obs.tracer.event(
+                "libspf2.overflow",
+                macro=macro_string,
+                output=outcome.output,
+                overflow_bytes=outcome.overflow_byte_count,
+                corrupted=outcome.corrupted,
+                crashed=outcome.crashed,
+                reason=outcome.crash_reason,
+            )

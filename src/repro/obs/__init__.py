@@ -1,0 +1,57 @@
+"""Observability: virtual-time tracing and metrics for the whole system.
+
+The SPFail detection method is itself observational — a remote server's
+vulnerability is inferred from nothing but the DNS queries its SPF macro
+expansion emits — and this package makes the *reproduction* equally
+observable: every probe becomes an auditable transcript, every subsystem
+a metrics source.
+
+- :mod:`repro.obs.trace` — spans and events stamped with virtual time
+  from the simulation clock, carrying stable probe/task ids, exported as
+  canonically ordered JSONL that is byte-identical between the serial
+  and sharded executors for the same seed.
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms (SMTP
+  reply codes, DNS queries per probe, macro expansions, retry/backoff,
+  stage wall-time percentiles), generalizing
+  :class:`repro.exec.metrics.StageMetrics`.
+- :mod:`repro.obs.context` — the ambient :class:`Observation` that
+  instrumented hot paths consult with a single global read, so the layer
+  costs nothing when disabled (the default).
+- :mod:`repro.obs.logbridge` — stdlib-``logging`` integration: console
+  output for ``--log-level`` and a handler that mirrors ``repro.*``
+  records into the trace.
+
+Usage::
+
+    from repro.obs import Observation
+    from repro.simulation import Simulation
+
+    obs = Observation(trace=True)
+    sim = Simulation.build(scale=0.01, observation=obs)
+    sim.run()
+    obs.tracer.write_jsonl("trace.jsonl")
+
+or via the CLI: ``python -m repro --trace t.jsonl --metrics-out m.json``.
+"""
+
+from .context import Observation, activate, active, deactivate, observing
+from .logbridge import TraceLogHandler, attach_trace_handler, configure_logging
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observation",
+    "TraceEvent",
+    "TraceLogHandler",
+    "Tracer",
+    "activate",
+    "active",
+    "attach_trace_handler",
+    "configure_logging",
+    "deactivate",
+    "observing",
+]

@@ -1,0 +1,73 @@
+"""Bridging stdlib ``logging`` into the observability layer.
+
+Two pieces:
+
+- :func:`configure_logging` wires the ``repro`` logger hierarchy to
+  stderr at a CLI-chosen level (the ``--log-level`` flag), so components
+  can use plain ``logging.getLogger(__name__)`` calls and be heard.
+- :class:`TraceLogHandler` converts every record a ``repro.*`` logger
+  emits into a ``log.<level>`` trace event, stamped — like every trace
+  event — with **virtual time** from the tracer's bound clock, never the
+  record's wall-clock ``created`` field.  Components that log only
+  simulation-derived facts (counts, simulated seconds, outcomes)
+  therefore stay inside the trace's byte-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from .trace import Tracer
+
+LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+
+def configure_logging(
+    level: str, *, stream=None, logger_name: str = "repro"
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger at ``level``."""
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    # Filter at the handler, not just the logger: the trace bridge may
+    # lower the logger to DEBUG, and that must not widen console output.
+    handler.setLevel(getattr(logging, level.upper()))
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    return logger
+
+
+class TraceLogHandler(logging.Handler):
+    """A ``logging.Handler`` that mirrors records into the trace."""
+
+    def __init__(self, tracer: Tracer, level: int = logging.DEBUG) -> None:
+        super().__init__(level=level)
+        self.tracer = tracer
+
+    def emit(self, record: logging.LogRecord) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.event(
+            f"log.{record.levelname.lower()}",
+            logger=record.name,
+            message=record.getMessage(),
+        )
+
+
+def attach_trace_handler(
+    tracer: Tracer, *, logger_name: str = "repro"
+) -> Optional[TraceLogHandler]:
+    """Mirror ``repro.*`` log records into ``tracer`` (if it is enabled)."""
+    if not tracer.enabled:
+        return None
+    handler = TraceLogHandler(tracer)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    # The bridge must see records even when no console level was set.
+    if logger.level == logging.NOTSET or logger.level > logging.DEBUG:
+        logger.setLevel(logging.DEBUG)
+    return handler

@@ -1,0 +1,185 @@
+"""A registry of named counters, gauges, and histograms.
+
+This generalizes :class:`repro.exec.metrics.StageMetrics` — which keeps
+a fixed set of per-stage counters — into an open registry any subsystem
+can write to: SMTP reply-code distributions, DNS queries per probe, SPF
+macro expansions, retry/backoff histograms, per-stage wall-time
+percentiles.  Counters support an optional key, so one instrument holds
+a whole distribution (e.g. ``smtp.replies`` keyed by reply code).
+
+Unlike the trace (:mod:`repro.obs.trace`), metrics MAY carry wall-clock
+durations: the registry feeds the ``--metrics-out`` JSON and the report,
+which are performance artifacts, not determinism artifacts.  Exports are
+sorted by name and key so diffs between runs stay readable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count, optionally broken out by key."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total = 0.0
+        self._by_key: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, key: Optional[str] = None, amount: float = 1.0) -> None:
+        with self._lock:
+            self._total += amount
+            if key is not None:
+                self._by_key[key] = self._by_key.get(key, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def by_key(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._by_key)
+
+    def to_dict(self) -> dict:
+        out: dict = {"total": self._total}
+        if self._by_key:
+            out["by_key"] = {k: self._by_key[k] for k in sorted(self._by_key)}
+        return out
+
+
+class Gauge:
+    """A value that can move both ways (last write wins)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values with on-demand percentiles.
+
+    Observations are kept verbatim — campaign scales here put a few
+    hundred thousand floats at the high end, which is cheap — so
+    percentiles are exact rather than bucket-interpolated.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (nearest-rank); 0 for an empty histogram."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        values.sort()
+
+        def at(p: float) -> float:
+            rank = max(0, min(len(values) - 1, round(p / 100.0 * (len(values) - 1))))
+            return values[rank]
+
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / len(values),
+            "p50": at(50),
+            "p90": at(90),
+            "p99": at(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: self._counters[n].to_dict() for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].to_dict() for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].to_dict() for n in sorted(self._histograms)
+            },
+        }
+
+    def render_markdown(self) -> str:
+        """Counter and histogram tables for the report's Observability section."""
+        lines = ["| counter | total | top keys |", "|---|---|---|"]
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            keyed = sorted(
+                counter.by_key().items(), key=lambda kv: (-kv[1], kv[0])
+            )[:5]
+            keys = ", ".join(f"{k}={v:g}" for k, v in keyed) or "-"
+            lines.append(f"| {name} | {counter.total:g} | {keys} |")
+        if self._histograms:
+            lines.append("")
+            lines.append("| histogram | count | mean | p50 | p90 | p99 | max |")
+            lines.append("|---|---|---|---|---|---|---|")
+            for name in sorted(self._histograms):
+                d = self._histograms[name].to_dict()
+                if d["count"] == 0:
+                    lines.append(f"| {name} | 0 | - | - | - | - | - |")
+                    continue
+                lines.append(
+                    f"| {name} | {d['count']} | {d['mean']:.3g} | {d['p50']:.3g} "
+                    f"| {d['p90']:.3g} | {d['p99']:.3g} | {d['max']:.3g} |"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Virtual-time tracing: spans and events over a campaign run.
+
+Every event is stamped with **virtual time** — the simulated instant the
+emitting component observed through the campaign's clock router — never
+the wall clock.  Virtual time is a pure function of the work list (task
+``k`` of a stage runs at ``stage_base + k * seconds_per_probe``, and
+in-task waits advance only that task's cursor), so the same seed
+produces the same stamps under every execution strategy.  A wall-clock
+timestamp would differ between runs and between executors, which is why
+wall time is banned from trace payloads outright (it lives in
+:mod:`repro.obs.metrics` instead).
+
+Ordering uses the same idea.  Each event belongs to a *scope* — the run,
+a stage, or one probe task — and scopes carry a sort prefix derived from
+identity, not from execution order: stage ordinal, then task index
+within the stage, then the per-scope emission sequence.  Task execution
+is single-threaded *within* a task under every strategy, so the per-task
+sequence is deterministic even for a worker-pool executor, and the
+canonical export (:meth:`Tracer.export_jsonl` sorts by this key) is
+byte-identical between the serial and sharded executors for the same
+seed — the property ``tests/obs/test_trace_determinism.py`` asserts.
+
+The emit path is guarded: every public method returns immediately when
+the tracer is disabled, and instrumentation sites additionally check
+:attr:`Tracer.enabled` before building attribute dicts, so tracing
+defaults off with near-zero overhead.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Sort lane for events emitted before a scope's tasks (stage.begin) and
+#: after them (stage.end); task lanes are the task indices in between.
+_LANE_BEGIN = -1
+_LANE_END = 1 << 60
+#: Run-scope events sort before the stage they precede.
+_LANE_RUN = -2
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``vt`` is the virtual-time stamp (``None`` only when no simulation
+    clock is bound, e.g. unit tests of the tracer itself).  ``scope`` is
+    ``"run"``, ``"s<stage>"``, or ``"s<stage>.t<task>"``; ``probe``
+    carries the task's stable probe id (``<suite>/<ip>``) for every event
+    emitted while that probe was in flight.
+    """
+
+    name: str
+    vt: Optional[_dt.datetime]
+    scope: str
+    seq: int
+    span: Optional[str] = None
+    parent: Optional[str] = None
+    probe: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: Canonical sort prefix: (stage ordinal, lane, seq, emit index).
+    key: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "vt": self.vt.isoformat() if self.vt is not None else None,
+            "scope": self.scope,
+            "seq": self.seq,
+            "span": self.span,
+            "parent": self.parent,
+            "probe": self.probe,
+            "attrs": self.attrs,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class _Scope:
+    """Mutable per-scope state: sequence and span counters."""
+
+    __slots__ = ("sid", "stage_ord", "lane", "probe", "seq", "spans")
+
+    def __init__(
+        self, sid: str, stage_ord: int, lane: int, probe: Optional[str] = None
+    ) -> None:
+        self.sid = sid
+        self.stage_ord = stage_ord
+        self.lane = lane
+        self.probe = probe
+        self.seq = 0
+        self.spans = 0
+
+
+class Tracer:
+    """A thread-safe, virtual-time span/event sink.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    instant; for campaign runs it is the clock router, so events emitted
+    while a probe is in flight carry that probe's virtual time.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Optional[Callable[[], _dt.datetime]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._emit_counter = 0
+        self._stages_begun = 0
+        self._run_scope = _Scope("run", 0, _LANE_RUN)
+        #: the open stage scope (stages are ambient across worker threads).
+        self._stage: Optional[_Scope] = None
+        self._local = threading.local()
+
+    # -- scope plumbing -----------------------------------------------------
+
+    def _current_scope(self) -> _Scope:
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            return scope
+        stage = self._stage
+        return stage if stage is not None else self._run_scope
+
+    def _span_stack(self) -> List[str]:
+        stack = getattr(self._local, "spans", None)
+        if stack is None:
+            stack = self._local.spans = []
+        return stack
+
+    def _emit(
+        self,
+        name: str,
+        scope: _Scope,
+        *,
+        lane: Optional[int] = None,
+        vt: Optional[_dt.datetime] = None,
+        span: Optional[str] = None,
+        parent: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> TraceEvent:
+        if vt is None and self.clock is not None:
+            vt = self.clock()
+        with self._lock:
+            seq = scope.seq
+            scope.seq += 1
+            emit_index = self._emit_counter
+            self._emit_counter += 1
+            # Run-scope events sort ahead of the next stage to begin.
+            stage_ord = (
+                self._stages_begun if scope is self._run_scope else scope.stage_ord
+            )
+            event = TraceEvent(
+                name=name,
+                vt=vt,
+                scope=scope.sid,
+                seq=seq,
+                span=span,
+                parent=parent,
+                probe=scope.probe,
+                attrs=attrs or {},
+                key=(stage_ord, lane if lane is not None else scope.lane, seq, emit_index),
+            )
+            self._events.append(event)
+        return event
+
+    # -- public emit API ----------------------------------------------------
+
+    def event(self, name: str, *, vt: Optional[_dt.datetime] = None, **attrs) -> None:
+        """Emit one event in the current scope (no-op when disabled)."""
+        if not self.enabled:
+            return
+        stack = self._span_stack()
+        self._emit(
+            name,
+            self._current_scope(),
+            vt=vt,
+            span=stack[-1] if stack else None,
+            attrs=attrs,
+        )
+
+    def span(self, name: str, **attrs):
+        """Context manager: emits ``<name>.begin`` / ``<name>.end``.
+
+        The span id is derived from the scope's span counter, so ids
+        nest deterministically (``s0.t3#1`` parented by ``s0.t3#0``).
+        """
+        return _SpanContext(self, name, attrs)
+
+    # -- stage / task scopes -------------------------------------------------
+
+    def begin_stage(self, stage: str, **attrs) -> None:
+        """Open a stage scope; subsequent tasks sort under its ordinal."""
+        if not self.enabled:
+            return
+        with self._lock:
+            ordinal = self._stages_begun
+            self._stages_begun += 1
+        scope = _Scope(f"s{ordinal}", ordinal, _LANE_BEGIN)
+        self._stage = scope
+        self._emit(
+            "stage.begin", scope, attrs=dict(attrs, stage=stage)
+        )
+
+    def end_stage(self, **attrs) -> None:
+        if not self.enabled:
+            return
+        scope = self._stage
+        if scope is None:
+            return
+        self._emit("stage.end", scope, lane=_LANE_END, attrs=attrs)
+        self._stage = None
+
+    def begin_task(
+        self,
+        index: int,
+        probe: str,
+        *,
+        vt: Optional[_dt.datetime] = None,
+        **attrs,
+    ) -> None:
+        """Open a task scope under the current stage.
+
+        ``probe`` is the stable probe id (``<suite>/<ip>``) carried by
+        every event emitted while this task runs; ``vt`` is the task's
+        assigned virtual timeslot.
+        """
+        if not self.enabled:
+            return
+        stage = self._stage
+        stage_ord = stage.stage_ord if stage is not None else self._stages_begun
+        sid = f"s{stage_ord}.t{index}" if stage is not None else f"t{index}"
+        scope = _Scope(sid, stage_ord, index, probe)
+        self._local.scope = scope
+        self._emit("task.begin", scope, vt=vt, attrs=attrs)
+
+    def end_task(self, *, vt: Optional[_dt.datetime] = None, **attrs) -> None:
+        """Emit ``task.end`` and fall back to the stage scope."""
+        if not self.enabled:
+            return
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            self._emit("task.end", scope, vt=vt, attrs=attrs)
+        self._local.scope = None
+
+    def drop_task(self) -> None:
+        """Abandon the task scope without an event (exception unwind)."""
+        self._local.scope = None
+
+    # -- export ---------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def canonical_events(self) -> List[TraceEvent]:
+        """Events in canonical order: stage ordinal, task index, sequence."""
+        return sorted(self.events(), key=lambda e: e.key)
+
+    def export_jsonl(self) -> str:
+        """The canonical JSONL trace (byte-identical across executors)."""
+        return "\n".join(e.to_json() for e in self.canonical_events())
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the canonical trace to ``path``; returns the event count."""
+        text = self.export_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class _SpanContext:
+    """The context manager behind :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_sid", "_parent")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._sid: Optional[str] = None
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> Optional[str]:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return None
+        scope = tracer._current_scope()
+        with tracer._lock:
+            self._sid = f"{scope.sid}#{scope.spans}"
+            scope.spans += 1
+        stack = tracer._span_stack()
+        self._parent = stack[-1] if stack else None
+        tracer._emit(
+            f"{self._name}.begin",
+            scope,
+            span=self._sid,
+            parent=self._parent,
+            attrs=self._attrs,
+        )
+        stack.append(self._sid)
+        return self._sid
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        if self._sid is None:
+            return
+        stack = tracer._span_stack()
+        if stack and stack[-1] == self._sid:
+            stack.pop()
+        tracer._emit(
+            f"{self._name}.end",
+            tracer._current_scope(),
+            span=self._sid,
+            parent=self._parent,
+        )

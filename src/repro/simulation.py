@@ -36,6 +36,7 @@ from .internet.population import (
     generate_population,
 )
 from .notification.delivery import NotificationCampaign, NotificationReport
+from .obs import Observation, observing
 
 
 @dataclass
@@ -49,6 +50,7 @@ class Simulation:
     patch_model: PatchBehaviorModel
     campaign: MeasurementCampaign
     notification: NotificationCampaign
+    observation: Optional[Observation] = None
     result: Optional[CampaignResult] = None
 
     @classmethod
@@ -61,6 +63,7 @@ class Simulation:
         campaign_config: Optional[CampaignConfig] = None,
         executor: Optional[object] = None,
         workers: int = 1,
+        observation: Optional[Observation] = None,
     ) -> "Simulation":
         """Assemble (but do not run) a complete experiment.
 
@@ -69,6 +72,11 @@ class Simulation:
         :class:`~repro.exec.ExecutionEnvironment`); ``workers`` sizes the
         sharded worker pool.  Results are byte-identical across
         strategies for the same seed.
+
+        ``observation`` attaches a :class:`repro.obs.Observation`; its
+        tracer is bound to the campaign's clock router so every trace
+        event carries virtual (simulation) time, and it is activated for
+        the duration of :meth:`run`.
         """
         population_config = population_config or PopulationConfig(scale=scale, seed=seed)
         campaign_config = campaign_config or CampaignConfig()
@@ -97,6 +105,9 @@ class Simulation:
         patch_model.apply(fleet, campaign.network, clock)
         fleet.schedule_moves(campaign.network, clock)
 
+        if observation is not None:
+            observation.bind_clock(campaign.clock_router)
+
         return cls(
             population=population,
             fleet=fleet,
@@ -105,12 +116,17 @@ class Simulation:
             patch_model=patch_model,
             campaign=campaign,
             notification=notification,
+            observation=observation,
         )
 
     def run(self) -> CampaignResult:
         """Execute the full campaign timeline; caches the result."""
         if self.result is None:
-            self.result = self.campaign.run()
+            if self.observation is not None:
+                with observing(self.observation):
+                    self.result = self.campaign.run()
+            else:
+                self.result = self.campaign.run()
         return self.result
 
     def inference(self) -> InferenceEngine:

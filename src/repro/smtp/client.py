@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs import context as _obs
 from .protocol import Reply, ReplyCode
 from .transport import ConnectionRefused, Network
 
@@ -79,6 +80,38 @@ class SmtpClient:
         kind: TransactionKind = TransactionKind.NOMSG,
     ) -> TransactionResult:
         """Run one NoMsg or BlankMsg transaction."""
+        obs = _obs.ACTIVE
+        if obs is None:
+            return self._probe(server_ip, sender=sender, recipient=recipient, kind=kind)
+        if obs.tracer.enabled:
+            with obs.tracer.span(
+                "smtp.transaction", server=server_ip, kind=kind.value
+            ):
+                result = self._probe(
+                    server_ip, sender=sender, recipient=recipient, kind=kind
+                )
+                obs.tracer.event(
+                    "smtp.transaction.status",
+                    status=result.status.value,
+                    replies=len(result.replies),
+                    crashed=result.server_crashed,
+                )
+        else:
+            result = self._probe(server_ip, sender=sender, recipient=recipient, kind=kind)
+        obs.metrics.counter("smtp.transactions").inc(result.status.value)
+        obs.metrics.counter("smtp.probe_kinds").inc(kind.value)
+        if result.server_crashed:
+            obs.metrics.counter("smtp.server_crashes_observed").inc()
+        return result
+
+    def _probe(
+        self,
+        server_ip: str,
+        *,
+        sender: str,
+        recipient: str,
+        kind: TransactionKind,
+    ) -> TransactionResult:
         result = TransactionResult(
             kind=kind,
             status=TransactionStatus.COMPLETED,

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..dns.resolver import StubResolver
 from ..errors import SmtpProtocolError
+from ..obs import context as _obs
 from ..spf.evaluator import CheckHostOutcome, SpfEvaluator
 from ..spf.implementations import (
     MacroExpansionBehavior,
@@ -150,14 +151,26 @@ class SmtpServer:
             ip = ipaddress.ip_address(client_ip)
         except ValueError:
             return outcomes
+        obs = _obs.ACTIVE
         for stack in self.spf_stacks:
             if stack.timing != timing:
                 continue
             evaluator = SpfEvaluator(self.resolver, behavior=stack.behavior)
             outcome = evaluator.check_host(ip, domain, sender, helo_domain=helo)
             outcomes.append(outcome)
+            if obs is not None:
+                obs.metrics.counter("spf.validations").inc(outcome.result.value)
             if outcome.crashed:
                 self.crash_count += 1
+                if obs is not None:
+                    obs.metrics.counter("smtp.spf_crashes").inc()
+                    if obs.tracer.enabled:
+                        obs.tracer.event(
+                            "smtp.spf_crash",
+                            server=self.ip,
+                            timing=timing.value,
+                            behavior=stack.behavior.name,
+                        )
         return outcomes
 
 
@@ -185,7 +198,20 @@ class SmtpSession:
     def _reply(self, code: ReplyCode, text: str = "") -> Reply:
         reply = Reply(code, text)
         self.log.note(f"<- {reply.to_text()}")
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.metrics.counter("smtp.replies").inc(str(code.value))
+            if obs.tracer.enabled:
+                obs.tracer.event("smtp.reply", code=code.value, server=self.server.ip)
         return reply
+
+    def _policy_event(self, kind: str) -> None:
+        """Record a policy-driven outcome (greylist, blacklist, ...)."""
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.metrics.counter("smtp.policy_outcomes").inc(kind)
+            if obs.tracer.enabled:
+                obs.tracer.event("smtp.policy", kind=kind, server=self.server.ip)
 
     def _maybe_crash(self, outcomes: List[CheckHostOutcome]) -> bool:
         if any(outcome.crashed for outcome in outcomes):
@@ -205,6 +231,7 @@ class SmtpSession:
         """The 220 greeting (or the policy's failure response)."""
         if self.server._blacklisted:
             self._close()
+            self._policy_event("blacklisted")
             return self._reply(ReplyCode.SERVICE_UNAVAILABLE, "access denied")
         policy = self.server.policy
         if (
@@ -213,9 +240,11 @@ class SmtpSession:
             and self.server._noise.random() < policy.flaky_rate
         ):
             self._close()
+            self._policy_event("flaky")
             return self._reply(ReplyCode.SERVICE_UNAVAILABLE, "try again later")
         if self.server.policy.failure_stage == FailureStage.BANNER:
             self._close()
+            self._policy_event("failure-stage")
             return self._reply(ReplyCode.SERVICE_UNAVAILABLE, "service not available")
         return self._reply(ReplyCode.READY, f"{self.server.hostname} ESMTP")
 
@@ -228,6 +257,13 @@ class SmtpSession:
             command, argument = parse_command_line(line)
         except SmtpProtocolError as exc:
             return self._reply(ReplyCode.SYNTAX_ERROR, str(exc))
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.metrics.counter("smtp.commands").inc(command.name)
+            if obs.tracer.enabled:
+                obs.tracer.event(
+                    "smtp.command", verb=command.name, server=self.server.ip
+                )
 
         handler = {
             Command.HELO: self._on_helo,
@@ -282,10 +318,12 @@ class SmtpSession:
 
         if self._spf_fail:
             # The policy said -all and this server enforces at RCPT.
+            self._policy_event("spf-rejected")
             return self._reply(ReplyCode.MAILBOX_UNAVAILABLE, "SPF check failed")
 
         local_part = recipient.rsplit("@", 1)[0] if "@" in recipient else recipient
         if not self.server.policy.recipients.accepts(local_part):
+            self._policy_event("user-unknown")
             return self._reply(ReplyCode.MAILBOX_UNAVAILABLE, "user unknown")
 
         greylist = self.server.policy.greylist
@@ -294,8 +332,10 @@ class SmtpSession:
             first = self.server._greylist_first_seen.get(key)
             if first is None:
                 self.server._greylist_first_seen[key] = self.now
+                self._policy_event("greylisted")
                 return self._reply(ReplyCode.MAILBOX_BUSY, "greylisted, try again later")
             if (self.now - first).total_seconds() < greylist.retry_after_seconds:
+                self._policy_event("greylisted")
                 return self._reply(ReplyCode.MAILBOX_BUSY, "greylisted, try again later")
 
         self._recipients.append(recipient)

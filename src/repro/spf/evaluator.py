@@ -22,6 +22,7 @@ from typing import List, Optional, Union
 from ..dns.name import Name
 from ..dns.resolver import StubResolver
 from ..errors import MacroError, NameError_, ResolutionError, SpfSyntaxError
+from ..obs import context as _obs
 from .implementations.base import MacroExpansionBehavior
 from .implementations.rfc_compliant import RfcCompliantBehavior
 from .macro import MacroContext, contains_macros
@@ -98,6 +99,31 @@ class SpfEvaluator:
         helo_domain: str = "unknown",
     ) -> CheckHostOutcome:
         """Run ``check_host()`` per RFC 7208 section 4."""
+        obs = _obs.ACTIVE
+        if obs is None:
+            return self._check_host(ip, domain, sender, helo_domain)
+        if obs.tracer.enabled:
+            with obs.tracer.span("spf.check_host", domain=domain, sender=sender):
+                outcome = self._check_host(ip, domain, sender, helo_domain)
+                obs.tracer.event(
+                    "spf.result",
+                    result=outcome.result.value,
+                    mechanism=outcome.matched_mechanism,
+                    dns_mechanisms=outcome.dns_mechanism_count,
+                    void_lookups=outcome.void_lookups,
+                    crashed=outcome.crashed,
+                )
+        else:
+            outcome = self._check_host(ip, domain, sender, helo_domain)
+        obs.metrics.counter("spf.check_host").inc(outcome.result.value)
+        obs.metrics.histogram("spf.dns_mechanisms").observe(outcome.dns_mechanism_count)
+        if outcome.crashed:
+            obs.metrics.counter("spf.crashes").inc()
+        return outcome
+
+    def _check_host(
+        self, ip: IPAddress, domain: str, sender: str, helo_domain: str
+    ) -> CheckHostOutcome:
         budget = _Budget()
         crashed = False
         try:
@@ -193,6 +219,18 @@ class SpfEvaluator:
 
     def _expand(self, spec: str, ctx: MacroContext) -> str:
         outcome = self.behavior.expand_domain_spec(spec, ctx)
+        obs = _obs.ACTIVE
+        if obs is not None and contains_macros(spec):
+            obs.metrics.counter("spf.macro_expansions").inc(self.behavior.name)
+            if obs.tracer.enabled:
+                obs.tracer.event(
+                    "spf.macro.expand",
+                    spec=spec,
+                    output=outcome.output,
+                    behavior=self.behavior.name,
+                    crashed=outcome.crashed,
+                    corrupted=outcome.corrupted,
+                )
         if outcome.crashed:
             raise _Crashed()
         return outcome.output

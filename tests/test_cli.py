@@ -1,5 +1,6 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
 import subprocess
 import sys
 
@@ -36,6 +37,59 @@ class TestCli:
         )
         assert "Paper-target scorecard" in report.read_text()
         assert (csv_dir / "figure7.csv").exists()
+        # Regression: the probe-execution summary must print on the
+        # report/CSV-only path, not just the artifact path.
+        out = capsys.readouterr().out
+        assert "probe execution:" in out
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "--scale", "0.002", "--seed", "5",
+                    "--artifact", "table6",
+                    "--trace", str(trace),
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        lines = trace.read_text().splitlines()
+        assert lines, "trace file is empty"
+        for line in lines[:50]:
+            decoded = json.loads(line)
+            assert decoded["vt"] is not None
+        payload = json.loads(metrics.read_text())
+        assert payload["scale"] == 0.002
+        assert payload["metrics"]["counters"]["exec.probes"]["total"] > 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics written" in out
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        try:
+            self._run_with_log_level(capsys)
+        finally:
+            logger.handlers.clear()
+            logger.setLevel(logging.NOTSET)
+
+    def _run_with_log_level(self, capsys):
+        assert (
+            main(
+                [
+                    "--scale", "0.002", "--seed", "5",
+                    "--artifact", "table6",
+                    "--log-level", "INFO",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "INFO repro" in err
 
     def test_module_invocation(self):
         proc = subprocess.run(
