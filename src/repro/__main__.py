@@ -7,6 +7,13 @@ Usage::
     python -m repro --artifact table4     # one table/figure only
     python -m repro --list                # available artifacts
     python -m repro --trace t.jsonl --metrics-out m.json   # observability
+    python -m repro --progress            # live stage/throughput/ETA lines
+    python -m repro trace summary t.jsonl # analyze a captured trace
+    python -m repro trace diff a.jsonl b.jsonl   # pinpoint first divergence
+
+The parser is structured around subcommands (``trace summary``,
+``trace diff``), but the default command is still the campaign run and
+every run flag keeps working at the top level unchanged.
 """
 
 from __future__ import annotations
@@ -56,34 +63,11 @@ ARTIFACT_NAMES = (
 )
 
 
-def _write_trace(sim: Simulation, path: str) -> int:
-    """Write the canonical JSONL trace; returns the event count."""
-    assert sim.observation is not None
-    events = sim.observation.tracer.canonical_events()
-    sim.observation.tracer.write_jsonl(path)
-    return len(events)
+# -- parser ---------------------------------------------------------------------
 
 
-def _write_metrics(sim: Simulation, path: str, args: argparse.Namespace) -> None:
-    assert sim.observation is not None
-    payload = {
-        "scale": args.scale,
-        "seed": args.seed,
-        "workers": args.workers,
-        "executor": type(sim.campaign.executor).__name__,
-        "metrics": sim.observation.metrics.to_dict(),
-        "executor_stages": sim.campaign.executor.metrics.to_dict(),
-    }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run the SPFail (IMC 2022) reproduction campaign.",
-    )
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """The campaign-run flags, all at the top level (the default command)."""
     parser.add_argument(
         "--scale", type=float, default=0.01,
         help="population scale relative to the paper's 441K domains (default 0.01)",
@@ -126,8 +110,119 @@ def main(argv=None) -> int:
         "--log-level", choices=sorted(LEVELS), default=None,
         help="enable stdlib logging for the 'repro' logger at this level",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render live stage progress (tasks, probes/s, ETA) to stderr; "
+        "never alters trace, report, or CSV output",
+    )
 
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the SPFail (IMC 2022) reproduction campaign.",
+    )
+    _add_run_flags(parser)
+
+    sub = parser.add_subparsers(dest="command", metavar="{trace}")
+    trace = sub.add_parser(
+        "trace", help="analyze or diff traces produced by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = trace_sub.add_parser(
+        "summary",
+        help="stage/span/critical-path summary of one trace (markdown)",
+    )
+    summary.add_argument("file", help="canonical JSONL trace file")
+    summary.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the markdown summary to FILE instead of stdout",
+    )
+    summary.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="also write folded-stack lines (flamegraph input) to FILE",
+    )
+    summary.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="event names listed in the counts table (default 20)",
+    )
+
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces; pinpoint the first divergent event",
+    )
+    diff.add_argument("left", help="baseline trace (JSONL)")
+    diff.add_argument("right", help="candidate trace (JSONL)")
+    diff.add_argument(
+        "--context", type=int, default=3, metavar="N",
+        help="shared events shown before the divergence (default 3)",
+    )
+    return parser
+
+
+# -- trace subcommands -----------------------------------------------------------
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    from .obs.analyze import TraceAnalysis
+
+    analysis_ = TraceAnalysis.from_file(args.file)
+    text = analysis_.render_markdown(top_events=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"summary written to {args.out}")
+    else:
+        print(text)
+    if args.folded:
+        folded = analysis_.folded_stacks()
+        with open(args.folded, "w") as handle:
+            if folded:
+                handle.write(folded + "\n")
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def _trace_diff(args: argparse.Namespace) -> int:
+    from .obs.diff import diff_files
+    from .obs.records import load_jsonl
+
+    divergence = diff_files(args.left, args.right, context=args.context)
+    if divergence is None:
+        count = len(load_jsonl(args.left))
+        print(f"traces identical ({count:,} events)")
+        return 0
+    print(divergence.render(args.left, args.right))
+    return 1
+
+
+# -- campaign run ----------------------------------------------------------------
+
+
+def _write_trace(sim: Simulation, path: str) -> int:
+    """Write the canonical JSONL trace; returns the event count."""
+    assert sim.observation is not None
+    return sim.observation.tracer.write_jsonl(path)
+
+
+def _write_metrics(sim: Simulation, path: str, args: argparse.Namespace) -> None:
+    assert sim.observation is not None
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "workers": args.workers,
+        "executor": type(sim.campaign.executor).__name__,
+        "metrics": sim.observation.metrics.to_dict(),
+        "histogram_percentiles": sim.observation.metrics.percentiles(),
+        "executor_stages": sim.campaign.executor.metrics.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.list:
         print("\n".join(ARTIFACT_NAMES))
         return 0
@@ -146,6 +241,10 @@ def main(argv=None) -> int:
         executor=args.executor, workers=args.workers,
         observation=observation,
     )
+    if args.progress:
+        from .obs.progress import ProgressReporter
+
+        sim.campaign.executor.progress = ProgressReporter()
     executor_name = type(sim.campaign.executor).__name__
     print(
         f"  {len(sim.population):,} domains / {len(sim.fleet.all_ips):,} addresses; "
@@ -191,6 +290,16 @@ def main(argv=None) -> int:
         f"({total.probes_per_second:,.0f} probes/s)"
     )
     return 0
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "trace":
+        if args.trace_command == "summary":
+            return _trace_summary(args)
+        return _trace_diff(args)
+    return _run(args)
 
 
 if __name__ == "__main__":

@@ -107,6 +107,36 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
         )
         write()
         write(obs.metrics.render_markdown())
+        percentiles = {
+            name: summary
+            for name, summary in obs.metrics.percentiles().items()
+            if summary.get("count")
+        }
+        if percentiles:
+            write()
+            write("### Histogram percentiles")
+            write()
+            write("| histogram | count | p50 | p90 | p99 |")
+            write("|---|---|---|---|---|")
+            for name, summary in percentiles.items():
+                write(
+                    f"| {name} | {summary['count']} | {summary['p50']:.3g} "
+                    f"| {summary['p90']:.3g} | {summary['p99']:.3g} |"
+                )
+        if obs.tracer.enabled and obs.tracer.events():
+            from ..obs.analyze import TraceAnalysis
+
+            trace_analysis = TraceAnalysis.from_tracer(obs.tracer)
+            write()
+            write("### Trace analysis")
+            write()
+            write(trace_analysis.render_stage_table())
+            write()
+            write(trace_analysis.render_span_table())
+            write()
+            write("Critical path (virtual time):")
+            write()
+            write(trace_analysis.render_critical_path())
     else:
         write(
             "Observability disabled for this run. Re-run with `--trace` / "

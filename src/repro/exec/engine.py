@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..clock import SimulatedClock
 from ..obs import context as _obs
+from ..obs.progress import ProgressReporter
 from ..core.detector import (
     DetectionOutcome,
     DetectionResult,
@@ -183,6 +184,9 @@ class ProbeExecutor:
         self.env = env
         self.retry = retry or RetryPolicy()
         self.metrics = ExecutorMetrics()
+        #: optional live stderr reporter (``--progress``); operator-facing
+        #: only — it never writes into the trace or the metrics registry.
+        self.progress: Optional[ProgressReporter] = None
         #: each detect() drives at most two probe methods; each attempt
         #: (original + retries) therefore needs at most two id labels.
         self._stride = 2 * (1 + self.retry.max_retries)
@@ -202,6 +206,8 @@ class ProbeExecutor:
 
     def _begin_stage_obs(self, stage: str, tasks: Sequence[ProbeTask]):
         """Open a trace stage scope; returns the active observation."""
+        if self.progress is not None:
+            self.progress.begin_stage(stage, len(tasks))
         obs = _obs.ACTIVE
         if obs is not None and obs.tracer.enabled:
             obs.tracer.begin_stage(stage, tasks=len(tasks))
@@ -215,6 +221,8 @@ class ProbeExecutor:
         and batch counts differ between executors and are banned from
         the trace — they go to the metrics registry instead.
         """
+        if self.progress is not None:
+            self.progress.end_stage(metrics)
         if obs is None:
             return
         m = obs.metrics
@@ -277,6 +285,8 @@ class ProbeExecutor:
                 # event with the task clock, not the shared one.
                 end_vt = ctx.vclock.now if env.router is not None else env.clock.now
                 self._observe_task(obs, tracing, result, end_vt)
+            if self.progress is not None:
+                self.progress.task_done(metrics)
             return result
         except BaseException:
             if tracing:

@@ -20,6 +20,15 @@ a metrics source.
 - :mod:`repro.obs.logbridge` — stdlib-``logging`` integration: console
   output for ``--log-level`` and a handler that mirrors ``repro.*``
   records into the trace.
+- :mod:`repro.obs.records` / :mod:`repro.obs.analyze` — the consumption
+  side: parse canonical JSONL back into typed records, reconstruct span
+  trees and per-probe timelines, aggregate per-stage/per-span virtual
+  time, and render the ``trace summary`` markdown and folded stacks.
+- :mod:`repro.obs.diff` — determinism diff: the first divergent event
+  between two traces, with scope/seq/attrs delta and context
+  (``python -m repro trace diff A B``).
+- :mod:`repro.obs.progress` — live stderr progress for a running
+  campaign (``--progress``): stage, tasks done/total, probes/s, ETA.
 
 Usage::
 
@@ -34,9 +43,13 @@ Usage::
 or via the CLI: ``python -m repro --trace t.jsonl --metrics-out m.json``.
 """
 
+from .analyze import TraceAnalysis
 from .context import Observation, activate, active, deactivate, observing
+from .diff import TraceDivergence, assert_traces_identical, diff_events, diff_files
 from .logbridge import TraceLogHandler, attach_trace_handler, configure_logging
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import ProgressReporter
+from .records import ParsedEvent, load_jsonl, parse_jsonl
 from .trace import TraceEvent, Tracer
 
 __all__ = [
@@ -45,13 +58,22 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observation",
+    "ParsedEvent",
+    "ProgressReporter",
+    "TraceAnalysis",
+    "TraceDivergence",
     "TraceEvent",
     "TraceLogHandler",
     "Tracer",
     "activate",
     "active",
+    "assert_traces_identical",
     "attach_trace_handler",
     "configure_logging",
     "deactivate",
+    "diff_events",
+    "diff_files",
+    "load_jsonl",
     "observing",
+    "parse_jsonl",
 ]

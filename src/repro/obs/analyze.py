@@ -1,0 +1,454 @@
+"""Trace analysis: span trees, timelines, aggregates, critical path.
+
+This is the consumption side of :mod:`repro.obs`: the tracer writes a
+canonical virtual-time JSONL stream, and :class:`TraceAnalysis` answers
+the operational questions a four-month measurement campaign raises —
+what did probe X do and when, which stage dominates the run, where does
+the virtual time go — without anyone eyeballing raw JSONL.
+
+The analysis reconstructs three views from one pass over the events:
+
+- **stages** (:class:`StageSummary`): one row per executed stage, with
+  the task/probe/retry/refusal counters the executor stamped on
+  ``stage.end`` and the stage's virtual-time extent;
+- **tasks** (:class:`TaskTimeline`): one per probe task, holding the
+  task's events and its reconstructed span tree
+  (:class:`SpanNode` — ``smtp.transaction`` containing
+  ``spf.check_host`` and so on);
+- **aggregates**: per-event-name counts and per-span-name virtual
+  duration distributions with exact percentiles
+  (:class:`~repro.obs.metrics.Histogram`).
+
+All durations are *virtual* seconds — differences of the virtual-time
+stamps the determinism contract guarantees — so every number here is
+itself byte-stable across executors for the same seed.
+
+Outputs: :meth:`TraceAnalysis.render_markdown` (the ``trace summary``
+CLI body and the report's Observability section) and
+:meth:`TraceAnalysis.folded_stacks` (``path;path;leaf <µs>`` lines that
+flamegraph tooling consumes directly).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import Histogram
+from .records import ParsedEvent, from_tracer, load_jsonl, parse_jsonl
+from .trace import Tracer
+
+
+def _seconds(
+    begin: Optional[_dt.datetime], end: Optional[_dt.datetime]
+) -> float:
+    if begin is None or end is None:
+        return 0.0
+    return max(0.0, (end - begin).total_seconds())
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: a ``<name>.begin`` / ``<name>.end`` pair."""
+
+    sid: str
+    name: str
+    begin: ParsedEvent
+    end: Optional[ParsedEvent] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Virtual duration; 0 when the end event never arrived."""
+        return _seconds(self.begin.vt, self.end.vt if self.end else None)
+
+    @property
+    def self_seconds(self) -> float:
+        """Virtual duration not covered by child spans (floored at 0)."""
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children))
+
+
+@dataclass
+class TaskTimeline:
+    """One probe task's events and span tree, in canonical order."""
+
+    scope: str
+    stage_ordinal: Optional[int]
+    task_index: Optional[int]
+    probe: Optional[str]
+    begin: ParsedEvent
+    end: Optional[ParsedEvent] = None
+    events: List[ParsedEvent] = field(default_factory=list)
+    spans: List[SpanNode] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return _seconds(self.begin.vt, self.end.vt if self.end else None)
+
+    @property
+    def outcome(self) -> Optional[str]:
+        if self.end is None:
+            return None
+        value = self.end.attrs.get("outcome")
+        return str(value) if value is not None else None
+
+
+@dataclass
+class StageSummary:
+    """One executed stage: declared work plus the ``stage.end`` counters."""
+
+    ordinal: int
+    name: str
+    begin: ParsedEvent
+    end: Optional[ParsedEvent] = None
+    declared_tasks: int = 0
+    task_count: int = 0
+    event_count: int = 0
+
+    def _end_attr(self, key: str) -> int:
+        if self.end is None:
+            return 0
+        return int(self.end.attrs.get(key, 0) or 0)
+
+    @property
+    def probes(self) -> int:
+        return self._end_attr("probes")
+
+    @property
+    def retried(self) -> int:
+        return self._end_attr("retried")
+
+    @property
+    def refused(self) -> int:
+        return self._end_attr("refused")
+
+    @property
+    def queries(self) -> int:
+        return self._end_attr("queries")
+
+    @property
+    def sim_seconds(self) -> float:
+        if self.end is None:
+            return 0.0
+        return float(self.end.attrs.get("sim_seconds", 0.0) or 0.0)
+
+    @property
+    def seconds(self) -> float:
+        """Virtual extent from ``stage.begin`` to ``stage.end``."""
+        return _seconds(self.begin.vt, self.end.vt if self.end else None)
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One hop of the critical path: run → stage → task → span chain."""
+
+    kind: str
+    label: str
+    seconds: float
+
+
+class TraceAnalysis:
+    """Everything the toolkit derives from one canonical trace."""
+
+    def __init__(self, events: Sequence[ParsedEvent]) -> None:
+        self.events: List[ParsedEvent] = list(events)
+        self.stages: List[StageSummary] = []
+        self.tasks: List[TaskTimeline] = []
+        self.name_counts: Counter = Counter()
+        self._tasks_by_scope: Dict[str, TaskTimeline] = {}
+        self._stages_by_ordinal: Dict[int, StageSummary] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str) -> "TraceAnalysis":
+        return cls(load_jsonl(path))
+
+    @classmethod
+    def from_text(cls, text: str) -> "TraceAnalysis":
+        return cls(parse_jsonl(text))
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceAnalysis":
+        return cls(from_tracer(tracer))
+
+    def _build(self) -> None:
+        open_spans: Dict[str, SpanNode] = {}
+        for event in self.events:
+            self.name_counts[event.name] += 1
+            stage_ord, task_idx = event.stage_ordinal, event.task_index
+            if stage_ord is not None:
+                stage = self._stages_by_ordinal.get(stage_ord)
+                if stage is not None:
+                    stage.event_count += 1
+
+            if event.name == "stage.begin" and task_idx is None:
+                ordinal = stage_ord if stage_ord is not None else len(self.stages)
+                stage = StageSummary(
+                    ordinal=ordinal,
+                    name=str(event.attrs.get("stage", f"s{ordinal}")),
+                    begin=event,
+                    declared_tasks=int(event.attrs.get("tasks", 0) or 0),
+                    event_count=1,
+                )
+                self.stages.append(stage)
+                self._stages_by_ordinal[ordinal] = stage
+                continue
+            if event.name == "stage.end" and task_idx is None:
+                stage = self._stages_by_ordinal.get(stage_ord or 0)
+                if stage is not None:
+                    stage.end = event
+                continue
+
+            if event.name == "task.begin" and task_idx is not None:
+                task = TaskTimeline(
+                    scope=event.scope,
+                    stage_ordinal=stage_ord,
+                    task_index=task_idx,
+                    probe=event.probe,
+                    begin=event,
+                )
+                task.events.append(event)
+                self.tasks.append(task)
+                self._tasks_by_scope[event.scope] = task
+                stage = self._stages_by_ordinal.get(stage_ord) if stage_ord is not None else None
+                if stage is not None:
+                    stage.task_count += 1
+                continue
+
+            task = self._tasks_by_scope.get(event.scope)
+            if task is not None:
+                task.events.append(event)
+                if event.name == "task.end":
+                    task.end = event
+
+            # Span reconstruction: a `<name>.begin` whose `span` field is
+            # set opens that span id; the matching `<name>.end` closes it.
+            if event.span is not None and event.name.endswith(".begin"):
+                node = SpanNode(
+                    sid=event.span, name=event.name[: -len(".begin")], begin=event
+                )
+                parent = open_spans.get(event.parent) if event.parent else None
+                if parent is not None:
+                    parent.children.append(node)
+                elif task is not None:
+                    task.spans.append(node)
+                open_spans[event.span] = node
+            elif event.span is not None and event.name.endswith(".end"):
+                node = open_spans.pop(event.span, None)
+                if node is not None:
+                    node.end = event
+
+    # -- basic aggregates -----------------------------------------------------
+
+    @property
+    def virtual_start(self) -> Optional[_dt.datetime]:
+        stamps = [e.vt for e in self.events if e.vt is not None]
+        return min(stamps) if stamps else None
+
+    @property
+    def virtual_end(self) -> Optional[_dt.datetime]:
+        stamps = [e.vt for e in self.events if e.vt is not None]
+        return max(stamps) if stamps else None
+
+    @property
+    def virtual_seconds(self) -> float:
+        return _seconds(self.virtual_start, self.virtual_end)
+
+    def timeline(self, probe: str) -> List[ParsedEvent]:
+        """Every event emitted while ``probe`` (``<suite>/<ip>``) ran."""
+        return [e for e in self.events if e.probe == probe]
+
+    def task_duration_histogram(self) -> Histogram:
+        histogram = Histogram("trace.task_seconds")
+        for task in self.tasks:
+            histogram.observe(task.seconds)
+        return histogram
+
+    def span_duration_histograms(self) -> Dict[str, Histogram]:
+        """Per-span-name virtual-duration distributions (exact percentiles)."""
+        out: Dict[str, Histogram] = {}
+
+        def visit(node: SpanNode) -> None:
+            out.setdefault(node.name, Histogram(node.name)).observe(node.seconds)
+            for child in node.children:
+                visit(child)
+
+        for task in self.tasks:
+            for root in task.spans:
+                visit(root)
+        return out
+
+    # -- critical path --------------------------------------------------------
+
+    def critical_path(self) -> List[CriticalStep]:
+        """Attribute virtual time along run → stage → task → span chain.
+
+        Stages execute sequentially in virtual time, so the run's
+        duration is (close to) the sum of stage durations; the path
+        descends into the *longest* stage, then the task whose end stamp
+        closes that stage (the virtual-time straggler), then the
+        dominant span chain inside it.
+        """
+        steps: List[CriticalStep] = [
+            CriticalStep("run", "campaign", self.virtual_seconds)
+        ]
+        if not self.stages:
+            return steps
+        stage = max(self.stages, key=lambda s: s.seconds)
+        steps.append(CriticalStep("stage", stage.name, stage.seconds))
+        tasks = [t for t in self.tasks if t.stage_ordinal == stage.ordinal]
+        if not tasks:
+            return steps
+        def end_stamp(t: TaskTimeline) -> Optional[_dt.datetime]:
+            if t.end is not None and t.end.vt is not None:
+                return t.end.vt
+            return t.begin.vt
+
+        stamped = [t for t in tasks if end_stamp(t) is not None]
+        if stamped:
+            task = max(stamped, key=lambda t: (end_stamp(t), -(t.task_index or 0)))
+        else:
+            task = max(tasks, key=lambda t: t.seconds)
+        steps.append(
+            CriticalStep("task", task.probe or task.scope, task.seconds)
+        )
+        nodes = task.spans
+        while nodes:
+            node = max(nodes, key=lambda n: n.seconds)
+            steps.append(CriticalStep("span", node.name, node.seconds))
+            nodes = node.children
+        return steps
+
+    # -- folded stacks ---------------------------------------------------------
+
+    def folded_stacks(self) -> str:
+        """Flamegraph input: ``campaign;<stage>;<probe>;<span...> <µs>``.
+
+        Sample values are integer *virtual* microseconds of self time
+        (node duration minus child spans), so the graph shows where the
+        campaign's simulated time went; feed it straight to
+        ``flamegraph.pl`` or any compatible renderer.
+        """
+        weights: Dict[str, int] = {}
+
+        def add(path: str, seconds: float) -> None:
+            micros = int(round(seconds * 1e6))
+            if micros > 0:
+                weights[path] = weights.get(path, 0) + micros
+
+        def visit(prefix: str, node: SpanNode) -> None:
+            path = f"{prefix};{node.name}"
+            add(path, node.self_seconds)
+            for child in node.children:
+                visit(path, child)
+
+        for task in self.tasks:
+            stage = (
+                self._stages_by_ordinal.get(task.stage_ordinal)
+                if task.stage_ordinal is not None
+                else None
+            )
+            stage_label = stage.name if stage is not None else "(no stage)"
+            base = f"campaign;{stage_label};{task.probe or task.scope}"
+            root_seconds = sum(root.seconds for root in task.spans)
+            add(base, max(0.0, task.seconds - root_seconds))
+            for root in task.spans:
+                visit(base, root)
+        return "\n".join(f"{path} {weights[path]}" for path in sorted(weights))
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_stage_table(self) -> str:
+        lines = [
+            "| # | stage | tasks | probes | retried | refused | queries "
+            "| virtual s | events |",
+            "|---|---|---|---|---|---|---|---|---|",
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"| {stage.ordinal} | {stage.name} | {stage.task_count} "
+                f"| {stage.probes} | {stage.retried} | {stage.refused} "
+                f"| {stage.queries} | {stage.seconds:.1f} | {stage.event_count} |"
+            )
+        return "\n".join(lines)
+
+    def render_span_table(self) -> str:
+        lines = [
+            "| span | count | p50 s | p90 s | p99 s | max s |",
+            "|---|---|---|---|---|---|",
+        ]
+        histograms = self.span_duration_histograms()
+        task_histogram = self.task_duration_histogram()
+        if task_histogram.count:
+            histograms = dict(histograms)
+            histograms["(task)"] = task_histogram
+        for name in sorted(histograms):
+            d = histograms[name].to_dict()
+            if not d.get("count"):
+                continue
+            lines.append(
+                f"| {name} | {d['count']} | {d['p50']:.3g} | {d['p90']:.3g} "
+                f"| {d['p99']:.3g} | {d['max']:.3g} |"
+            )
+        return "\n".join(lines)
+
+    def render_event_table(self, top: int = 20) -> str:
+        total = max(1, len(self.events))
+        lines = ["| event | count | share |", "|---|---|---|"]
+        ranked = sorted(self.name_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, count in ranked[:top]:
+            lines.append(f"| {name} | {count} | {100.0 * count / total:.1f}% |")
+        if len(ranked) > top:
+            rest = sum(count for _, count in ranked[top:])
+            lines.append(f"| ({len(ranked) - top} more) | {rest} | "
+                         f"{100.0 * rest / total:.1f}% |")
+        return "\n".join(lines)
+
+    def render_critical_path(self) -> str:
+        lines = []
+        for step in self.critical_path():
+            lines.append(f"- {step.kind}: `{step.label}` — {step.seconds:.1f} s")
+        return "\n".join(lines)
+
+    def render_markdown(self, *, top_events: int = 20) -> str:
+        """The ``trace summary`` document."""
+        start, end = self.virtual_start, self.virtual_end
+        window = (
+            f"{start.isoformat()} → {end.isoformat()}"
+            if start is not None and end is not None
+            else "(no virtual-time stamps)"
+        )
+        parts = [
+            "# Trace summary",
+            "",
+            f"- events: {len(self.events):,} ({len(self.name_counts)} distinct names)",
+            f"- stages: {len(self.stages)}; tasks: {len(self.tasks):,}",
+            f"- virtual window: {window} ({self.virtual_seconds:,.0f} s)",
+            "",
+            "## Stages",
+            "",
+            self.render_stage_table(),
+            "",
+            "## Critical path (virtual time)",
+            "",
+            self.render_critical_path(),
+            "",
+            "## Span durations (virtual seconds, exact percentiles)",
+            "",
+            self.render_span_table(),
+            "",
+            f"## Event counts (top {top_events})",
+            "",
+            self.render_event_table(top=top_events),
+            "",
+        ]
+        return "\n".join(parts)
+
+
+def analyze_file(path: str) -> TraceAnalysis:
+    """Convenience wrapper: :meth:`TraceAnalysis.from_file`."""
+    return TraceAnalysis.from_file(path)

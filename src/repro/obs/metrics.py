@@ -159,6 +159,28 @@ class MetricsRegistry:
             },
         }
 
+    def percentiles(self) -> dict:
+        """p50/p90/p99 per histogram, as a compact name-keyed summary.
+
+        This is the distilled view the report's Observability section
+        and the ``--metrics-out`` JSON surface alongside (not instead
+        of) the full histogram dumps: one small dict an operator or a
+        regression script can read without digging through raw values.
+        """
+        out: dict = {}
+        for name in sorted(self._histograms):
+            d = self._histograms[name].to_dict()
+            if not d.get("count"):
+                out[name] = {"count": 0}
+                continue
+            out[name] = {
+                "count": d["count"],
+                "p50": d["p50"],
+                "p90": d["p90"],
+                "p99": d["p99"],
+            }
+        return out
+
     def render_markdown(self) -> str:
         """Counter and histogram tables for the report's Observability section."""
         lines = ["| counter | total | top keys |", "|---|---|---|"]

@@ -1,0 +1,152 @@
+"""Parsed trace records: the input side of trace analysis.
+
+The tracer (:mod:`repro.obs.trace`) *produces* canonical JSONL; this
+module turns that JSONL — or a live :class:`~repro.obs.trace.Tracer` —
+back into typed records the analysis toolkit (:mod:`repro.obs.analyze`)
+and the determinism diff (:mod:`repro.obs.diff`) consume.  A
+:class:`ParsedEvent` mirrors the exported payload of
+:class:`~repro.obs.trace.TraceEvent` field for field, plus its position
+in the canonical order, so "event 1234 of the file" and "event 1234 of
+the tracer" always name the same record.
+
+Round-trip fidelity matters more than convenience here: the determinism
+contract is *byte* identity of the export, so :meth:`ParsedEvent.to_json`
+re-serializes exactly the way the tracer does (sorted keys, compact
+separators), and the diff compares those strings rather than parsed
+floats or datetimes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .trace import TraceEvent, Tracer
+
+_SCOPE_RE = re.compile(r"^(?:s(?P<stage>\d+))?(?:(?<=\d)\.)?(?:t(?P<task>\d+))?$")
+
+
+class TraceFormatError(ValueError):
+    """A trace file line that is not a valid canonical trace record."""
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    """One canonical trace record, as loaded from JSONL or a tracer.
+
+    ``index`` is the 0-based position in canonical order; every other
+    field mirrors the exported :class:`~repro.obs.trace.TraceEvent`
+    payload.
+    """
+
+    index: int
+    name: str
+    vt: Optional[_dt.datetime]
+    scope: str
+    seq: int
+    span: Optional[str] = None
+    parent: Optional[str] = None
+    probe: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """The canonical serialization (byte-identical to the export)."""
+        payload = {
+            "name": self.name,
+            "vt": self.vt.isoformat() if self.vt is not None else None,
+            "scope": self.scope,
+            "seq": self.seq,
+            "span": self.span,
+            "parent": self.parent,
+            "probe": self.probe,
+            "attrs": self.attrs,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def stage_ordinal(self) -> Optional[int]:
+        return split_scope(self.scope)[0]
+
+    @property
+    def task_index(self) -> Optional[int]:
+        return split_scope(self.scope)[1]
+
+
+def split_scope(scope: str) -> Tuple[Optional[int], Optional[int]]:
+    """``"s3.t12"`` → ``(3, 12)``; ``"s3"`` → ``(3, None)``; else Nones."""
+    if scope == "run":
+        return None, None
+    match = _SCOPE_RE.match(scope)
+    if match is None:
+        return None, None
+    stage, task = match.group("stage"), match.group("task")
+    return (
+        int(stage) if stage is not None else None,
+        int(task) if task is not None else None,
+    )
+
+
+def _parse_vt(raw: Optional[str]) -> Optional[_dt.datetime]:
+    if raw is None:
+        return None
+    return _dt.datetime.fromisoformat(raw)
+
+
+def parse_jsonl(text: str) -> List[ParsedEvent]:
+    """Parse a canonical JSONL trace; raises :class:`TraceFormatError`."""
+    events: List[ParsedEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            event = ParsedEvent(
+                index=len(events),
+                name=payload["name"],
+                vt=_parse_vt(payload["vt"]),
+                scope=payload["scope"],
+                seq=payload["seq"],
+                span=payload.get("span"),
+                parent=payload.get("parent"),
+                probe=payload.get("probe"),
+                attrs=payload.get("attrs") or {},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {lineno}: not a canonical trace record ({exc})"
+            ) from exc
+        events.append(event)
+    return events
+
+
+def load_jsonl(path: str) -> List[ParsedEvent]:
+    """Load a trace file written by ``--trace`` / ``Tracer.write_jsonl``."""
+    with open(path) as handle:
+        return parse_jsonl(handle.read())
+
+
+def from_tracer(tracer: Tracer) -> List[ParsedEvent]:
+    """Adapt a live tracer's canonical events without a serialize round."""
+    return [_from_trace_event(i, e) for i, e in enumerate(tracer.canonical_events())]
+
+
+def from_trace_events(events: Iterable[TraceEvent]) -> List[ParsedEvent]:
+    """Adapt already-canonical :class:`TraceEvent` records."""
+    return [_from_trace_event(i, e) for i, e in enumerate(events)]
+
+
+def _from_trace_event(index: int, event: TraceEvent) -> ParsedEvent:
+    return ParsedEvent(
+        index=index,
+        name=event.name,
+        vt=event.vt,
+        scope=event.scope,
+        seq=event.seq,
+        span=event.span,
+        parent=event.parent,
+        probe=event.probe,
+        attrs=dict(event.attrs),
+    )

@@ -268,12 +268,17 @@ class Tracer:
         return "\n".join(e.to_json() for e in self.canonical_events())
 
     def write_jsonl(self, path: str) -> int:
-        """Write the canonical trace to ``path``; returns the event count."""
-        text = self.export_jsonl()
+        """Write the canonical trace to ``path``; returns the event count.
+
+        The count comes from the canonical snapshot (taken under
+        ``_lock`` by :meth:`events`), never from an unlocked read of
+        ``_events``, so it always matches what was written.
+        """
+        events = self.canonical_events()
         with open(path, "w") as handle:
-            if text:
-                handle.write(text + "\n")
-        return len(self._events)
+            for event in events:
+                handle.write(event.to_json() + "\n")
+        return len(events)
 
     def clear(self) -> None:
         with self._lock:

@@ -50,6 +50,25 @@ class TestReport:
     def test_targets_all_within_band_helper(self, session_sim):
         assert targets_all_within_band(session_sim)
 
+    def test_observability_section_carries_trace_analysis(self):
+        from repro.obs import Observation
+        from repro.simulation import Simulation
+
+        observation = Observation(trace=True)
+        sim = Simulation.build(scale=0.002, seed=5, observation=observation)
+        sim.run()
+        report = generate_report(sim)
+        assert "## Observability" in report
+        assert "### Histogram percentiles" in report
+        assert "### Trace analysis" in report
+        # the analyzer's stage table and critical path made it in
+        assert "| initial |" in report
+        assert "Critical path (virtual time):" in report
+
+    def test_observability_section_without_observation(self, session_sim):
+        report = generate_report(session_sim)
+        assert "Observability disabled for this run" in report
+
 
 class TestCsvExport:
     def test_every_exporter_produces_parsable_csv(self, session_sim):

@@ -1,0 +1,112 @@
+"""Tests for the determinism diff (`repro.obs.diff`)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.diff import assert_traces_identical, diff_events, diff_files
+from repro.obs.records import parse_jsonl
+
+T0 = _dt.datetime(2021, 10, 11, tzinfo=_dt.timezone.utc)
+
+
+def _build_tracer() -> Tracer:
+    tracer = Tracer(enabled=True, clock=lambda: T0)
+    tracer.begin_stage("initial", tasks=2)
+    for index, ip in enumerate(("10.0.0.1", "10.0.0.2")):
+        tracer.begin_task(index, f"suite/{ip}", ip=ip)
+        with tracer.span("smtp.transaction", server=ip):
+            tracer.event("smtp.reply", code=250, server=ip)
+            tracer.event("dns.query", qname=f"q{index}.example", rrtype="TXT")
+        tracer.end_task(outcome="vulnerable")
+    tracer.end_stage(probes=2)
+    return tracer
+
+
+def _corrupt_line(text: str, line_index: int, mutate) -> str:
+    lines = text.splitlines()
+    payload = json.loads(lines[line_index])
+    mutate(payload)
+    lines[line_index] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "\n".join(lines)
+
+
+class TestIdentical:
+    def test_identical_tracers_have_no_divergence(self):
+        assert diff_events(_build_tracer(), _build_tracer()) is None
+
+    def test_identical_files(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _build_tracer().write_jsonl(str(a))
+        _build_tracer().write_jsonl(str(b))
+        assert diff_files(str(a), str(b)) is None
+
+    def test_assert_helper_passes_silently(self):
+        assert_traces_identical(_build_tracer(), _build_tracer())
+
+
+class TestDivergence:
+    def test_attrs_corruption_is_pinpointed(self):
+        text = _build_tracer().export_jsonl()
+        events = parse_jsonl(text)
+        target = next(e.index for e in events if e.name == "smtp.reply")
+        corrupted = _corrupt_line(
+            text, target, lambda payload: payload["attrs"].update(code=550)
+        )
+        divergence = diff_events(events, parse_jsonl(corrupted))
+        assert divergence is not None
+        assert divergence.index == target
+        assert divergence.fields == ["attrs"]
+        assert divergence.attrs_delta == {"code": (250, 550)}
+        rendered = divergence.render("serial", "sharded")
+        assert f"first divergence at event {target}" in rendered
+        assert "scope=" in rendered and "seq=" in rendered
+        assert "attrs['code']: serial=250 sharded=550" in rendered
+
+    def test_context_shows_preceding_shared_events(self):
+        text = _build_tracer().export_jsonl()
+        corrupted = _corrupt_line(
+            text, 6, lambda payload: payload.update(name="dns.queryX")
+        )
+        divergence = diff_events(
+            parse_jsonl(text), parse_jsonl(corrupted), context=2
+        )
+        assert divergence is not None
+        assert [e.index for e in divergence.context] == [4, 5]
+        assert "name" in divergence.fields
+
+    def test_vt_divergence_reports_vt_field(self):
+        text = _build_tracer().export_jsonl()
+        corrupted = _corrupt_line(
+            text,
+            2,
+            lambda payload: payload.update(vt="2021-10-11T00:00:01+00:00"),
+        )
+        divergence = diff_events(parse_jsonl(text), parse_jsonl(corrupted))
+        assert divergence is not None
+        assert divergence.index == 2
+        assert divergence.fields == ["vt"]
+
+    def test_truncated_trace_reports_missing_tail(self):
+        events = parse_jsonl(_build_tracer().export_jsonl())
+        divergence = diff_events(events, events[:-2])
+        assert divergence is not None
+        assert divergence.index == len(events) - 2
+        assert divergence.right is None and divergence.left is not None
+        assert "<trace ends here>" in divergence.render()
+
+    def test_assert_helper_raises_with_pointer(self):
+        text = _build_tracer().export_jsonl()
+        events = parse_jsonl(text)
+        target = next(e.index for e in events if e.name == "smtp.reply")
+        corrupted = _corrupt_line(
+            text, target, lambda payload: payload["attrs"].update(code=550)
+        )
+        with pytest.raises(
+            AssertionError, match=f"first divergence at event {target}"
+        ):
+            assert_traces_identical(events, parse_jsonl(corrupted))

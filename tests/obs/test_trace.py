@@ -5,6 +5,8 @@ from __future__ import annotations
 import datetime as _dt
 import json
 
+import pytest
+
 from repro.obs import Observation, Tracer, observing
 from repro.obs import context as _obs
 
@@ -70,6 +72,60 @@ class TestSpans:
         assert task_events and all(e.probe == "saaaa/10.0.0.9" for e in task_events)
 
 
+class TestExceptionPaths:
+    """The unwind paths: spans left open by exceptions, dropped tasks."""
+
+    def test_span_exit_on_exception_emits_end_and_unwinds_stack(self):
+        tracer = Tracer(enabled=True, clock=_clock_at(T0))
+        tracer.begin_stage("initial", tasks=1)
+        tracer.begin_task(0, "suite/1.2.3.4")
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer") as outer_id:
+                with tracer.span("inner"):
+                    raise RuntimeError("probe blew up")
+        names = [e.name for e in tracer.events()]
+        # both .end events were still emitted, innermost first
+        assert names[-2:] == ["inner.end", "outer.end"]
+        # the span stack fully unwound: the next event has no span
+        tracer.event("after")
+        assert tracer.events()[-1].span is None
+        assert outer_id == "s0.t0#0"
+
+    def test_drop_task_abandons_scope_without_task_end(self):
+        tracer = Tracer(enabled=True, clock=_clock_at(T0))
+        tracer.begin_stage("initial", tasks=1)
+        tracer.begin_task(0, "suite/1.2.3.4")
+        tracer.drop_task()
+        tracer.event("afterwards")
+        names = [e.name for e in tracer.events()]
+        assert "task.end" not in names
+        # events after the drop land in the stage scope, not the task's
+        event = tracer.events()[-1]
+        assert event.scope == "s0"
+        assert event.probe is None
+
+    def test_nested_span_parentage_survives_task_scope_switch(self):
+        tracer = Tracer(enabled=True, clock=_clock_at(T0))
+        tracer.begin_stage("initial", tasks=2)
+        tracer.begin_task(0, "suite/a")
+        with tracer.span("first"):
+            pass
+        tracer.end_task()
+        tracer.begin_task(1, "suite/b")
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                tracer.event("leaf")
+        tracer.end_task()
+        tracer.end_stage()
+        # span ids restart per task scope, and parentage holds in task 1
+        assert outer_id == "s0.t1#0"
+        assert inner_id == "s0.t1#1"
+        by_name = {e.name: e for e in tracer.events() if e.scope == "s0.t1"}
+        assert by_name["outer.begin"].parent is None
+        assert by_name["inner.begin"].parent == outer_id
+        assert by_name["leaf"].span == inner_id
+
+
 class TestCanonicalExport:
     def test_export_is_sorted_and_valid_jsonl(self):
         tracer = Tracer(enabled=True, clock=_clock_at(T0))
@@ -99,6 +155,20 @@ class TestCanonicalExport:
         tracer.event("tick")
         tracer.end_stage()
         assert all(e.vt == T0 for e in tracer.events())
+
+    def test_write_jsonl_returns_written_event_count(self, tmp_path):
+        tracer = Tracer(enabled=True, clock=_clock_at(T0))
+        tracer.begin_stage("initial", tasks=1)
+        tracer.begin_task(0, "suite/a")
+        tracer.event("dns.query", qname="a")
+        tracer.end_task()
+        tracer.end_stage()
+        path = tmp_path / "trace.jsonl"
+        count = tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer.events())
+        # the file is exactly the canonical export plus a trailing newline
+        assert path.read_text() == tracer.export_jsonl() + "\n"
 
     def test_explicit_vt_override_wins(self):
         tracer = Tracer(enabled=True, clock=_clock_at(T0))

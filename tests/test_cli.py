@@ -98,3 +98,98 @@ class TestCli:
         )
         assert proc.returncode == 0
         assert "table1" in proc.stdout
+
+
+@pytest.fixture(scope="module")
+def smoke_traces(tmp_path_factory):
+    """Serial and sharded traced runs of the same seed, for trace tooling."""
+    root = tmp_path_factory.mktemp("traces")
+    serial = root / "serial.jsonl"
+    sharded = root / "sharded.jsonl"
+    assert main([
+        "--scale", "0.002", "--seed", "5",
+        "--artifact", "table6", "--trace", str(serial),
+    ]) == 0
+    assert main([
+        "--scale", "0.002", "--seed", "5", "--workers", "3",
+        "--artifact", "table6", "--trace", str(sharded),
+    ]) == 0
+    return serial, sharded
+
+
+class TestTraceSubcommands:
+    def test_summary_prints_markdown(self, smoke_traces, capsys):
+        serial, _ = smoke_traces
+        capsys.readouterr()
+        assert main(["trace", "summary", str(serial)]) == 0
+        out = capsys.readouterr().out
+        assert "# Trace summary" in out
+        assert "## Stages" in out
+        assert "| initial |" in out
+        assert "Critical path" in out
+        assert "p50" in out
+
+    def test_summary_writes_out_and_folded_files(self, smoke_traces, tmp_path, capsys):
+        serial, _ = smoke_traces
+        out_file = tmp_path / "summary.md"
+        folded = tmp_path / "trace.folded"
+        capsys.readouterr()
+        assert main([
+            "trace", "summary", str(serial),
+            "--out", str(out_file), "--folded", str(folded),
+        ]) == 0
+        assert "# Trace summary" in out_file.read_text()
+        for line in folded.read_text().splitlines():
+            path, value = line.rsplit(" ", 1)
+            assert path.startswith("campaign;")
+            assert int(value) > 0
+
+    def test_diff_serial_vs_sharded_reports_identical(self, smoke_traces, capsys):
+        serial, sharded = smoke_traces
+        capsys.readouterr()
+        assert main(["trace", "diff", str(serial), str(sharded)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_pinpoints_a_corrupted_event(self, smoke_traces, tmp_path, capsys):
+        serial, _ = smoke_traces
+        lines = serial.read_text().splitlines()
+        target = 7
+        payload = json.loads(lines[target])
+        payload["attrs"]["corrupted"] = True
+        lines[target] = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        corrupted = tmp_path / "corrupted.jsonl"
+        corrupted.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["trace", "diff", str(serial), str(corrupted)]) == 1
+        out = capsys.readouterr().out
+        assert f"first divergence at event {target}" in out
+        assert "attrs['corrupted']" in out
+
+    def test_progress_flag_renders_to_stderr_without_touching_trace(
+        self, smoke_traces, tmp_path, capsys
+    ):
+        serial, _ = smoke_traces
+        progress_trace = tmp_path / "progress.jsonl"
+        assert main([
+            "--scale", "0.002", "--seed", "5", "--artifact", "table6",
+            "--trace", str(progress_trace), "--progress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "stage initial:" in err
+        assert "probes/s" in err and "ETA" in err
+        # --progress must not alter the trace bytes
+        assert progress_trace.read_bytes() == serial.read_bytes()
+
+    def test_metrics_out_carries_histogram_percentiles(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "--scale", "0.002", "--seed", "5", "--artifact", "table6",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        payload = json.loads(metrics.read_text())
+        summary = payload["histogram_percentiles"]
+        assert summary["dns.queries_per_probe"]["count"] > 0
+        for key in ("p50", "p90", "p99"):
+            assert key in summary["dns.queries_per_probe"]
