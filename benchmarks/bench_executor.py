@@ -1,16 +1,29 @@
-"""Bench: serial vs. sharded probe execution on the same campaign.
+"""Bench: serial vs. sharded vs. process-sharded probe execution.
 
-Runs the full four-month campaign at scale 0.05 under both strategies
-and compares throughput from the executors' own stage metrics.  The
-sharded executor amortizes the shared clock's pending-callback scans
-over event horizons instead of paying one per probe, so its
-probes-per-second must come out at least as high as the serial
-executor's (the ISSUE acceptance criterion).  The edge is a few percent
-of total wall time at this scale, so the comparison uses the standard
-best-of-N protocol — one discarded warm-up run, then the minimum wall
-time of ``REPS`` interleaved runs per strategy — rather than a single
-noisy pair.  Also doubles as a determinism spot check: both strategies
-must classify the same addresses as vulnerable.
+Runs the full four-month campaign at scale 0.1 under all three
+strategies and compares throughput from the executors' own stage
+metrics.  Two claims are measured:
+
+- The thread-sharded executor amortizes the shared clock's
+  pending-callback scans over event horizons instead of paying one per
+  probe, so its probes-per-second must come out at least as high as the
+  serial executor's.  The edge is a few percent of total wall time, so
+  the comparison uses the standard best-of-N protocol — one discarded
+  warm-up run, then the minimum wall time of ``REPS`` interleaved runs
+  per strategy — rather than a single noisy pair.
+- The process-sharded executor escapes the GIL entirely: with four
+  worker processes on four available cores it must deliver at least a
+  2x probe-throughput speedup over serial.  **This claim is only
+  asserted when the machine actually has four cores** — on a smaller
+  box (CI containers are often single-core) the run still executes and
+  its honest numbers land in ``BENCH_executor.json`` together with the
+  measured core count, but four CPU-bound world replicas time-sharing
+  one core cannot beat one process and no benchmark should pretend
+  otherwise.  The process run is a single rep: each rep pays a full
+  per-child world rebuild, which dominates run-to-run noise.
+
+Also doubles as a determinism spot check: all strategies must classify
+the same addresses as vulnerable.
 
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_executor.py``)
 or under pytest-benchmark with the rest of the bench suite.
@@ -19,14 +32,23 @@ or under pytest-benchmark with the rest of the bench suite.
 from __future__ import annotations
 
 import gc
+import os
 import sys
 
 from repro.simulation import Simulation
 
-EXEC_SCALE = 0.05
+EXEC_SCALE = 0.1
 EXEC_SEED = 20211011
-EXEC_WORKERS = 8
+EXEC_WORKERS = 8       # thread shards
+PROCESS_WORKERS = 4    # worker processes (the paper criterion's core count)
 REPS = 3
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _run(executor: str, workers: int):
@@ -35,16 +57,20 @@ def _run(executor: str, workers: int):
         scale=EXEC_SCALE, seed=EXEC_SEED, executor=executor, workers=workers
     )
     result = sim.run()
-    return result, sim.campaign.executor.metrics.total()
+    total = sim.campaign.executor.metrics.total()
+    sim.campaign.executor.shutdown()
+    return result, total
 
 
 def _compare():
     _run("serial", 1)  # warm-up: imports, allocator pools, branch caches
     serial_result, serial_best = _run("serial", 1)
     sharded_result, sharded_best = _run("sharded", EXEC_WORKERS)
-    assert sorted(serial_result.initial.vulnerable_ips()) == sorted(
-        sharded_result.initial.vulnerable_ips()
-    ), "serial and sharded runs disagree on vulnerable addresses"
+    process_result, process_total = _run("process", PROCESS_WORKERS)
+    for name, other in (("sharded", sharded_result), ("process", process_result)):
+        assert sorted(serial_result.initial.vulnerable_ips()) == sorted(
+            other.initial.vulnerable_ips()
+        ), f"serial and {name} runs disagree on vulnerable addresses"
     for _ in range(REPS - 1):
         _, total = _run("sharded", EXEC_WORKERS)
         if total.wall_seconds < sharded_best.wall_seconds:
@@ -52,18 +78,22 @@ def _compare():
         _, total = _run("serial", 1)
         if total.wall_seconds < serial_best.wall_seconds:
             serial_best = total
-    return serial_best, sharded_best
+    return serial_best, sharded_best, process_total
 
 
-def _record(serial_total, sharded_total) -> dict:
+def _speedup(total, baseline) -> float:
+    return total.probes_per_second / max(baseline.probes_per_second, 1e-9)
+
+
+def _record(serial_total, sharded_total, process_total) -> dict:
     """The machine-readable payload behind ``BENCH_executor.json``."""
-    speedup = sharded_total.probes_per_second / max(
-        serial_total.probes_per_second, 1e-9
-    )
+    cpus = _available_cpus()
     return {
         "scale": EXEC_SCALE,
         "seed": EXEC_SEED,
         "workers": EXEC_WORKERS,
+        "process_workers": PROCESS_WORKERS,
+        "cpus": cpus,
         "reps": REPS,
         "probes": serial_total.probes_attempted,
         "serial": {
@@ -74,49 +104,83 @@ def _record(serial_total, sharded_total) -> dict:
             "wall_seconds": sharded_total.wall_seconds,
             "probes_per_second": sharded_total.probes_per_second,
         },
-        "speedup": speedup,
+        "process": {
+            "wall_seconds": process_total.wall_seconds,
+            "probes_per_second": process_total.probes_per_second,
+        },
+        "speedup": _speedup(sharded_total, serial_total),
+        "process_speedup": _speedup(process_total, serial_total),
+        # The >=2x process criterion presumes the workers actually get
+        # cores; record whether this machine could express it.
+        "process_speedup_asserted": cpus >= PROCESS_WORKERS,
     }
 
 
-def _render(serial_total, sharded_total) -> str:
-    speedup = sharded_total.probes_per_second / max(
-        serial_total.probes_per_second, 1e-9
-    )
-    return (
+def _render(serial_total, sharded_total, process_total) -> str:
+    cpus = _available_cpus()
+    lines = [
         f"Executor throughput at scale {EXEC_SCALE} "
         f"({serial_total.probes_attempted:,} probes, seed {EXEC_SEED}, "
-        f"best of {REPS}):\n"
+        f"{cpus} CPU(s), best of {REPS}; process single-rep):",
         f"  serial            {serial_total.wall_seconds:8.2f}s wall  "
-        f"{serial_total.probes_per_second:10,.0f} probes/s\n"
+        f"{serial_total.probes_per_second:10,.0f} probes/s",
         f"  sharded (x{EXEC_WORKERS})      {sharded_total.wall_seconds:8.2f}s wall  "
-        f"{sharded_total.probes_per_second:10,.0f} probes/s\n"
-        f"  speedup           {speedup:8.2f}x"
-    )
+        f"{sharded_total.probes_per_second:10,.0f} probes/s  "
+        f"({_speedup(sharded_total, serial_total):.2f}x)",
+        f"  process (x{PROCESS_WORKERS})      {process_total.wall_seconds:8.2f}s wall  "
+        f"{process_total.probes_per_second:10,.0f} probes/s  "
+        f"({_speedup(process_total, serial_total):.2f}x)",
+    ]
+    if cpus < PROCESS_WORKERS:
+        lines.append(
+            f"  (only {cpus} core(s) available: the >=2x process criterion "
+            f"needs {PROCESS_WORKERS}; recorded, not asserted)"
+        )
+    return "\n".join(lines)
+
+
+def _check(serial_total, sharded_total, process_total) -> list:
+    """The acceptance assertions; returns failure messages (empty = pass)."""
+    failures = []
+    if sharded_total.probes_per_second < serial_total.probes_per_second:
+        failures.append("sharded throughput fell below serial")
+    if _available_cpus() >= PROCESS_WORKERS and (
+        _speedup(process_total, serial_total) < 2.0
+    ):
+        failures.append(
+            f"process speedup {_speedup(process_total, serial_total):.2f}x "
+            f"< 2x with {_available_cpus()} cores available"
+        )
+    return failures
 
 
 def test_sharded_outpaces_serial(benchmark):
     from conftest import emit, emit_json
 
-    serial_total, sharded_total = benchmark.pedantic(
+    serial_total, sharded_total, process_total = benchmark.pedantic(
         _compare, rounds=1, iterations=1
     )
-    emit(_render(serial_total, sharded_total))
-    emit_json("executor", _record(serial_total, sharded_total))
+    emit(_render(serial_total, sharded_total, process_total))
+    emit_json("executor", _record(serial_total, sharded_total, process_total))
     assert sharded_total.probes_attempted == serial_total.probes_attempted
-    assert sharded_total.probes_per_second >= serial_total.probes_per_second
+    assert process_total.probes_attempted == serial_total.probes_attempted
+    failures = _check(serial_total, sharded_total, process_total)
+    assert not failures, "; ".join(failures)
 
 
 def main() -> int:
     from conftest import emit_json
 
-    serial_total, sharded_total = _compare()
-    print(_render(serial_total, sharded_total))
-    path = emit_json("executor", _record(serial_total, sharded_total))
+    serial_total, sharded_total, process_total = _compare()
+    print(_render(serial_total, sharded_total, process_total))
+    path = emit_json(
+        "executor", _record(serial_total, sharded_total, process_total)
+    )
     print(f"(record written to {path})")
-    if sharded_total.probes_per_second < serial_total.probes_per_second:
-        print("FAIL: sharded throughput fell below serial")
-        return 1
-    return 0
+    failures = _check(serial_total, sharded_total, process_total)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -75,12 +75,15 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20211011, help="simulation seed")
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="probe-execution worker count (N>1 selects the sharded executor)",
+        help="probe-execution worker count (N>1 selects the sharded executor; "
+        "with --executor process, the worker-process/shard count)",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "sharded"), default=None,
+        "--executor", choices=("serial", "sharded", "process"), default=None,
         help="probe-execution strategy (default: derived from --workers); "
-        "results are byte-identical across strategies for the same seed",
+        "'process' escapes the GIL by probing shard-local world replicas "
+        "in worker processes; results are byte-identical across strategies "
+        "for the same seed",
     )
     parser.add_argument(
         "--artifact", choices=ARTIFACT_NAMES, action="append",

@@ -166,6 +166,8 @@ class MeasurementCampaign:
         executor: Optional[object] = None,
         workers: int = 1,
         retry: Optional[RetryPolicy] = None,
+        world: Optional[object] = None,
+        ip_filter: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self.population = population
         self.fleet = fleet
@@ -183,8 +185,10 @@ class MeasurementCampaign:
         self.resolver.register(base, self.responder)
         self.resolver.register(Name.root(), self.fleet.dns_backend)
 
+        # ``ip_filter`` restricts the live network to a shard's slice of
+        # addresses (see repro.exec.shardworld); full campaigns pass None.
         self.network: Network = fleet.build_network(
-            self.clock_router, self.resolver
+            self.clock_router, self.resolver, ip_filter=ip_filter
         )
         self.labels = LabelAllocator(base)
         self.ethics = EthicsControls()
@@ -201,7 +205,9 @@ class MeasurementCampaign:
             seconds_per_probe=self.config.seconds_per_probe,
             router=self.clock_router,
         )
-        self.executor = make_executor(executor, self.env, workers=workers, retry=retry)
+        self.executor = make_executor(
+            executor, self.env, workers=workers, retry=retry, world=world
+        )
         #: preferred probe method per address, learned at initial time.
         self._preferred: Dict[str, ProbeMethod] = {}
         #: a representative hosted domain per address (RCPT TO targets).
@@ -371,6 +377,11 @@ class MeasurementCampaign:
             ):
                 self.clock.advance_to(max(self.clock.now, self.config.notification_date))
                 notification_report = self.notifier(
+                    initial.vulnerable_domains(), self.config.notification_date
+                )
+                # Shard-world replicas must mirror the notification's
+                # clock/RNG effects; other executors ignore the hook.
+                self.executor.record_notification(
                     initial.vulnerable_domains(), self.config.notification_date
                 )
                 notified = True

@@ -87,6 +87,26 @@ class QueryLog:
             )
         return entry
 
+    def entries_since(self, start: int) -> List[QueryLogEntry]:
+        """Entries recorded at positions ``start..`` (arrival order)."""
+        with self._lock:
+            return self._entries[start:]
+
+    def ingest(self, entries: Iterable[QueryLogEntry]) -> None:
+        """Adopt entries recorded by another process's log.
+
+        Used when merging shard-world evidence back into the parent: the
+        entries were already traced (``dns.query``) in the recording
+        process, so ingestion only appends and re-indexes — it never
+        re-emits trace events.
+        """
+        with self._lock:
+            for entry in entries:
+                self._entries.append(entry)
+                labels = self.extract_labels(entry.qname)
+                if labels is not None:
+                    self._by_labels.setdefault(labels, []).append(entry)
+
     def extract_labels(self, qname: Name) -> Optional[Tuple[str, str]]:
         """Extract ``(suite, id)`` from a query name under our base.
 

@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ResolutionError
+from ..obs import context as _obs
 from .message import Message, Rcode
 from .name import Name
-from .rdata import MX, RRType, ResourceRecord, TXT
+from .rdata import MX, RRType, ResourceRecord, SOA, TXT
 from .server import DnsBackend
 
 ClockFn = Callable[[], _dt.datetime]
@@ -38,6 +39,7 @@ class _CacheEntry:
     expires: _dt.datetime
     rcode: Rcode
     records: List[ResourceRecord]
+    authority: List[ResourceRecord]
 
 
 class CachingResolver(DnsBackend):
@@ -71,14 +73,20 @@ class CachingResolver(DnsBackend):
         qname, rrtype = message.question.name, message.question.rrtype
         timestamp = now if now is not None else self._clock()
         self.query_count += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.metrics.counter("dns.resolver.queries").inc(rrtype.name)
 
         cache_key = (qname.key, rrtype)
         entry = self._cache.get(cache_key)
         if entry is not None and entry.expires > timestamp:
             self.cache_hits += 1
+            if obs is not None:
+                obs.metrics.counter("dns.resolver.cache_hits").inc(rrtype.name)
             response = message.make_response(entry.rcode)
             response.recursion_available = True
             response.answers = list(entry.records)
+            response.authority = list(entry.authority)
             return response
 
         backend = self._backend_for(qname)
@@ -88,17 +96,34 @@ class CachingResolver(DnsBackend):
             return response
 
         upstream = backend.query(message, source=source, now=timestamp)
-        ttl = min((rr.ttl for rr in upstream.answers), default=self.NEGATIVE_TTL)
-        self._cache[cache_key] = _CacheEntry(
-            expires=timestamp + _dt.timedelta(seconds=ttl),
-            rcode=upstream.rcode,
-            records=list(upstream.answers),
-        )
+        ttl = self._cache_ttl(upstream)
+        if ttl > 0:
+            self._cache[cache_key] = _CacheEntry(
+                expires=timestamp + _dt.timedelta(seconds=ttl),
+                rcode=upstream.rcode,
+                records=list(upstream.answers),
+                authority=list(upstream.authority),
+            )
         response = message.make_response(upstream.rcode)
         response.recursion_available = True
         response.answers = list(upstream.answers)
         response.authority = list(upstream.authority)
         return response
+
+    def _cache_ttl(self, upstream: Message) -> int:
+        """How long ``upstream`` may be cached, in seconds.
+
+        Positive answers use the smallest answer TTL.  Negative answers
+        (NXDOMAIN/NODATA) use the RFC 2308 rule: the minimum of the SOA
+        record's own TTL and its ``minimum`` field when the authority
+        section carries one, else :data:`NEGATIVE_TTL`.
+        """
+        if upstream.answers:
+            return min(rr.ttl for rr in upstream.answers)
+        for rr in upstream.authority:
+            if isinstance(rr.rdata, SOA):
+                return min(rr.ttl, rr.rdata.minimum)
+        return self.NEGATIVE_TTL
 
     def flush(self) -> None:
         self._cache.clear()

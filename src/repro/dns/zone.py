@@ -67,7 +67,11 @@ class Zone:
         full = self._full_name(name)
         if not full.is_subdomain_of(self.origin):
             raise DnsError(f"{full} is not within zone {self.origin}")
-        rr = ResourceRecord(name=full, rdata=rdata, ttl=ttl or self.default_ttl)
+        rr = ResourceRecord(
+            name=full,
+            rdata=rdata,
+            ttl=ttl if ttl is not None else self.default_ttl,
+        )
         key = (full.key, rdata.rrtype)
         self._rrsets.setdefault(key, []).append(rr)
         # Record the name and all ancestors up to the origin as existing

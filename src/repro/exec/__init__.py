@@ -16,8 +16,15 @@ one engine:
   :class:`~repro.core.detector.VulnerabilityDetector`), dispatched in
   batches, and the shared clock is advanced once per *event horizon*
   instead of once per probe.
+- :class:`ProcessShardedExecutor` — true multi-core execution: the work
+  list is partitioned by a stable hash of the target address into
+  shard-local **world replicas** (:mod:`repro.exec.shardworld`), each
+  rebuilt from the seed inside its own worker process, with results,
+  evidence, metrics, and trace events merged back deterministically.
+  A shard whose worker dies is re-run in-process instead of aborting
+  the campaign.
 
-Both strategies execute every task at the same simulated instant — task
+Every strategy executes every task at the same simulated instant — task
 ``k`` of a stage starts at ``stage_base + k * seconds_per_probe``, and
 in-task waits (greylist backoff, ethics pacing) advance only that task's
 :class:`VirtualClock` — so campaign results are byte-identical between
@@ -27,6 +34,7 @@ executors for the same seed (asserted by ``tests/exec``).
 from .engine import (
     ExecutionEnvironment,
     ProbeExecutor,
+    ProcessShardedExecutor,
     RetryPolicy,
     SerialExecutor,
     ShardedExecutor,
@@ -35,6 +43,7 @@ from .engine import (
     transient_failure,
 )
 from .metrics import ExecutorMetrics, StageMetrics
+from .shardworld import ShardWorld, WorldSpec, shard_of
 from .task import ProbeTask
 from .virtualclock import ClockRouter, VirtualClock
 
@@ -44,12 +53,16 @@ __all__ = [
     "ExecutorMetrics",
     "ProbeExecutor",
     "ProbeTask",
+    "ProcessShardedExecutor",
     "RetryPolicy",
     "SerialExecutor",
+    "ShardWorld",
     "ShardedExecutor",
     "StageMetrics",
     "VirtualClock",
     "WorkerContext",
+    "WorldSpec",
     "make_executor",
+    "shard_of",
     "transient_failure",
 ]

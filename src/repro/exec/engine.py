@@ -1,6 +1,6 @@
 """Pluggable probe-execution strategies.
 
-Both executors run every :class:`~repro.exec.task.ProbeTask` of a stage
+All executors run every :class:`~repro.exec.task.ProbeTask` of a stage
 at the same simulated instant — task ``k`` starts at
 ``stage_base + k * seconds_per_probe`` — and differ only in how the
 *shared* clock (which fires scheduled events: patches, MX migrations,
@@ -10,10 +10,15 @@ blacklist flips) is driven forward:
   one-at-a-time paper tool experienced time;
 - :class:`ShardedExecutor` computes the next *event horizon*, dispatches
   every task whose timeslot precedes it across the worker pool in
-  batches, and advances the clock once per horizon.
+  batches, and advances the clock once per horizon;
+- :class:`ProcessShardedExecutor` escapes the GIL entirely: it partitions
+  the work list by a stable hash of the target IP into shard-local world
+  replicas (:mod:`repro.exec.shardworld`), runs each shard in its own
+  ``ProcessPoolExecutor`` worker, and merges results, query-log evidence,
+  metrics, and trace events back deterministically.
 
 An event scheduled at instant ``E`` therefore partitions the work list
-identically under both strategies (tasks with slots before ``E`` probe
+identically under every strategy (tasks with slots before ``E`` probe
 the pre-event world), which is what makes campaign results byte-identical
 between them — the property ``tests/exec`` asserts at scale 0.02.
 """
@@ -23,8 +28,9 @@ from __future__ import annotations
 import datetime as _dt
 import logging
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..clock import SimulatedClock
 from ..obs import context as _obs
@@ -198,6 +204,19 @@ class ProbeExecutor:
     ) -> List[DetectionResult]:
         """Execute one stage's work list; results align with ``tasks``."""
         raise NotImplementedError
+
+    def record_notification(
+        self, domains: Sequence[str], when: _dt.datetime
+    ) -> None:
+        """The campaign ran its notifier at ``when``.
+
+        Only the process executor cares: shard-world replicas must replay
+        the notification's clock and RNG effects.  Everyone else shares
+        the parent's clock and already saw them.
+        """
+
+    def shutdown(self) -> None:
+        """Release executor-held resources (worker processes)."""
 
     # -- shared machinery ------------------------------------------------------
 
@@ -460,6 +479,261 @@ class ShardedExecutor(ProbeExecutor):
         return results  # type: ignore[return-value]
 
 
+class ProcessShardedExecutor(ProbeExecutor):
+    """Shard-local world replicas under a process pool.
+
+    The work list is partitioned by ``shard_of(task.ip)`` — a stable
+    hash, so every address's mutable server state (greylist memory,
+    blacklist counters, crash noise) lives in exactly one shard for the
+    whole campaign.  Each shard runs in its own single-worker
+    ``ProcessPoolExecutor`` (one long-lived world replica per process);
+    the parent ships only values down (a :class:`~repro.exec.shardworld.WorldSpec`
+    plus the event stream) and merges only values back up.
+
+    Merge order is fixed — shard results land by ascending work-list
+    index — and every merged artifact is order-insensitive or exact
+    (counter sums, sorted histograms, trace keys carrying the parent's
+    stage ordinal and task index), so traces, campaign results, and CSVs
+    are byte-identical to a serial run of the same seed.
+
+    If a worker process dies mid-campaign, its shard degrades gracefully
+    instead of aborting: the parent rebuilds that shard's world in-process,
+    silently replays the recorded event history to catch up, and runs the
+    current and all future stages for that shard itself.  The failure is
+    visible in the ``exec.shard_failures`` counter, the log, and the
+    ``--progress`` stream.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        env: ExecutionEnvironment,
+        *,
+        world,
+        workers: int = 4,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if env.router is None:
+            raise SimulationError(
+                "ProcessShardedExecutor needs an environment with a "
+                "ClockRouter (virtual-time protocol); build the network "
+                "through one"
+            )
+        if workers < 1:
+            raise SimulationError("ProcessShardedExecutor needs at least one worker")
+        super().__init__(env, retry=retry)
+        self.workers = workers
+        #: the rebuildable spec shipped to children, pinned to this
+        #: executor's retry policy so parent and replica label strides match.
+        self.world = _dc_replace(world, retry=self.retry)
+        #: the full world-event history (stage assignments + notifications),
+        #: replayed from scratch when a shard falls back in-process.
+        self._history: List[object] = []
+        self._pools: Dict[int, ProcessPoolExecutor] = {}
+        #: per-shard high-water mark into ``_history`` already shipped.
+        self._sent: Dict[int, int] = {}
+        self._broken: Set[int] = set()
+        #: in-process replacement worlds for broken shards.
+        self._fallback: Dict[int, object] = {}
+        self._fallback_sent: Dict[int, int] = {}
+        self._stages_run = 0
+
+    # -- world-event plumbing --------------------------------------------------
+
+    def record_notification(
+        self, domains: Sequence[str], when: _dt.datetime
+    ) -> None:
+        from .shardworld import NotifyEvent
+
+        self._history.append(NotifyEvent(tuple(domains), when))
+
+    def _pool(self, shard: int) -> ProcessPoolExecutor:
+        pool = self._pools.get(shard)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=1)
+            self._pools[shard] = pool
+        return pool
+
+    def _pending(self, shard: int, sent: Dict[int, int]) -> List[object]:
+        events = [e.for_shard(shard) for e in self._history[sent.get(shard, 0):]]
+        sent[shard] = len(self._history)
+        return events
+
+    def _note_shard_failure(self, shard: int, obs, error: object) -> None:
+        if shard in self._broken:
+            return
+        self._broken.add(shard)
+        pool = self._pools.pop(shard, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        _log.warning(
+            "shard %d worker process died (%s); re-running that shard "
+            "in-process for the rest of the campaign",
+            shard, error,
+        )
+        if obs is not None:
+            obs.metrics.counter("exec.shard_failures").inc(f"shard{shard}")
+        if self.progress is not None:
+            self.progress.stream.write(
+                f"shard {shard} worker died; re-running in-process\n"
+            )
+            self.progress.stream.flush()
+
+    def _run_fallback(self, shard: int):
+        """Run the shard's pending events in-process (degraded mode)."""
+        from .shardworld import ShardWorld
+
+        world = self._fallback.get(shard)
+        if world is None:
+            world = ShardWorld(self.world, shard, self.workers)
+            self._fallback[shard] = world
+        return world.apply(self._pending(shard, self._fallback_sent))
+
+    def shutdown(self) -> None:
+        for pool in self._pools.values():
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pools.clear()
+
+    def kill_shard(self, shard: int) -> bool:
+        """Fault injection: hard-kill a shard's worker (tests and drills).
+
+        Returns ``False`` when the shard has no live pool (never started,
+        or already broken).  The death is discovered — and degraded-mode
+        recovery engaged — on the next :meth:`run_stage` dispatch, exactly
+        as an organic crash would be.
+        """
+        from .shardworld import _exit_child
+
+        pool = self._pools.get(shard)
+        if pool is None:
+            return False
+        try:
+            pool.submit(_exit_child).result()
+        except BrokenExecutor:
+            pass  # expected: the pool just noticed the death
+        except OSError:
+            pass
+        return True
+
+    # -- stage execution -------------------------------------------------------
+
+    def run_stage(
+        self, stage: str, tasks: Sequence[ProbeTask]
+    ) -> List[DetectionResult]:
+        from .shardworld import StageAssignment, _child_run, shard_of
+
+        env = self.env
+        metrics = self.metrics.begin_stage(stage, workers=self.workers)
+        metrics.tasks = len(tasks)
+        obs = self._begin_stage_obs(stage, tasks)
+        tracing = obs is not None and obs.tracer.enabled
+        started = time.perf_counter()
+        base = env.clock.now
+        slot = _dt.timedelta(seconds=env.seconds_per_probe)
+        count = len(tasks)
+        suite = tasks[0].suite if tasks else ""
+        ordinal = obs.tracer.open_stage_ordinal() if tracing else self._stages_run
+        self._stages_run += 1
+
+        assigned: Dict[int, List[Tuple[int, ProbeTask]]] = {}
+        for index, task in enumerate(tasks):
+            assigned.setdefault(shard_of(task.ip, self.workers), []).append(
+                (index, task)
+            )
+        self._history.append(
+            StageAssignment(
+                ordinal=ordinal, stage=stage, suite=suite, base=base,
+                count=count, trace=tracing, assigned=assigned,
+            )
+        )
+
+        futures: Dict[int, Future] = {}
+        for shard in range(self.workers):
+            if shard in self._broken:
+                continue
+            payload = self._pending(shard, self._sent)
+            try:
+                futures[shard] = self._pool(shard).submit(
+                    _child_run, self.world, shard, self.workers, payload
+                )
+            except BrokenExecutor as error:
+                self._note_shard_failure(shard, obs, error)
+        # Catch up broken shards in-process while healthy workers run.
+        shard_results: Dict[int, object] = {}
+        for shard in range(self.workers):
+            if shard in self._broken and shard not in futures:
+                shard_results[shard] = self._run_fallback(shard)
+        for shard in sorted(futures):
+            try:
+                shard_results[shard] = futures[shard].result()
+            except (BrokenExecutor, OSError, EOFError) as error:
+                self._note_shard_failure(shard, obs, error)
+                shard_results[shard] = self._run_fallback(shard)
+
+        results = self._merge(shard_results, metrics, obs, suite, count)
+        metrics.batches += len(shard_results)
+        env.clock.advance_to(max(env.clock.now, self._slot(base, count, slot)))
+        metrics.wall_seconds = time.perf_counter() - started
+        metrics.sim_seconds = (env.clock.now - base).total_seconds()
+        self._end_stage_obs(obs, metrics)
+        return results
+
+    def _merge(
+        self,
+        shard_results: Dict[int, object],
+        metrics: StageMetrics,
+        obs,
+        suite: str,
+        count: int,
+    ) -> List[DetectionResult]:
+        """Fold shard results back into the parent, in work-list order."""
+        env = self.env
+        outputs = []
+        for shard in sorted(shard_results):
+            sres = shard_results[shard]
+            metrics.probes_attempted += sres.probes_attempted
+            metrics.retried += sres.retried
+            metrics.refused += sres.refused
+            metrics.queries_observed += sres.queries_observed
+            env.network.connection_attempts += sres.connection_attempts
+            env.network.connections_established += sres.connections_established
+            env.ethics.connections_opened += sres.connections_opened
+            env.ethics.peak_concurrency = max(
+                env.ethics.peak_concurrency, sres.peak_concurrency
+            )
+            if obs is not None:
+                obs.metrics.merge(sres.metrics)
+            outputs.extend(sres.outputs)
+        outputs.sort(key=lambda out: out.index)
+
+        if suite and count:
+            # One watermark reservation covering every task's id block,
+            # so sequential allocation in this suite continues above it
+            # exactly as after a single-process stage.
+            env.labels.reserve_block(suite, 0, count * self._stride)
+        results: List[Optional[DetectionResult]] = [None] * count
+        log = env.responder.log
+        tracer = obs.tracer if obs is not None else None
+        for out in outputs:
+            if results[out.index] is not None:
+                raise SimulationError(
+                    f"work-list index {out.index} merged from two shards"
+                )
+            results[out.index] = out.result
+            log.ingest(out.queries)
+            if tracer is not None and tracer.enabled:
+                tracer.ingest(out.events)
+            for test_id in out.result.test_ids:
+                env.labels.bind(suite, test_id, out.result.ip)
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise SimulationError(
+                f"shard merge lost {len(missing)} task(s), first {missing[:5]}"
+            )
+        return results  # type: ignore[return-value]
+
+
 def _slots_before(
     instant: _dt.datetime, base: _dt.datetime, slot: _dt.timedelta
 ) -> int:
@@ -483,11 +757,19 @@ def make_executor(
     *,
     workers: int = 1,
     retry: Optional[RetryPolicy] = None,
+    world=None,
 ) -> ProbeExecutor:
     """Resolve an executor from a name, instance, factory, or default.
 
     ``None`` picks :class:`ShardedExecutor` when ``workers > 1`` (and the
-    environment supports it), else :class:`SerialExecutor`.
+    environment supports it), else :class:`SerialExecutor`.  The
+    ``"process"`` strategy additionally needs ``world`` — a
+    :class:`~repro.exec.shardworld.WorldSpec` from which child processes
+    rebuild their shard of the network — so it is only reachable through
+    hosts that can describe their world by value (the campaign via
+    :meth:`repro.simulation.Simulation.build`); scanner-style
+    environments wrapping pre-built state cannot be re-created in a
+    child and get a clear error instead.
     """
     if isinstance(spec, ProbeExecutor):
         return spec
@@ -499,4 +781,17 @@ def make_executor(
         return SerialExecutor(env, retry=retry)
     if spec == "sharded":
         return ShardedExecutor(env, workers=max(workers, 1), retry=retry)
-    raise SimulationError(f"unknown executor {spec!r} (serial | sharded)")
+    if spec == "process":
+        if world is None:
+            raise SimulationError(
+                "the process executor rebuilds shard worlds from a seeded "
+                "WorldSpec, which this host did not provide; construct it "
+                "through Simulation.build(executor='process') (scanner "
+                "environments cannot cross a process boundary)"
+            )
+        return ProcessShardedExecutor(
+            env, world=world, workers=max(workers, 1), retry=retry
+        )
+    raise SimulationError(
+        f"unknown executor {spec!r} (serial | sharded | process)"
+    )

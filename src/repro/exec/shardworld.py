@@ -1,0 +1,324 @@
+"""Shard-local world replicas for process-level parallelism.
+
+The process executor (:class:`repro.exec.engine.ProcessShardedExecutor`)
+cannot ship the campaign's live state to a child process: SMTP servers,
+the clock router, and the ethics ledger hold locks and closures that do
+not pickle — and even if they did, copying mutable state once would go
+stale the moment a scheduled patch or MX move fired.  Instead, nothing
+but *values* cross the boundary:
+
+- down: a :class:`WorldSpec` (population + campaign config, seed, retry
+  policy) plus an ordered stream of world events — every probe stage's
+  shard slice and every notification — from which a child deterministically
+  **rebuilds** its slice of the world and replays history;
+- up: a :class:`ShardStageResult` — detection results, query-log entries,
+  trace events, and a metrics snapshot, all plain data.
+
+A :class:`ShardWorld` mirrors :meth:`repro.simulation.Simulation.build`
+exactly (same seeded RNG forks in the same order), except that
+:meth:`~repro.internet.mta_fleet.MtaFleet.build_network` materializes
+only the addresses :func:`shard_of` assigns to this shard.  The shard
+key is a pure function of the IP, so a server's whole mutable history —
+greylist memory, blacklist counters, crash noise — lives in exactly one
+shard for the campaign's duration, and the patch/move callbacks fire in
+every shard (``server_at`` lookups outside the slice are no-ops).  Each
+stage slice advances the replica's clock through the same instants the
+serial executor would, so scheduled events partition the work list
+identically and merged results stay byte-identical to a serial run.
+
+Geography is the one build step a replica skips: it draws from an
+independent ``"geo"`` RNG fork and only labels units with countries,
+which no probe-path code reads.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..obs.context import Observation, observing
+from ..errors import SimulationError
+from .engine import RetryPolicy, WorkerContext
+from .metrics import StageMetrics
+from .task import ProbeTask
+
+if TYPE_CHECKING:
+    from ..core.campaign import CampaignConfig
+    from ..core.detector import DetectionResult
+    from ..dns.querylog import QueryLogEntry
+    from ..internet.population import PopulationConfig
+    from ..obs.trace import TraceEvent
+
+
+def shard_of(ip: str, num_shards: int) -> int:
+    """Which shard owns ``ip`` — stable across runs and platforms."""
+    return zlib.crc32(ip.encode("ascii")) % num_shards
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Everything a child process needs to rebuild the world from seed."""
+
+    population_config: "PopulationConfig"
+    campaign_config: "CampaignConfig"
+    seed: int
+    retry: Optional[RetryPolicy] = None
+
+
+@dataclass(frozen=True)
+class NotifyEvent:
+    """The parent ran the notification campaign at ``when``.
+
+    Replicas replay it on their own
+    :class:`~repro.notification.delivery.NotificationCampaign` so the
+    notification RNG stream and the scheduled open/patch callbacks stay
+    in lockstep with the parent's.
+    """
+
+    domains: Tuple[str, ...]
+    when: _dt.datetime
+
+    def for_shard(self, shard_id: int) -> "NotifyEvent":
+        return self
+
+
+@dataclass(frozen=True)
+class StageSlice:
+    """One stage's work for one shard.
+
+    ``tasks`` holds ``(work-list index, task)`` pairs; ``count`` is the
+    full stage's task count, so a shard with an empty slice still
+    advances its clock across the whole stage window (firing any
+    scheduled events) before the next event arrives.
+    """
+
+    ordinal: int
+    stage: str
+    suite: str
+    base: _dt.datetime
+    count: int
+    tasks: Tuple[Tuple[int, ProbeTask], ...]
+    trace: bool
+
+
+@dataclass
+class StageAssignment:
+    """Parent-side record of one dispatched stage (all shards)."""
+
+    ordinal: int
+    stage: str
+    suite: str
+    base: _dt.datetime
+    count: int
+    trace: bool
+    assigned: Dict[int, List[Tuple[int, ProbeTask]]]
+
+    def for_shard(self, shard_id: int) -> StageSlice:
+        return StageSlice(
+            ordinal=self.ordinal,
+            stage=self.stage,
+            suite=self.suite,
+            base=self.base,
+            count=self.count,
+            tasks=tuple(self.assigned.get(shard_id, ())),
+            trace=self.trace,
+        )
+
+
+@dataclass
+class TaskOutput:
+    """One task's evidence, ready to merge in work-list order."""
+
+    index: int
+    result: "DetectionResult"
+    queries: List["QueryLogEntry"]
+    events: List["TraceEvent"]
+
+
+@dataclass
+class ShardStageResult:
+    """Everything one shard produced for one stage."""
+
+    shard_id: int
+    outputs: List[TaskOutput]
+    probes_attempted: int
+    retried: int
+    refused: int
+    queries_observed: int
+    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot` of the stage.
+    metrics: dict
+    connection_attempts: int
+    connections_established: int
+    connections_opened: int
+    peak_concurrency: int
+
+
+class ShardWorld:
+    """A shard's deterministic replica of the campaign world."""
+
+    def __init__(self, spec: WorldSpec, shard_id: int, num_shards: int) -> None:
+        # Local imports: this module is imported by ``repro.exec`` while
+        # ``repro.core.campaign`` may still be mid-import (it imports the
+        # exec package itself), so the heavyweight world modules load
+        # only when a replica is actually built.
+        from ..clock import SimulatedClock
+        from ..core.campaign import MeasurementCampaign
+        from ..internet.mta_fleet import build_fleet
+        from ..internet.patching import PatchBehaviorModel
+        from ..internet.population import generate_population
+        from ..notification.delivery import NotificationCampaign
+
+        self.spec = spec
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+
+        # Mirror Simulation.build step for step (geography skipped; its
+        # RNG fork is independent and countries never feed the probe path).
+        population = generate_population(spec.population_config)
+        fleet = build_fleet(population)
+        clock = SimulatedClock(start=spec.campaign_config.initial_measurement)
+        patch_model = PatchBehaviorModel(seed=spec.seed)
+        self.campaign = MeasurementCampaign(
+            population,
+            fleet,
+            config=spec.campaign_config,
+            clock=clock,
+            executor="serial",
+            retry=spec.retry,
+            ip_filter=lambda ip: shard_of(ip, num_shards) == shard_id,
+        )
+        self.notification = NotificationCampaign(
+            fleet, patch_model, self.campaign.network, clock, seed=spec.seed
+        )
+        patch_model.apply(fleet, self.campaign.network, clock)
+        fleet.schedule_moves(self.campaign.network, clock)
+
+    @property
+    def key(self) -> Tuple[WorldSpec, int, int]:
+        return (self.spec, self.shard_id, self.num_shards)
+
+    # -- event replay ---------------------------------------------------------
+
+    def apply(self, events: List[object]) -> ShardStageResult:
+        """Replay ``events`` in order; observe and return the last one.
+
+        All but the final event are history the parent has already merged
+        (either from this replica or from a worker that since died), so
+        they replay *silently* — same state transitions, no evidence
+        collected.  The final event must be the current stage's slice.
+        """
+        result: Optional[ShardStageResult] = None
+        for position, event in enumerate(events):
+            observed = position == len(events) - 1
+            if isinstance(event, NotifyEvent):
+                self._apply_notify(event)
+            elif isinstance(event, StageSlice):
+                result = self._apply_stage(event, observed=observed)
+            else:
+                raise SimulationError(f"unknown world event {event!r}")
+        if result is None:
+            raise SimulationError(
+                "world-event batch did not end with a stage slice"
+            )
+        return result
+
+    def _apply_notify(self, event: NotifyEvent) -> None:
+        clock = self.campaign.clock
+        clock.advance_to(max(clock.now, event.when))
+        self.notification.send_notifications(list(event.domains), event.when)
+
+    def _apply_stage(self, ev: StageSlice, *, observed: bool) -> Optional[ShardStageResult]:
+        campaign = self.campaign
+        env = campaign.env
+        clock = campaign.clock
+        executor = campaign.executor  # serial machinery: _execute + retry
+        slot = _dt.timedelta(seconds=env.seconds_per_probe)
+        clock.advance_to(max(clock.now, ev.base))
+        if ev.suite:
+            campaign.labels.adopt_suite(ev.suite)
+
+        # A fresh per-stage observation sandbox: child metrics/trace are
+        # collected here and shipped up as values, never ambient state.
+        obs = Observation(trace=ev.trace and observed)
+        obs.bind_clock(campaign.clock_router)
+        tracing = obs.tracer.enabled
+        if tracing:
+            obs.tracer.seed_stage_ordinal(ev.ordinal)
+        metrics = StageMetrics(stage=ev.stage, workers=1)
+        network, ethics = env.network, env.ethics
+        attempts0 = network.connection_attempts
+        established0 = network.connections_established
+        opened0 = ethics.connections_opened
+        log = campaign.responder.log
+        outputs: List[TaskOutput] = []
+        with observing(obs):
+            if tracing:
+                # Scope parity with the parent: the stage scope consumes
+                # the same ordinal/seq slots, but the child's own
+                # stage.begin event is excluded from the upload (the
+                # parent emits the authoritative one).
+                obs.tracer.begin_stage(ev.stage, tasks=ev.count)
+            ctx = WorkerContext(env, 0)
+            for index, task in ev.tasks:
+                # Fire every event scheduled before this task's slot —
+                # the serial executor's end-of-slot advance rule.
+                clock.advance_to(max(clock.now, ev.base + index * slot))
+                qmark = len(log)
+                emark = obs.tracer.event_count() if tracing else 0
+                result = executor._execute(
+                    ctx, task, index, ev.base + index * slot, metrics
+                )
+                outputs.append(
+                    TaskOutput(
+                        index=index,
+                        result=result,
+                        queries=log.entries_since(qmark),
+                        events=obs.tracer.events_since(emark) if tracing else [],
+                    )
+                )
+            clock.advance_to(max(clock.now, ev.base + ev.count * slot))
+        if not observed:
+            return None
+        return ShardStageResult(
+            shard_id=self.shard_id,
+            outputs=outputs,
+            probes_attempted=metrics.probes_attempted,
+            retried=metrics.retried,
+            refused=metrics.refused,
+            queries_observed=metrics.queries_observed,
+            metrics=obs.metrics.snapshot(),
+            connection_attempts=network.connection_attempts - attempts0,
+            connections_established=network.connections_established - established0,
+            connections_opened=ethics.connections_opened - opened0,
+            peak_concurrency=ethics.peak_concurrency,
+        )
+
+
+# -- child-process entry points ---------------------------------------------
+
+#: The one world this worker process serves (each pool has one worker,
+#: each worker serves exactly one shard for the campaign's lifetime).
+_WORLD: Optional[ShardWorld] = None
+
+
+def _child_run(
+    spec: WorldSpec, shard_id: int, num_shards: int, events: List[object]
+) -> ShardStageResult:
+    """Run one batch of world events in a worker process."""
+    global _WORLD
+    if _WORLD is None or _WORLD.key != (spec, shard_id, num_shards):
+        # Forked children inherit the parent's ambient observation;
+        # detach it so replica evidence never leaks into a stale copy.
+        from ..obs import context as _obs
+
+        _obs.ACTIVE = None
+        _WORLD = ShardWorld(spec, shard_id, num_shards)
+    return _WORLD.apply(events)
+
+
+def _exit_child() -> None:
+    """Fault injection: die without cleanup, as a crashed worker would."""
+    os._exit(1)

@@ -381,15 +381,23 @@ class MtaFleet:
         self,
         clock_fn: Callable[[], _dt.datetime],
         resolver_backend: DnsBackend,
+        *,
+        ip_filter: Optional[Callable[[str], bool]] = None,
     ) -> Network:
         """Materialize every unit as live SMTP servers.
 
         ``resolver_backend`` is the DNS path the servers' SPF validators
         query (it must include the measurement responder's zone).
+        ``ip_filter`` restricts the build to the addresses it accepts —
+        a shard-world replica materializes only the servers its shard
+        owns, and the patch/move callbacks' ``server_at`` lookups already
+        tolerate the holes.
         """
         network = Network(clock=clock_fn)
         for unit in self.units:
             for ip in unit.all_ips:
+                if ip_filter is not None and not ip_filter(ip):
+                    continue
                 network.register(self._build_server(unit, ip, clock_fn, resolver_backend))
         return network
 

@@ -159,6 +159,45 @@ class MetricsRegistry:
             },
         }
 
+    def snapshot(self) -> dict:
+        """The registry's raw contents, suitable for :meth:`merge`.
+
+        Unlike :meth:`to_dict` this keeps histogram observations verbatim
+        (not summarized), so a shard-world's registry can cross a process
+        boundary and be folded into the parent's without losing exact
+        percentiles.
+        """
+        with self._lock:
+            counters = {
+                n: {"total": c._total, "by_key": dict(c._by_key)}
+                for n, c in self._counters.items()
+            }
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {n: list(h._values) for n, h in self._histograms.items()}
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counter totals add, gauges take the snapshot's value (last write
+        wins, matching :meth:`Gauge.set`), histogram observations extend.
+        Merging shard snapshots in a fixed order keeps every derived
+        artifact deterministic: sums are exact and histogram summaries
+        sort their values before rendering.
+        """
+        for name, state in snapshot["counters"].items():
+            counter = self.counter(name)
+            with counter._lock:
+                counter._total += state["total"]
+                for key, amount in state["by_key"].items():
+                    counter._by_key[key] = counter._by_key.get(key, 0.0) + amount
+        for name, value in snapshot["gauges"].items():
+            self.gauge(name).set(value)
+        for name, values in snapshot["histograms"].items():
+            histogram = self.histogram(name)
+            with histogram._lock:
+                histogram._values.extend(values)
+
     def percentiles(self) -> dict:
         """p50/p90/p99 per histogram, as a compact name-keyed summary.
 

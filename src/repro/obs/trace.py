@@ -31,7 +31,7 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 #: Sort lane for events emitted before a scope's tasks (stage.begin) and
@@ -252,6 +252,51 @@ class Tracer:
     def drop_task(self) -> None:
         """Abandon the task scope without an event (exception unwind)."""
         self._local.scope = None
+
+    # -- shard-world support --------------------------------------------------
+
+    def open_stage_ordinal(self) -> int:
+        """The ordinal of the open stage (or of the next stage to begin)."""
+        scope = self._stage
+        return scope.stage_ord if scope is not None else self._stages_begun
+
+    def seed_stage_ordinal(self, ordinal: int) -> None:
+        """Pin the next stage ordinal.
+
+        A shard-world replica's tracer begins each stage at the ordinal
+        the parent assigned, so task scope ids (``s<stage>.t<task>``) and
+        sort keys match the parent's numbering exactly.
+        """
+        with self._lock:
+            self._stages_begun = ordinal
+
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events_since(self, start: int) -> List[TraceEvent]:
+        """Events emitted at positions ``start..`` (emission order)."""
+        with self._lock:
+            return self._events[start:]
+
+    def ingest(self, events: List[TraceEvent]) -> None:
+        """Adopt events traced in another process.
+
+        Each event keeps its canonical (stage ordinal, lane, seq) prefix —
+        already unique per shard because task lanes are the parent-assigned
+        work-list indices — and only the emit-index tiebreak is rewritten
+        from this tracer's counter.  Ingesting shard batches in task-index
+        order therefore reproduces the serial canonical order exactly.
+        """
+        if not self.enabled or not events:
+            return
+        with self._lock:
+            for event in events:
+                stage_ord, lane, seq, _ = event.key
+                self._events.append(
+                    replace(event, key=(stage_ord, lane, seq, self._emit_counter))
+                )
+                self._emit_counter += 1
 
     # -- export ---------------------------------------------------------------
 

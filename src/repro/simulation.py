@@ -35,6 +35,7 @@ from .internet.population import (
     PopulationConfig,
     generate_population,
 )
+from .exec.shardworld import WorldSpec
 from .notification.delivery import NotificationCampaign, NotificationReport
 from .obs import Observation, observing
 
@@ -67,11 +68,14 @@ class Simulation:
     ) -> "Simulation":
         """Assemble (but do not run) a complete experiment.
 
-        ``executor`` selects the probe-execution strategy ("serial" or
-        "sharded", an executor instance, or a factory over the campaign's
-        :class:`~repro.exec.ExecutionEnvironment`); ``workers`` sizes the
-        sharded worker pool.  Results are byte-identical across
-        strategies for the same seed.
+        ``executor`` selects the probe-execution strategy ("serial",
+        "sharded", or "process", an executor instance, or a factory over
+        the campaign's :class:`~repro.exec.ExecutionEnvironment`);
+        ``workers`` sizes the sharded/process worker pool.  Results are
+        byte-identical across strategies for the same seed.  The process
+        strategy ships a :class:`~repro.exec.WorldSpec` built from this
+        method's own inputs, from which each worker process rebuilds its
+        shard of the world.
 
         ``observation`` attaches a :class:`repro.obs.Observation`; its
         tracer is bound to the campaign's clock router so every trace
@@ -88,6 +92,13 @@ class Simulation:
         clock = SimulatedClock(start=campaign_config.initial_measurement)
         patch_model = PatchBehaviorModel(seed=seed)
 
+        # The same seeded inputs this method assembles from, as a value:
+        # the process executor's children rebuild their world slice from it.
+        world = WorldSpec(
+            population_config=population_config,
+            campaign_config=campaign_config,
+            seed=seed,
+        )
         campaign = MeasurementCampaign(
             population,
             fleet,
@@ -95,6 +106,7 @@ class Simulation:
             clock=clock,
             executor=executor,
             workers=workers,
+            world=world,
         )
         notification = NotificationCampaign(
             fleet, patch_model, campaign.network, clock, seed=seed
@@ -127,6 +139,9 @@ class Simulation:
                     self.result = self.campaign.run()
             else:
                 self.result = self.campaign.run()
+            # The timeline is complete and the result cached; worker
+            # processes (if the process strategy ran it) can go home.
+            self.campaign.executor.shutdown()
         return self.result
 
     def inference(self) -> InferenceEngine:

@@ -12,6 +12,7 @@ from repro.dns.resolver import CachingResolver, StubResolver
 from repro.dns.server import AuthoritativeServer, SpfTestResponder
 from repro.dns.zone import Zone
 from repro.errors import ResolutionError
+from repro.obs import Observation, observing
 
 
 @pytest.fixture()
@@ -125,6 +126,144 @@ class TestCaching:
             )
         assert len(responder.log) == 10
         assert resolver.cache_hits == 0
+
+
+class TestCacheCorrectness:
+    """Regression tests for the PR-4 cache fixes (authority replay,
+    RFC 2308 negative TTLs, exact-expiry boundary, metrics)."""
+
+    def test_entry_dead_at_exact_expiry(self, setup, clock):
+        """An entry whose lifetime has fully elapsed must not be served:
+        ``expires > timestamp`` is strict, so at exactly TTL seconds the
+        resolver goes back to the backend."""
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()
+        clock.advance(dt.timedelta(seconds=300))  # exactly the zone TTL
+        query()
+        assert resolver.cache_hits == 0
+
+    def test_entry_alive_just_before_expiry(self, setup, clock):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()
+        clock.advance(dt.timedelta(seconds=299))
+        query()
+        assert resolver.cache_hits == 1
+
+    def test_negative_ttl_honors_soa_minimum(self, clock):
+        """RFC 2308: a negative answer is cacheable for min(SOA TTL,
+        SOA.minimum), not a hardwired constant."""
+        zone = Zone("example.com")
+        zone.add("mx1", A("192.0.2.1"))
+        zone.soa.rdata.minimum = 30  # much shorter than NEGATIVE_TTL
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("example.com", AuthoritativeServer([zone]))
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("missing.example.com"), RRType.A)
+        )
+        query()
+        clock.advance(dt.timedelta(seconds=29))
+        query()
+        assert resolver.cache_hits == 1
+        clock.advance(dt.timedelta(seconds=1))  # 30s: past the SOA minimum
+        query()
+        assert resolver.cache_hits == 1
+
+    def test_negative_ttl_falls_back_without_soa(self, clock):
+        """A negative answer with no SOA in the authority section keeps
+        the flat NEGATIVE_TTL fallback."""
+
+        class BareBackend:
+            def query(self, message, *, source="", now=None):
+                return message.make_response(Rcode.NXDOMAIN)
+
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("bare.org", BareBackend())
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("gone.bare.org"), RRType.A)
+        )
+        first = query()
+        assert not first.answers and not first.authority
+        clock.advance(dt.timedelta(seconds=CachingResolver.NEGATIVE_TTL - 1))
+        query()
+        assert resolver.cache_hits == 1
+        clock.advance(dt.timedelta(seconds=1))
+        query()
+        assert resolver.cache_hits == 1
+
+    def test_zero_ttl_answers_never_cached(self, setup, clock):
+        resolver, _ = setup
+        zone = Zone("volatile.org", default_ttl=300)
+        zone.add("fast", A("192.0.2.9"), ttl=0)
+        resolver.register("volatile.org", AuthoritativeServer([zone]))
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("fast.volatile.org"), RRType.A)
+        )
+        query()
+        query()
+        assert resolver.cache_hits == 0
+
+    def test_authority_section_replayed_on_hit(self, setup):
+        """A cached negative answer must still carry the SOA authority
+        record — downstream negative-TTL logic depends on it."""
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("missing.example.com"), RRType.A)
+        )
+        first = query()
+        cached = query()
+        assert resolver.cache_hits == 1
+        assert cached.authority, "cache hit dropped the authority section"
+        assert cached.authority == first.authority
+        assert any(rr.rrtype == RRType.SOA for rr in cached.authority)
+
+    def test_cached_response_identical_to_first(self, setup):
+        """End to end: the first upstream answer and every cached replay
+        of it must agree in every observable field."""
+        resolver, _ = setup
+        for qname, rrtype in (
+            ("mx1.example.com", RRType.A),       # positive
+            ("missing.example.com", RRType.A),   # negative
+            ("example.com", RRType.MX),          # multi-record
+        ):
+            query = lambda: resolver.query(
+                Message.make_query(Name.from_text(qname), rrtype)
+            )
+            first, cached = query(), query()
+            assert cached.rcode == first.rcode
+            assert cached.answers == first.answers
+            assert cached.authority == first.authority
+            assert cached.recursion_available == first.recursion_available
+
+    def test_metrics_published_when_observing(self, setup):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        obs = Observation()
+        with observing(obs):
+            query()
+            query()
+        queries = obs.metrics.counter("dns.resolver.queries")
+        hits = obs.metrics.counter("dns.resolver.cache_hits")
+        assert queries.total == 2
+        assert queries.by_key().get("A") == 2
+        assert hits.total == 1
+        assert hits.by_key().get("A") == 1
+
+    def test_metrics_optional_without_observation(self, setup):
+        """The resolver must not require an active Observation."""
+        resolver, _ = setup
+        response = resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        assert response.answers
+        assert resolver.query_count == 1
 
 
 class TestStubResolver:

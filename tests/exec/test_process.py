@@ -1,0 +1,196 @@
+"""The process-sharded executor must be invisible in every artifact.
+
+:class:`~repro.exec.ProcessShardedExecutor` rebuilds shard-local world
+replicas in worker processes and merges results, evidence, metrics, and
+trace events back into the parent.  Its contract is the same as the
+thread-sharded executor's, but stricter to verify: nothing unpicklable
+crosses the process boundary, and the merged trace must be
+*byte-identical* to a serial run of the same seed.  This module runs the
+full campaign serial and process-sharded at a small scale and compares
+every artifact, then fault-injects a worker death and asserts the shard
+degrades to in-process execution without changing a single result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exec import ExecutionEnvironment, make_executor, shard_of
+from repro.obs import Observation, observing
+from repro.obs.diff import diff_events
+from repro.simulation import Simulation
+
+from .test_determinism import canonicalize
+
+SCALE = 0.005
+SEED = 20211011
+WORKERS = 3
+
+#: executor bookkeeping that legitimately differs between strategies
+#: (batch counts and wall-clock throughput), exempt from metric equality.
+WALL_DEPENDENT = {
+    "exec.batches",
+    "exec.stages",
+    "exec.stage_wall_seconds",
+    "exec.stage_probes_per_second",
+}
+
+
+def _run(executor: str, workers: int):
+    obs = Observation(trace=True)
+    sim = Simulation.build(
+        scale=SCALE, seed=SEED, executor=executor, workers=workers,
+        observation=obs,
+    )
+    result = sim.run()
+    return sim, result, obs
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return _run("serial", 1)
+
+
+@pytest.fixture(scope="module")
+def process():
+    sim, result, obs = _run("process", WORKERS)
+    yield sim, result, obs
+    sim.campaign.executor.shutdown()
+
+
+def _strip_wall(metrics_dict: dict) -> dict:
+    return {
+        kind: {
+            name: value
+            for name, value in named.items()
+            if name not in WALL_DEPENDENT
+        }
+        for kind, named in metrics_dict.items()
+    }
+
+
+class TestDeterminism:
+    def test_campaign_results_byte_identical(self, serial, process):
+        _, serial_result, _ = serial
+        _, process_result, _ = process
+        assert repr(canonicalize(serial_result)).encode() == repr(
+            canonicalize(process_result)
+        ).encode()
+
+    def test_traces_byte_identical(self, serial, process, tmp_path):
+        _, _, serial_obs = serial
+        _, _, process_obs = process
+        left = tmp_path / "serial.jsonl"
+        right = tmp_path / "process.jsonl"
+        serial_obs.tracer.write_jsonl(str(left))
+        process_obs.tracer.write_jsonl(str(right))
+        assert left.read_bytes() == right.read_bytes()
+
+    def test_trace_diff_reports_no_divergence(self, serial, process):
+        _, _, serial_obs = serial
+        _, _, process_obs = process
+        divergence = diff_events(serial_obs.tracer, process_obs.tracer)
+        assert divergence is None
+
+    def test_metrics_identical_modulo_wall(self, serial, process):
+        _, _, serial_obs = serial
+        _, _, process_obs = process
+        assert _strip_wall(serial_obs.metrics.to_dict()) == _strip_wall(
+            process_obs.metrics.to_dict()
+        )
+
+    def test_resolver_metrics_merged(self, process):
+        """The resolver counters (PR-4 satellite) survive the shard merge."""
+        _, _, obs = process
+        queries = obs.metrics.counter("dns.resolver.queries")
+        hits = obs.metrics.counter("dns.resolver.cache_hits")
+        assert queries.total > 0
+        assert 0 < hits.total < queries.total
+
+    def test_responder_query_logs_identical(self, serial, process):
+        serial_sim, _, _ = serial
+        process_sim, _, _ = process
+        canon = lambda sim: [
+            e.to_text() for e in sim.campaign.responder.log
+        ]
+        assert canon(serial_sim) == canon(process_sim)
+
+
+class TestSharding:
+    def test_shard_of_is_stable_and_total(self):
+        ips = [f"203.0.113.{i}" for i in range(64)]
+        for n in (1, 2, 3, 7):
+            shards = [shard_of(ip, n) for ip in ips]
+            assert all(0 <= s < n for s in shards)
+            assert shards == [shard_of(ip, n) for ip in ips]  # stable
+        assert len({shard_of(ip, 4) for ip in ips}) == 4  # all shards used
+
+    def test_make_executor_requires_world(self):
+        from repro.clock import SimulatedClock
+        from repro.core.ethics import EthicsControls
+        from repro.core.labels import LabelAllocator
+        from repro.dns.name import Name
+        from repro.dns.server import SpfTestResponder
+        from repro.smtp.transport import Network
+
+        responder = SpfTestResponder(Name.from_text("spf-test.dns-lab.org"))
+        env = ExecutionEnvironment(
+            clock=SimulatedClock(),
+            network=Network(),
+            responder=responder,
+            labels=LabelAllocator(responder.base),
+            ethics=EthicsControls(),
+            client_ip="198.51.100.7",
+        )
+        with pytest.raises(SimulationError, match="WorldSpec"):
+            make_executor("process", env, workers=2)
+
+
+class TestDegradation:
+    def test_killed_shard_falls_back_in_process(self, serial):
+        """A worker death mid-campaign must not change any result."""
+        serial_sim, _, _ = serial
+        serial_initial = serial_sim.result.initial
+
+        obs = Observation()
+        sim = Simulation.build(
+            scale=SCALE, seed=SEED, executor="process", workers=WORKERS,
+            observation=obs,
+        )
+        executor = sim.campaign.executor
+        try:
+            with observing(obs):
+                initial = sim.campaign.run_initial()
+                assert executor.kill_shard(1)
+                first_date = sim.campaign.round_dates()[0]
+                tracked = sim.campaign.tracked_ips()
+                degraded_round = sim.campaign.run_round(first_date, tracked)
+        finally:
+            executor.shutdown()
+
+        # The campaign completed and the degraded shard's results match a
+        # healthy serial run of the same timeline prefix.
+        healthy = Simulation.build(scale=SCALE, seed=SEED, executor="serial")
+        healthy.campaign.run_initial()
+        healthy_round = healthy.campaign.run_round(
+            healthy.campaign.round_dates()[0], healthy.campaign.tracked_ips()
+        )
+        assert degraded_round.results == healthy_round.results
+        assert degraded_round.methods == healthy_round.methods
+        assert sorted(initial.ip_records) == sorted(serial_initial.ip_records)
+
+        # The failure is visible, once, against the killed shard.
+        failures = obs.metrics.counter("exec.shard_failures")
+        assert failures.total == 1
+        assert failures.by_key() == {"shard1": 1.0}
+
+    def test_kill_shard_without_pool_returns_false(self):
+        sim = Simulation.build(
+            scale=SCALE, seed=SEED, executor="process", workers=WORKERS
+        )
+        executor = sim.campaign.executor
+        try:
+            assert executor.kill_shard(0) is False  # no stage run yet
+        finally:
+            executor.shutdown()
