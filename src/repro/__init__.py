@@ -16,18 +16,23 @@ The package layers, bottom-up:
 - :mod:`repro.core` -- the paper's contribution: benign remote detection
   and the longitudinal measurement campaign;
 - :mod:`repro.analysis` -- builders for every table and figure;
-- :mod:`repro.simulation` -- one-call assembly of the whole experiment.
+- :mod:`repro.simulation` -- one-call assembly of the whole experiment;
+- :mod:`repro.api` -- the frozen :class:`~repro.api.RunConfig` describing
+  one run (serializable, content-hashed);
+- :mod:`repro.store` -- crash-safe checkpointing and deterministic resume
+  of longitudinal campaigns.
 
 Quickstart::
 
-    from repro.simulation import Simulation
-    sim = Simulation.build(scale=0.01)
+    from repro import RunConfig, Simulation
+    sim = Simulation.build(config=RunConfig(scale=0.01))
     result = sim.run()
     print(len(result.initial.vulnerable_ips()), "vulnerable addresses")
 """
 
+from .api import RunConfig
 from .simulation import Simulation
 
 __version__ = "1.0.0"
 
-__all__ = ["Simulation", "__version__"]
+__all__ = ["RunConfig", "Simulation", "__version__"]

@@ -2,18 +2,20 @@
 
 Usage::
 
-    python -m repro                       # full campaign at scale 0.01
-    python -m repro --scale 0.02          # bigger synthetic Internet
-    python -m repro --artifact table4     # one table/figure only
-    python -m repro --list                # available artifacts
-    python -m repro --trace t.jsonl --metrics-out m.json   # observability
-    python -m repro --progress            # live stage/throughput/ETA lines
+    python -m repro run                   # full campaign at scale 0.01
+    python -m repro run --scale 0.02      # bigger synthetic Internet
+    python -m repro run --artifact table4 # one table/figure only
+    python -m repro run --list            # available artifacts
+    python -m repro run --trace t.jsonl --metrics-out m.json  # observability
+    python -m repro run --store runs/     # checkpoint after every round
+    python -m repro resume --store runs/  # continue an interrupted campaign
     python -m repro trace summary t.jsonl # analyze a captured trace
     python -m repro trace diff a.jsonl b.jsonl   # pinpoint first divergence
 
-The parser is structured around subcommands (``trace summary``,
-``trace diff``), but the default command is still the campaign run and
-every run flag keeps working at the top level unchanged.
+The parser is structured around the ``run`` / ``resume`` / ``trace``
+subcommands.  The pre-subcommand invocation (``python -m repro --scale
+0.02 ...``) keeps working with a deprecation notice: every run flag
+still exists at the top level with the same defaults.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from . import analysis
 from .obs import Observation, attach_trace_handler, configure_logging
@@ -66,55 +68,70 @@ ARTIFACT_NAMES = (
 # -- parser ---------------------------------------------------------------------
 
 
-def _add_run_flags(parser: argparse.ArgumentParser) -> None:
-    """The campaign-run flags, all at the top level (the default command)."""
-    parser.add_argument(
+def _add_run_flags(
+    parser: argparse.ArgumentParser, *, suppress: bool = False
+) -> None:
+    """The campaign-run flags.
+
+    With ``suppress=True`` (the ``run`` subcommand) every flag defaults
+    to ``argparse.SUPPRESS``: the top-level parser has already installed
+    the real defaults on the shared namespace, and the subcommand must
+    only override what the user typed after ``run``.
+    """
+
+    def add(*names, default, **kwargs):
+        parser.add_argument(
+            *names, default=argparse.SUPPRESS if suppress else default, **kwargs
+        )
+
+    add(
         "--scale", type=float, default=0.01,
         help="population scale relative to the paper's 441K domains (default 0.01)",
     )
-    parser.add_argument("--seed", type=int, default=20211011, help="simulation seed")
-    parser.add_argument(
+    add("--seed", type=int, default=20211011, help="simulation seed")
+    add(
         "--workers", type=int, default=1, metavar="N",
         help="probe-execution worker count (N>1 selects the sharded executor; "
         "with --executor process, the worker-process/shard count)",
     )
-    parser.add_argument(
+    add(
         "--executor", choices=("serial", "sharded", "process"), default=None,
         help="probe-execution strategy (default: derived from --workers); "
         "'process' escapes the GIL by probing shard-local world replicas "
         "in worker processes; results are byte-identical across strategies "
         "for the same seed",
     )
-    parser.add_argument(
-        "--artifact", choices=ARTIFACT_NAMES, action="append",
+    add(
+        "--artifact", choices=ARTIFACT_NAMES, action="append", default=None,
         help="regenerate only the named table/figure (repeatable)",
     )
-    parser.add_argument(
-        "--list", action="store_true", help="list available artifacts and exit"
+    add(
+        "--list", action="store_true", default=False,
+        help="list available artifacts and exit",
     )
-    parser.add_argument(
-        "--report", metavar="FILE",
+    add(
+        "--report", metavar="FILE", default=None,
         help="write the full paper-vs-measured markdown report to FILE",
     )
-    parser.add_argument(
-        "--export-csv", metavar="DIR",
+    add(
+        "--export-csv", metavar="DIR", default=None,
         help="write machine-readable CSVs for the key series to DIR",
     )
-    parser.add_argument(
-        "--trace", metavar="FILE",
+    add(
+        "--trace", metavar="FILE", default=None,
         help="write a canonically ordered virtual-time trace (JSONL) to FILE; "
         "byte-identical across executor strategies for the same seed",
     )
-    parser.add_argument(
-        "--metrics-out", metavar="FILE",
+    add(
+        "--metrics-out", metavar="FILE", default=None,
         help="write the observability metrics registry (JSON) to FILE",
     )
-    parser.add_argument(
+    add(
         "--log-level", choices=sorted(LEVELS), default=None,
         help="enable stdlib logging for the 'repro' logger at this level",
     )
-    parser.add_argument(
-        "--progress", action="store_true",
+    add(
+        "--progress", action="store_true", default=False,
         help="render live stage progress (tasks, probes/s, ETA) to stderr; "
         "never alters trace, report, or CSV output",
     )
@@ -125,9 +142,59 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Run the SPFail (IMC 2022) reproduction campaign.",
     )
+    # Legacy pre-subcommand interface: same flags, same defaults, plus a
+    # deprecation notice at runtime.  These defaults also seed the shared
+    # namespace the subcommands override selectively.
     _add_run_flags(parser)
 
-    sub = parser.add_subparsers(dest="command", metavar="{trace}")
+    sub = parser.add_subparsers(dest="command", metavar="{run,resume,trace}")
+
+    run = sub.add_parser(
+        "run", help="run the campaign (optionally checkpointing into a store)"
+    )
+    _add_run_flags(run, suppress=True)
+    run.add_argument(
+        "--store", metavar="DIR", default=argparse.SUPPRESS,
+        help="checkpoint the run into this store directory after the initial "
+        "sweep and after every completed round (resume with "
+        "`python -m repro resume --store DIR`)",
+    )
+    run.add_argument(
+        "--abort-after-round", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="fault injection: abort the run right after round N's checkpoint "
+        "is persisted (requires --store); used by the interrupt-and-resume "
+        "CI smoke job and the resume tests",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed campaign from its store"
+    )
+    resume.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="store directory previously populated by `run --store`",
+    )
+    resume.add_argument(
+        "--scale", type=float, dest="resume_scale", default=argparse.SUPPRESS,
+        help="expected population scale; resume refuses (with the stored "
+        "hashes listed) unless a stored run's config hash matches",
+    )
+    resume.add_argument(
+        "--seed", type=int, dest="resume_seed", default=argparse.SUPPRESS,
+        help="expected simulation seed (see --scale)",
+    )
+    resume.add_argument(
+        "--workers", type=int, dest="resume_workers", metavar="N",
+        default=argparse.SUPPRESS,
+        help="override the stored worker count (results are identical "
+        "across strategies, so this is always safe)",
+    )
+    resume.add_argument(
+        "--executor", choices=("serial", "sharded", "process"),
+        dest="resume_executor", default=argparse.SUPPRESS,
+        help="override the stored probe-execution strategy (see --workers)",
+    )
+    _add_output_flags(resume)
+
     trace = sub.add_parser(
         "trace", help="analyze or diff traces produced by --trace"
     )
@@ -162,6 +229,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shared events shown before the divergence (default 3)",
     )
     return parser
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """Artifact/observability outputs shared by ``run`` and ``resume``.
+
+    ``SUPPRESS`` defaults: the top-level parser already seeded the shared
+    namespace with the real defaults.
+    """
+    parser.add_argument(
+        "--artifact", choices=ARTIFACT_NAMES, action="append",
+        default=argparse.SUPPRESS,
+        help="regenerate only the named table/figure (repeatable)",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the full paper-vs-measured markdown report to FILE",
+    )
+    parser.add_argument(
+        "--export-csv", metavar="DIR", default=argparse.SUPPRESS,
+        help="write machine-readable CSVs for the key series to DIR",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the canonical virtual-time trace (JSONL) to FILE; "
+        "byte-identical to the uninterrupted run's trace",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the observability metrics registry (JSON) to FILE",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(LEVELS), default=argparse.SUPPRESS,
+        help="enable stdlib logging for the 'repro' logger at this level",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", default=argparse.SUPPRESS,
+        help="render live stage progress to stderr",
+    )
 
 
 # -- trace subcommands -----------------------------------------------------------
@@ -209,12 +314,12 @@ def _write_trace(sim: Simulation, path: str) -> int:
     return sim.observation.tracer.write_jsonl(path)
 
 
-def _write_metrics(sim: Simulation, path: str, args: argparse.Namespace) -> None:
-    assert sim.observation is not None
+def _write_metrics(sim: Simulation, path: str) -> None:
+    assert sim.observation is not None and sim.config is not None
     payload = {
-        "scale": args.scale,
-        "seed": args.seed,
-        "workers": args.workers,
+        "scale": sim.config.resolved_population().scale,
+        "seed": sim.config.seed,
+        "workers": sim.config.workers,
         "executor": type(sim.campaign.executor).__name__,
         "metrics": sim.observation.metrics.to_dict(),
         "histogram_percentiles": sim.observation.metrics.percentiles(),
@@ -225,35 +330,19 @@ def _write_metrics(sim: Simulation, path: str, args: argparse.Namespace) -> None
         handle.write("\n")
 
 
-def _run(args: argparse.Namespace) -> int:
-    if args.list:
-        print("\n".join(ARTIFACT_NAMES))
-        return 0
-
+def _make_observation(args: argparse.Namespace, *, trace: bool) -> Optional[Observation]:
     observation = None
-    if args.trace or args.metrics_out or args.log_level:
-        observation = Observation(trace=bool(args.trace))
+    if trace or args.metrics_out or args.log_level:
+        observation = Observation(trace=trace)
     if args.log_level:
         configure_logging(args.log_level)
         if observation is not None and observation.tracer.enabled:
             attach_trace_handler(observation.tracer)
+    return observation
 
-    print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
-    sim = Simulation.build(
-        scale=args.scale, seed=args.seed,
-        executor=args.executor, workers=args.workers,
-        observation=observation,
-    )
-    if args.progress:
-        from .obs.progress import ProgressReporter
 
-        sim.campaign.executor.progress = ProgressReporter()
-    executor_name = type(sim.campaign.executor).__name__
-    print(
-        f"  {len(sim.population):,} domains / {len(sim.fleet.all_ips):,} addresses; "
-        f"running the four-month campaign ({executor_name}, "
-        f"workers={args.workers})..."
-    )
+def _emit_outputs(sim: Simulation, args: argparse.Namespace) -> int:
+    """Everything after a (completed) campaign: artifacts + observability."""
     if args.report:
         from .analysis.report import generate_report
 
@@ -274,14 +363,11 @@ def _run(args: argparse.Namespace) -> int:
             print()
             print(registry[name]())
 
-    # The campaign runs on every path above, so the execution summary —
-    # and any requested observability outputs — are always emitted.
-    sim.run()
     if args.trace:
         count = _write_trace(sim, args.trace)
         print(f"trace: {count:,} events written to {args.trace}")
     if args.metrics_out:
-        _write_metrics(sim, args.metrics_out, args)
+        _write_metrics(sim, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
 
     total = sim.campaign.executor.metrics.total()
@@ -295,14 +381,122 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
+    from .errors import CampaignAborted
+
+    if args.list:
+        print("\n".join(ARTIFACT_NAMES))
+        return 0
+    if legacy:
+        print(
+            "note: running via top-level flags is deprecated; "
+            "use `python -m repro run ...`",
+            file=sys.stderr,
+        )
+
+    observation = _make_observation(args, trace=bool(args.trace))
+
+    from .api import RunConfig
+
+    config = RunConfig(
+        scale=args.scale,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        trace=bool(args.trace),
+    )
+    print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
+    sim = Simulation.build(config=config, observation=observation)
+
+    store = None
+    store_dir = getattr(args, "store", None)
+    if store_dir:
+        from .store import RunStore
+
+        store = RunStore(store_dir)
+        store.abort_after_round = getattr(args, "abort_after_round", None)
+    elif getattr(args, "abort_after_round", None) is not None:
+        print("--abort-after-round requires --store", file=sys.stderr)
+        return 2
+
+    if args.progress:
+        from .obs.progress import ProgressReporter
+
+        sim.campaign.executor.progress = ProgressReporter()
+    executor_name = type(sim.campaign.executor).__name__
+    print(
+        f"  {len(sim.population):,} domains / {len(sim.fleet.all_ips):,} addresses; "
+        f"running the four-month campaign ({executor_name}, "
+        f"workers={args.workers})..."
+    )
+    try:
+        sim.run(store=store)
+    except CampaignAborted as abort:
+        print(f"run aborted: {abort}")
+        return 0
+    return _emit_outputs(sim, args)
+
+
+def _resume(args: argparse.Namespace) -> int:
+    from .api import RunConfig
+    from .store import RunStore, StoreError
+
+    store = RunStore(args.store)
+    expected = None
+    if hasattr(args, "resume_scale") or hasattr(args, "resume_seed"):
+        expected = RunConfig(
+            scale=getattr(args, "resume_scale", 0.01),
+            seed=getattr(args, "resume_seed", 20211011),
+        )
+    try:
+        state = store.load_latest(
+            config_hash=expected.content_hash() if expected is not None else None
+        )
+    except StoreError as error:
+        print(f"resume failed: {error}", file=sys.stderr)
+        return 2
+
+    trace = state.config.trace or bool(args.trace)
+    if args.trace and not state.config.trace:
+        print(
+            "warning: the stored run was not traced; the resumed trace "
+            "will miss the checkpointed prefix",
+            file=sys.stderr,
+        )
+    observation = _make_observation(args, trace=trace)
+
+    overrides = {}
+    if hasattr(args, "resume_executor"):
+        overrides["executor"] = args.resume_executor
+    if hasattr(args, "resume_workers"):
+        overrides["workers"] = args.resume_workers
+    sim = Simulation.resume(state, observation=observation, **overrides)
+    provenance = sim.provenance
+    print(
+        f"Resuming {state.run_id} (config {provenance.config_hash[:12]}) from "
+        f"checkpoint '{provenance.checkpoint_kind}' with "
+        f"{provenance.rounds_completed} rounds completed..."
+    )
+
+    if args.progress:
+        from .obs.progress import ProgressReporter
+
+        sim.campaign.executor.progress = ProgressReporter()
+    sim.run(store=store)
+    return _emit_outputs(sim, args)
+
+
 def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "command", None) == "trace":
+    command = getattr(args, "command", None)
+    if command == "trace":
         if args.trace_command == "summary":
             return _trace_summary(args)
         return _trace_diff(args)
-    return _run(args)
+    if command == "resume":
+        return _resume(args)
+    return _run(args, legacy=command is None)
 
 
 if __name__ == "__main__":

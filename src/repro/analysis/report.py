@@ -81,6 +81,16 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
         f"({len(result.initial.vulnerable_domains()):,} domains); "
         f"{len(result.rounds)} longitudinal rounds."
     )
+    provenance = getattr(sim, "provenance", None)
+    if provenance is not None:
+        write()
+        write(
+            f"Resumed from checkpoint: {provenance.checkpoint_kind!r} with "
+            f"{provenance.rounds_completed} rounds completed "
+            f"(run {provenance.run_id}, config "
+            f"{provenance.config_hash[:12]}); campaign artifacts are "
+            f"byte-identical to an uninterrupted run of the same config."
+        )
     write()
     write("## Paper-target scorecard")
     write()

@@ -1,0 +1,166 @@
+"""The one run-description value: :class:`RunConfig`.
+
+Historically a run was described by a spray of keyword arguments
+(``Simulation.build(scale=..., seed=..., population_config=...,
+campaign_config=..., executor=..., workers=...)``) plus a separate
+``exec.shardworld.WorldSpec`` that repeated three of them for the
+process executor's child worlds.  Checkpointable runs need that
+description to be a *value*: something that can be serialized into a
+store manifest, hashed so a resume can prove it is continuing the same
+experiment, and shipped to a worker process to rebuild a world replica.
+
+:class:`RunConfig` is that value.  It is frozen, picklable, and
+JSON-round-trippable, and it splits cleanly in two:
+
+- **semantic fields** (``population``, ``campaign``, ``seed``,
+  ``retry``) determine every campaign artifact byte-for-byte; they are
+  covered by :meth:`RunConfig.content_hash`;
+- **runtime fields** (``executor``, ``workers``, ``trace``) choose how
+  the run executes and observes; results are byte-identical across
+  them for the same semantic fields, so they are excluded from the
+  hash — a campaign checkpointed under the serial executor may be
+  resumed under the process executor and vice versa.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from .core.campaign import CampaignConfig
+from .errors import SimulationError
+from .exec.engine import RetryPolicy
+from .internet.population import PopulationConfig
+
+
+def _encode_fields(obj) -> Optional[dict]:
+    """A JSON-ready dict of a config dataclass (datetimes/timedeltas tagged)."""
+    if obj is None:
+        return None
+    out = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        if isinstance(value, _dt.datetime):
+            value = {"$datetime": value.isoformat()}
+        elif isinstance(value, _dt.timedelta):
+            value = {"$seconds": value.total_seconds()}
+        out[field.name] = value
+    return out
+
+
+def _decode_fields(cls, data: Optional[dict]):
+    if data is None:
+        return None
+    kwargs = {}
+    for key, value in data.items():
+        if isinstance(value, dict) and "$datetime" in value:
+            value = _dt.datetime.fromisoformat(value["$datetime"])
+        elif isinstance(value, dict) and "$seconds" in value:
+            value = _dt.timedelta(seconds=value["$seconds"])
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+_EXECUTORS = (None, "serial", "sharded", "process")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A complete, serializable description of one campaign run."""
+
+    #: population scale relative to the paper's domain counts; used only
+    #: when ``population`` is not given explicitly.
+    scale: float = 0.05
+    #: the simulation seed (population, geography, patching, notification).
+    seed: int = 20211011
+    #: explicit population knobs; ``None`` derives them from scale/seed.
+    population: Optional[PopulationConfig] = None
+    #: explicit campaign timeline/probing knobs; ``None`` takes the paper's.
+    campaign: Optional[CampaignConfig] = None
+    #: probe retry policy; ``None`` is the paper's no-retry methodology.
+    retry: Optional[RetryPolicy] = None
+    # -- runtime fields (excluded from the content hash) ----------------------
+    #: probe-execution strategy name; ``None`` derives from ``workers``.
+    executor: Optional[str] = None
+    #: worker count for the sharded/process strategies.
+    workers: int = 1
+    #: whether runs built from this config attach a virtual-time tracer.
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.executor not in _EXECUTORS:
+            raise SimulationError(
+                f"unknown executor {self.executor!r} (serial | sharded | process)"
+            )
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolved_population(self) -> PopulationConfig:
+        """The effective population config (explicit, or from scale/seed)."""
+        return self.population or PopulationConfig(scale=self.scale, seed=self.seed)
+
+    def resolved_campaign(self) -> CampaignConfig:
+        """The effective campaign config (explicit, or the paper's)."""
+        return self.campaign or CampaignConfig()
+
+    # -- identity -------------------------------------------------------------
+
+    def semantic_dict(self) -> dict:
+        """The hash-covered payload: everything that determines results."""
+        return {
+            "population": _encode_fields(self.resolved_population()),
+            "campaign": _encode_fields(self.resolved_campaign()),
+            "retry": _encode_fields(self.retry),
+            "seed": self.seed,
+        }
+
+    def content_hash(self) -> str:
+        """A stable hex digest of the semantic fields.
+
+        Two configs hash identically exactly when their campaigns produce
+        byte-identical artifacts: explicit configs equal to the derived
+        defaults hash the same, and runtime fields (executor, workers,
+        trace) never perturb the digest.
+        """
+        blob = json.dumps(
+            self.semantic_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "population": _encode_fields(self.population),
+            "campaign": _encode_fields(self.campaign),
+            "retry": _encode_fields(self.retry),
+            "executor": self.executor,
+            "workers": self.workers,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        return cls(
+            scale=data["scale"],
+            seed=data["seed"],
+            population=_decode_fields(PopulationConfig, data.get("population")),
+            campaign=_decode_fields(CampaignConfig, data.get("campaign")),
+            retry=_decode_fields(RetryPolicy, data.get("retry")),
+            executor=data.get("executor"),
+            workers=data.get("workers", 1),
+            trace=data.get("trace", False),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        return cls.from_dict(json.loads(text))

@@ -213,6 +213,10 @@ class MeasurementCampaign:
         #: a representative hosted domain per address (RCPT TO targets).
         self._ip_domain: Dict[str, str] = {}
         self.initial: Optional[InitialMeasurement] = None
+        #: virtual instant at which the notifier ran (``None`` until it
+        #: has); checkpoints persist it so a resume can replay the
+        #: notification at the exact clock reading the original run used.
+        self._notified_clock: Optional[_dt.datetime] = None
 
     # -- resolution -----------------------------------------------------------
 
@@ -361,21 +365,63 @@ class MeasurementCampaign:
 
     # -- full run -----------------------------------------------------------------
 
-    def run(self) -> CampaignResult:
-        """Execute the entire campaign timeline."""
-        initial = self.run_initial()
-        tracked = self.tracked_ips()
+    def run(self, *, store=None) -> CampaignResult:
+        """Execute the entire campaign timeline.
 
-        rounds: List[MeasurementRound] = []
-        notified = False
-        notification_report: Optional[object] = None
-        for date in self.round_dates():
+        ``store`` is an optional checkpoint writer (duck-typed:
+        ``after_initial(campaign)`` / ``after_round(campaign, rounds,
+        notified)``, see :class:`repro.store.CheckpointWriter`); it is
+        invoked after the initial sweep and after every completed round,
+        so a killed run can be continued via :meth:`resume_run`.
+        """
+        initial = self.run_initial()
+        if store is not None:
+            store.after_initial(self)
+        return self._run_rounds(initial, rounds=[], notified=False,
+                                notification_report=None, store=store)
+
+    def resume_run(self, resumed, *, store=None) -> CampaignResult:
+        """Continue a checkpointed campaign with the remaining rounds.
+
+        ``resumed`` carries the restored progress (duck-typed:
+        ``rounds``, ``notified``, ``notification_report`` — see
+        :class:`repro.store.ResumeState`).  The caller is responsible
+        for having restored the world first: ``self.initial``, the
+        clock, server/resolver/label state, and the executor's event
+        history must already match the checkpoint instant.
+        """
+        initial = self._require_initial()
+        return self._run_rounds(
+            initial,
+            rounds=list(resumed.rounds),
+            notified=resumed.notified,
+            notification_report=resumed.notification_report,
+            store=store,
+        )
+
+    def _run_rounds(
+        self,
+        initial: InitialMeasurement,
+        *,
+        rounds: List[MeasurementRound],
+        notified: bool,
+        notification_report: Optional[object],
+        store,
+    ) -> CampaignResult:
+        """The longitudinal loop, entered fresh or from a checkpoint.
+
+        ``rounds`` holds the rounds already completed (empty for a fresh
+        run); the loop continues with the remaining ``round_dates()``.
+        """
+        tracked = self.tracked_ips()
+        for date in self.round_dates()[len(rounds):]:
             if (
                 not notified
                 and self.notifier is not None
                 and date >= self.config.notification_date
             ):
                 self.clock.advance_to(max(self.clock.now, self.config.notification_date))
+                self._notified_clock = self.clock.now
                 notification_report = self.notifier(
                     initial.vulnerable_domains(), self.config.notification_date
                 )
@@ -386,6 +432,8 @@ class MeasurementCampaign:
                 )
                 notified = True
             rounds.append(self.run_round(date, tracked))
+            if store is not None:
+                store.after_round(self, rounds, notified)
 
         snapshot_date = self.config.window2_end
         snapshot = self.run_snapshot(snapshot_date)

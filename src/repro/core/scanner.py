@@ -121,7 +121,7 @@ class SpfVulnerabilityScanner:
         # engine in direct-clock mode (no router): probes advance the
         # scanner's clock itself, and the serial strategy is the default.
         # The "process" strategy is unavailable here — a pre-built network
-        # cannot be described by a seeded WorldSpec, so make_executor
+        # cannot be described by a seeded RunConfig, so make_executor
         # rejects it with an explanatory error.
         self.env = ExecutionEnvironment(
             clock=self.clock,

@@ -61,6 +61,16 @@ class CampaignError(ReproError):
     longitudinal round requested before the initial sweep ran)."""
 
 
+class StoreError(ReproError):
+    """A run store could not satisfy a request (missing or torn
+    checkpoints, config-hash mismatch, unusable manifest)."""
+
+
+class CampaignAborted(ReproError):
+    """A checkpointed run was deliberately interrupted (fault injection
+    or ``--abort-after-round``); the store holds a resumable checkpoint."""
+
+
 class MemoryCorruptionError(ReproError):
     """The simulated C heap detected an out-of-bounds write.
 

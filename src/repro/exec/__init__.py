@@ -43,6 +43,8 @@ from .engine import (
     transient_failure,
 )
 from .metrics import ExecutorMetrics, StageMetrics
+# WorldSpec is a deprecated factory shim; worlds are described by
+# repro.api.RunConfig now.
 from .shardworld import ShardWorld, WorldSpec, shard_of
 from .task import ProbeTask
 from .virtualclock import ClockRouter, VirtualClock

@@ -487,7 +487,7 @@ class ProcessShardedExecutor(ProbeExecutor):
     blacklist counters, crash noise) lives in exactly one shard for the
     whole campaign.  Each shard runs in its own single-worker
     ``ProcessPoolExecutor`` (one long-lived world replica per process);
-    the parent ships only values down (a :class:`~repro.exec.shardworld.WorldSpec`
+    the parent ships only values down (a :class:`~repro.api.RunConfig`
     plus the event stream) and merges only values back up.
 
     Merge order is fixed — shard results land by ascending work-list
@@ -764,7 +764,7 @@ def make_executor(
     ``None`` picks :class:`ShardedExecutor` when ``workers > 1`` (and the
     environment supports it), else :class:`SerialExecutor`.  The
     ``"process"`` strategy additionally needs ``world`` — a
-    :class:`~repro.exec.shardworld.WorldSpec` from which child processes
+    :class:`~repro.api.RunConfig` from which child processes
     rebuild their shard of the network — so it is only reachable through
     hosts that can describe their world by value (the campaign via
     :meth:`repro.simulation.Simulation.build`); scanner-style
@@ -785,7 +785,7 @@ def make_executor(
         if world is None:
             raise SimulationError(
                 "the process executor rebuilds shard worlds from a seeded "
-                "WorldSpec, which this host did not provide; construct it "
+                "RunConfig, which this host did not provide; construct it "
                 "through Simulation.build(executor='process') (scanner "
                 "environments cannot cross a process boundary)"
             )

@@ -7,10 +7,11 @@ not pickle — and even if they did, copying mutable state once would go
 stale the moment a scheduled patch or MX move fired.  Instead, nothing
 but *values* cross the boundary:
 
-- down: a :class:`WorldSpec` (population + campaign config, seed, retry
-  policy) plus an ordered stream of world events — every probe stage's
-  shard slice and every notification — from which a child deterministically
-  **rebuilds** its slice of the world and replays history;
+- down: a :class:`repro.api.RunConfig` (population + campaign config,
+  seed, retry policy) plus an ordered stream of world events — every
+  probe stage's shard slice and every notification — from which a child
+  deterministically **rebuilds** its slice of the world and replays
+  history;
 - up: a :class:`ShardStageResult` — detection results, query-log entries,
   trace events, and a metrics snapshot, all plain data.
 
@@ -26,6 +27,12 @@ stage slice advances the replica's clock through the same instants the
 serial executor would, so scheduled events partition the work list
 identically and merged results stay byte-identical to a serial run.
 
+Rebuild-and-replay is also what makes workers re-spawnable *mid-
+timeline*: a resumed campaign restores the parent's event history from a
+checkpoint, and the first stage dispatched to a fresh worker ships that
+whole history, so the replica catches up from seed exactly as it would
+after a worker crash.
+
 Geography is the one build step a replica skips: it draws from an
 independent ``"geo"`` RNG fork and only labels units with countries,
 which no probe-path code reads.
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import os
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
@@ -46,6 +54,7 @@ from .metrics import StageMetrics
 from .task import ProbeTask
 
 if TYPE_CHECKING:
+    from ..api import RunConfig
     from ..core.campaign import CampaignConfig
     from ..core.detector import DetectionResult
     from ..dns.querylog import QueryLogEntry
@@ -58,14 +67,33 @@ def shard_of(ip: str, num_shards: int) -> int:
     return zlib.crc32(ip.encode("ascii")) % num_shards
 
 
-@dataclass(frozen=True)
-class WorldSpec:
-    """Everything a child process needs to rebuild the world from seed."""
+def WorldSpec(
+    population_config: "PopulationConfig",
+    campaign_config: "CampaignConfig",
+    seed: int,
+    retry: Optional[RetryPolicy] = None,
+) -> "RunConfig":
+    """Deprecated shim: build the :class:`repro.api.RunConfig` that
+    replaced the old ``WorldSpec`` dataclass.
 
-    population_config: "PopulationConfig"
-    campaign_config: "CampaignConfig"
-    seed: int
-    retry: Optional[RetryPolicy] = None
+    The process executor's world description and the simulation's build
+    arguments were the same facts spelled twice; both now live in one
+    :class:`~repro.api.RunConfig`.
+    """
+    warnings.warn(
+        "WorldSpec is deprecated; construct repro.api.RunConfig directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import RunConfig
+
+    return RunConfig(
+        scale=population_config.scale,
+        seed=seed,
+        population=population_config,
+        campaign=campaign_config,
+        retry=retry,
+    )
 
 
 @dataclass(frozen=True)
@@ -159,7 +187,7 @@ class ShardStageResult:
 class ShardWorld:
     """A shard's deterministic replica of the campaign world."""
 
-    def __init__(self, spec: WorldSpec, shard_id: int, num_shards: int) -> None:
+    def __init__(self, spec: "RunConfig", shard_id: int, num_shards: int) -> None:
         # Local imports: this module is imported by ``repro.exec`` while
         # ``repro.core.campaign`` may still be mid-import (it imports the
         # exec package itself), so the heavyweight world modules load
@@ -177,14 +205,15 @@ class ShardWorld:
 
         # Mirror Simulation.build step for step (geography skipped; its
         # RNG fork is independent and countries never feed the probe path).
-        population = generate_population(spec.population_config)
+        population = generate_population(spec.resolved_population())
+        campaign_config = spec.resolved_campaign()
         fleet = build_fleet(population)
-        clock = SimulatedClock(start=spec.campaign_config.initial_measurement)
+        clock = SimulatedClock(start=campaign_config.initial_measurement)
         patch_model = PatchBehaviorModel(seed=spec.seed)
         self.campaign = MeasurementCampaign(
             population,
             fleet,
-            config=spec.campaign_config,
+            config=campaign_config,
             clock=clock,
             executor="serial",
             retry=spec.retry,
@@ -197,7 +226,7 @@ class ShardWorld:
         fleet.schedule_moves(self.campaign.network, clock)
 
     @property
-    def key(self) -> Tuple[WorldSpec, int, int]:
+    def key(self) -> Tuple["RunConfig", int, int]:
         return (self.spec, self.shard_id, self.num_shards)
 
     # -- event replay ---------------------------------------------------------
@@ -305,7 +334,7 @@ _WORLD: Optional[ShardWorld] = None
 
 
 def _child_run(
-    spec: WorldSpec, shard_id: int, num_shards: int, events: List[object]
+    spec: "RunConfig", shard_id: int, num_shards: int, events: List[object]
 ) -> ShardStageResult:
     """Run one batch of world events in a worker process."""
     global _WORLD

@@ -32,7 +32,7 @@ import datetime as _dt
 import json
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Sort lane for events emitted before a scope's tasks (stage.begin) and
 #: after them (stage.end); task lanes are the task indices in between.
@@ -297,6 +297,29 @@ class Tracer:
                     replace(event, key=(stage_ord, lane, seq, self._emit_counter))
                 )
                 self._emit_counter += 1
+
+    def stitch(
+        self,
+        segments: Iterable[List[TraceEvent]],
+        *,
+        stages_begun: Optional[int] = None,
+    ) -> None:
+        """Rebuild a trace prefix from persisted checkpoint segments.
+
+        A checkpointed run stores the trace as delta segments (the
+        events emitted since the previous checkpoint); ingesting them in
+        checkpoint order reproduces the original emission order, and the
+        canonical sort key never falls back to the rewritten emit index
+        (distinct events never share a ``(stage ordinal, lane, seq)``
+        prefix), so the stitched trace exports byte-identical to the
+        uninterrupted one.  ``stages_begun`` then re-seeds stage
+        numbering so the resumed run's stages continue the ordinals
+        where the checkpoint stopped.
+        """
+        for segment in segments:
+            self.ingest(segment)
+        if stages_begun is not None:
+            self.seed_stage_ordinal(stages_begun)
 
     # -- export ---------------------------------------------------------------
 

@@ -10,16 +10,20 @@
 5. schedule patch events and mid-campaign moves on the shared clock,
 6. attach the private-notification machinery.
 
-``Simulation.build(scale=...).run()`` reproduces the paper's entire
-four-month study; every analysis table/figure builder consumes the
-returned artifacts.
+``Simulation.build(config=RunConfig(scale=...)).run()`` reproduces the
+paper's entire four-month study; every analysis table/figure builder
+consumes the returned artifacts.  A run checkpointed into a
+:class:`repro.store.RunStore` can be reconstructed mid-timeline with
+:meth:`Simulation.resume` and continued to a byte-identical finish.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Optional
 
+from .api import RunConfig
 from .clock import SimulatedClock
 from .core.campaign import (
     CampaignConfig,
@@ -27,6 +31,7 @@ from .core.campaign import (
     MeasurementCampaign,
 )
 from .core.inference import InferenceEngine
+from .errors import SimulationError
 from .internet.geo import GeoDatabase, assign_geography
 from .internet.mta_fleet import MtaFleet, build_fleet
 from .internet.patching import PatchBehaviorModel
@@ -35,9 +40,12 @@ from .internet.population import (
     PopulationConfig,
     generate_population,
 )
-from .exec.shardworld import WorldSpec
 from .notification.delivery import NotificationCampaign, NotificationReport
 from .obs import Observation, observing
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` in the
+#: deprecated keyword shims of :meth:`Simulation.build`.
+_UNSET = object()
 
 
 @dataclass
@@ -53,37 +61,91 @@ class Simulation:
     notification: NotificationCampaign
     observation: Optional[Observation] = None
     result: Optional[CampaignResult] = None
+    #: the config this simulation was built from (always set by ``build``).
+    config: Optional[RunConfig] = None
+    #: checkpoint provenance when this simulation was reconstructed by
+    #: :meth:`resume` (a :class:`repro.store.RunProvenance`), else None.
+    provenance: Optional[object] = None
+    #: restored progress installed by :meth:`resume` (a
+    #: :class:`repro.store.ResumeState`); :meth:`run` continues from it.
+    _resume: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def build(
         cls,
+        config: Optional[RunConfig] = None,
         *,
-        scale: float = 0.05,
-        seed: int = 20211011,
-        population_config: Optional[PopulationConfig] = None,
-        campaign_config: Optional[CampaignConfig] = None,
-        executor: Optional[object] = None,
-        workers: int = 1,
         observation: Optional[Observation] = None,
+        scale: object = _UNSET,
+        seed: object = _UNSET,
+        population_config: object = _UNSET,
+        campaign_config: object = _UNSET,
+        executor: object = _UNSET,
+        workers: object = _UNSET,
     ) -> "Simulation":
         """Assemble (but do not run) a complete experiment.
 
-        ``executor`` selects the probe-execution strategy ("serial",
-        "sharded", or "process", an executor instance, or a factory over
-        the campaign's :class:`~repro.exec.ExecutionEnvironment`);
-        ``workers`` sizes the sharded/process worker pool.  Results are
-        byte-identical across strategies for the same seed.  The process
-        strategy ships a :class:`~repro.exec.WorldSpec` built from this
-        method's own inputs, from which each worker process rebuilds its
-        shard of the world.
+        The primary signature is ``build(config=RunConfig(...))``: one
+        frozen, serializable value describes the whole run, and the
+        process executor ships that same value to its worker processes
+        to rebuild world replicas.  The ``scale``/``seed``/
+        ``population_config``/``campaign_config``/``executor``/
+        ``workers`` keywords are deprecated shims that assemble the
+        equivalent :class:`~repro.api.RunConfig` (and warn).
 
         ``observation`` attaches a :class:`repro.obs.Observation`; its
         tracer is bound to the campaign's clock router so every trace
         event carries virtual (simulation) time, and it is activated for
-        the duration of :meth:`run`.
+        the duration of :meth:`run`.  It stays a live keyword (not part
+        of the config) because it is a stateful sink, not a description
+        of the run; ``config.trace`` records whether hosts should attach
+        a tracing observation when they rebuild from the config.
         """
-        population_config = population_config or PopulationConfig(scale=scale, seed=seed)
-        campaign_config = campaign_config or CampaignConfig()
+        legacy = {
+            name: value
+            for name, value in (
+                ("scale", scale),
+                ("seed", seed),
+                ("population_config", population_config),
+                ("campaign_config", campaign_config),
+                ("executor", executor),
+                ("workers", workers),
+            )
+            if value is not _UNSET
+        }
+        # An executor *instance* (or factory) cannot ride in a frozen,
+        # serializable config; keep it aside and hand it straight to the
+        # campaign.  String strategy names go through the config.
+        live_executor = None
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "Simulation.build(scale=..., seed=..., ...) keywords are "
+                    "deprecated; pass config=repro.api.RunConfig(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            exec_spec = legacy.get("executor")
+            if exec_spec is not None and not isinstance(exec_spec, str):
+                live_executor = exec_spec
+                exec_spec = None
+            config = RunConfig(
+                scale=legacy.get("scale", 0.05),
+                seed=legacy.get("seed", 20211011),
+                population=legacy.get("population_config"),
+                campaign=legacy.get("campaign_config"),
+                executor=exec_spec,
+                workers=legacy.get("workers", 1),
+            )
+        elif legacy:
+            raise SimulationError(
+                "pass either config= or the deprecated keyword arguments, "
+                f"not both (got {sorted(legacy)})"
+            )
+
+        population_config = config.resolved_population()
+        campaign_config = config.resolved_campaign()
+        seed = config.seed
 
         population = generate_population(population_config)
         fleet = build_fleet(population)
@@ -92,21 +154,17 @@ class Simulation:
         clock = SimulatedClock(start=campaign_config.initial_measurement)
         patch_model = PatchBehaviorModel(seed=seed)
 
-        # The same seeded inputs this method assembles from, as a value:
-        # the process executor's children rebuild their world slice from it.
-        world = WorldSpec(
-            population_config=population_config,
-            campaign_config=campaign_config,
-            seed=seed,
-        )
         campaign = MeasurementCampaign(
             population,
             fleet,
             config=campaign_config,
             clock=clock,
-            executor=executor,
-            workers=workers,
-            world=world,
+            executor=live_executor if live_executor is not None else config.executor,
+            workers=config.workers,
+            retry=config.retry,
+            # The config doubles as the world value the process executor's
+            # children rebuild their shard slice from.
+            world=config,
         )
         notification = NotificationCampaign(
             fleet, patch_model, campaign.network, clock, seed=seed
@@ -129,20 +187,92 @@ class Simulation:
             campaign=campaign,
             notification=notification,
             observation=observation,
+            config=config,
         )
 
-    def run(self) -> CampaignResult:
-        """Execute the full campaign timeline; caches the result."""
+    @classmethod
+    def resume(
+        cls,
+        source,
+        *,
+        config: Optional[RunConfig] = None,
+        observation: Optional[Observation] = None,
+        executor: object = _UNSET,
+        workers: object = _UNSET,
+    ) -> "Simulation":
+        """Reconstruct a checkpointed campaign mid-timeline.
+
+        ``source`` is a :class:`repro.store.RunStore` (the newest usable
+        checkpoint is loaded — of the run matching ``config``'s content
+        hash when given, else the most recently written run) or an
+        already-loaded :class:`repro.store.RunState`.
+
+        The world is rebuilt from the stored config, the clock is
+        fast-forwarded through every scheduled patch/move/notification
+        event up to the checkpoint instant, and the snapshotted mutable
+        state is installed on top, so :meth:`run` continues with the
+        remaining rounds and finishes byte-identical to an uninterrupted
+        run.  ``executor``/``workers`` optionally override the stored
+        runtime strategy — they are outside the content hash precisely
+        because results do not depend on them.
+        """
+        from .store import RunState, RunStore, restore_simulation
+
+        if isinstance(source, RunState):
+            state = source
+        elif isinstance(source, RunStore):
+            state = source.load_latest(
+                config_hash=config.content_hash() if config is not None else None
+            )
+        else:
+            raise SimulationError(
+                f"cannot resume from {type(source).__name__}; pass a "
+                "repro.store.RunStore or RunState"
+            )
+
+        cfg = state.config
+        overrides = {}
+        if executor is not _UNSET:
+            overrides["executor"] = executor
+        if workers is not _UNSET:
+            overrides["workers"] = workers
+        if overrides:
+            cfg = _dc_replace(cfg, **overrides)
+
+        sim = cls.build(config=cfg, observation=observation)
+        restore_simulation(sim, state)
+        return sim
+
+    def run(self, *, store=None) -> CampaignResult:
+        """Execute (or continue) the campaign timeline; caches the result.
+
+        ``store`` is an optional :class:`repro.store.RunStore` (or an
+        already-bound :class:`repro.store.CheckpointWriter`): the run
+        then checkpoints after the initial sweep and after every
+        completed round, and a resumed simulation keeps appending to the
+        same run directory.
+        """
         if self.result is None:
-            if self.observation is not None:
-                with observing(self.observation):
-                    self.result = self.campaign.run()
-            else:
-                self.result = self.campaign.run()
-            # The timeline is complete and the result cached; worker
-            # processes (if the process strategy ran it) can go home.
-            self.campaign.executor.shutdown()
+            writer = store
+            if store is not None and hasattr(store, "writer"):
+                writer = store.writer(self)
+            try:
+                if self.observation is not None:
+                    with observing(self.observation):
+                        self.result = self._run_campaign(writer)
+                else:
+                    self.result = self._run_campaign(writer)
+            finally:
+                # Always release worker processes — a raising run must
+                # not leak live children (and a finished one is done
+                # with them: the result is cached above).
+                self.campaign.executor.shutdown()
         return self.result
+
+    def _run_campaign(self, writer) -> CampaignResult:
+        if self._resume is not None:
+            return self.campaign.resume_run(self._resume, store=writer)
+        return self.campaign.run(store=writer)
 
     def inference(self) -> InferenceEngine:
         """An inference engine over the (run) campaign's rounds."""

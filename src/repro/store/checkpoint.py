@@ -1,0 +1,312 @@
+"""Checkpoint capture and restore for longitudinal campaigns.
+
+A checkpoint must let a *fresh* process reproduce the exact state of a
+campaign that has completed ``k`` rounds, down to every RNG stream,
+greylist timestamp, and DNS cache entry — because the acceptance bar for
+resume is byte-identical traces and CSVs, not "close enough".
+
+The split of labor is deliberate:
+
+- **Rebuilt, not snapshotted** — everything :meth:`Simulation.build`
+  derives deterministically from the :class:`~repro.api.RunConfig`:
+  population, fleet, geography, patch plans, scheduled patch/move
+  callbacks, notification RNG.  Re-running the build and then
+  fast-forwarding the clock to the checkpoint instant replays the exact
+  same scheduled events (including the notification, re-sent at the
+  recorded clock reading), so none of it needs to cross the pickle
+  boundary.
+
+- **Snapshotted** — the mutable state those events and ``k`` rounds of
+  probing left behind: per-server session counters, greylist/blacklist
+  memory and banner-noise RNG, network/ethics counters, label
+  allocations, the resolver cache (cache warmth changes observed query
+  counts), preferred probe methods, and the executor's world-event
+  history (how a process-executor worker respawned mid-timeline catches
+  up).
+
+Evidence (trace events, query-log entries) is stored as *delta
+segments* — everything since the previous checkpoint — so checkpoint
+cost stays proportional to one round and the full chain concatenates
+back into the uninterrupted evidence stream.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..core.campaign import InitialMeasurement, MeasurementRound
+    from ..simulation import Simulation
+
+#: bump when the checkpoint payload shape changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """One atomic unit of persisted campaign progress (picklable)."""
+
+    kind: str  # "initial" | "round"
+    clock_now: _dt.datetime
+    notified: bool
+    notified_clock: Optional[_dt.datetime]
+    initial: "InitialMeasurement"
+    rounds: List["MeasurementRound"]
+    #: mutable world snapshot (see :func:`capture_world_state`).
+    world: dict
+    #: process-executor world-event history (stage assignments +
+    #: notifications); empty for the serial/sharded strategies.
+    executor_history: List[object]
+    executor_stages_run: int
+    #: per-stage executor metrics accumulated so far (provenance only).
+    executor_stage_metrics: List[object]
+    #: cumulative :meth:`MetricsRegistry.snapshot` (None when unobserved).
+    metrics_snapshot: Optional[dict]
+    #: trace events emitted since the previous checkpoint.
+    trace_segment: List[object]
+    #: query-log entries recorded since the previous checkpoint.
+    querylog_segment: List[object]
+    #: stage ordinals consumed so far (re-seeds the resumed tracer).
+    stages_begun: int
+    version: int = CHECKPOINT_VERSION
+
+
+@dataclass
+class ResumeState:
+    """Restored progress handed to :meth:`MeasurementCampaign.resume_run`."""
+
+    rounds: List["MeasurementRound"]
+    notified: bool
+    notification_report: Optional[object]
+
+
+@dataclass
+class RunProvenance:
+    """Where a resumed simulation came from (for reports/debugging)."""
+
+    run_id: str
+    config_hash: str
+    checkpoint_kind: str
+    rounds_completed: int
+    clock_now: _dt.datetime
+
+
+# -- capture ------------------------------------------------------------------
+
+
+def capture_world_state(sim: "Simulation") -> dict:
+    """Snapshot every mutable value the rebuild cannot reproduce.
+
+    Servers are included only when they accepted at least one session:
+    every server-side mutation (inbox, greylist, blacklist, crash count,
+    banner-noise draws, stub query ids) happens inside a session, so an
+    untouched server is already in its rebuilt state.  Under the process
+    executor the parent's servers never accept sessions at all (probing
+    happens in the shard replicas, which rebuild from the event
+    history), which keeps this snapshot uniformly small.
+    """
+    campaign = sim.campaign
+    servers: Dict[str, dict] = {}
+    for ip, server in campaign.network._servers.items():
+        if server.sessions_accepted == 0:
+            continue
+        servers[ip] = {
+            "sessions_accepted": server.sessions_accepted,
+            "crash_count": server.crash_count,
+            "blacklisted": server._blacklisted,
+            "greylist": dict(server._greylist_first_seen),
+            "inbox": list(server.inbox),
+            "noise_state": server._noise.getstate(),
+            "stub_next_id": (
+                server.resolver._next_id if server.resolver is not None else None
+            ),
+        }
+    resolver = campaign.resolver
+    labels = campaign.labels
+    ethics = campaign.ethics
+    network = campaign.network
+    return {
+        "servers": servers,
+        "network": {
+            "connection_attempts": network.connection_attempts,
+            "connections_established": network.connections_established,
+        },
+        "ethics": {
+            "last_contact": dict(ethics._last_contact),
+            "active": ethics._active,
+            "peak_concurrency": ethics.peak_concurrency,
+            "connections_opened": ethics.connections_opened,
+        },
+        "labels": {
+            "next_suite": labels._next_suite,
+            "next_id": dict(labels._next_id),
+            "ip_for_label": dict(labels._ip_for_label),
+        },
+        "resolver": {
+            "cache": dict(resolver._cache),
+            "query_count": resolver.query_count,
+            "cache_hits": resolver.cache_hits,
+        },
+        "stub_next_id": campaign._stub._next_id,
+        "preferred": dict(campaign._preferred),
+        "ip_domain": dict(campaign._ip_domain),
+    }
+
+
+def capture_checkpoint(
+    sim: "Simulation",
+    *,
+    kind: str,
+    rounds: List["MeasurementRound"],
+    notified: bool,
+    trace_mark: int,
+    qlog_mark: int,
+) -> Checkpoint:
+    """Build the checkpoint payload for the campaign's current state.
+
+    ``trace_mark``/``qlog_mark`` are the positions up to which previous
+    checkpoints already persisted evidence; only the delta is stored.
+    """
+    campaign = sim.campaign
+    executor = campaign.executor
+    obs = sim.observation
+    tracing = obs is not None and obs.tracer.enabled
+    return Checkpoint(
+        kind=kind,
+        clock_now=campaign.clock.now,
+        notified=notified,
+        notified_clock=campaign._notified_clock,
+        initial=campaign._require_initial(),
+        rounds=list(rounds),
+        world=capture_world_state(sim),
+        executor_history=list(getattr(executor, "_history", ())),
+        executor_stages_run=getattr(executor, "_stages_run", 0),
+        executor_stage_metrics=list(executor.metrics.stages),
+        metrics_snapshot=obs.metrics.snapshot() if obs is not None else None,
+        trace_segment=obs.tracer.events_since(trace_mark) if tracing else [],
+        querylog_segment=campaign.responder.log.entries_since(qlog_mark),
+        stages_begun=obs.tracer.open_stage_ordinal() if obs is not None else 0,
+    )
+
+
+# -- restore ------------------------------------------------------------------
+
+
+def install_world_state(sim: "Simulation", state: dict) -> None:
+    """Overwrite the rebuilt world's mutable state with a snapshot."""
+    campaign = sim.campaign
+    for ip, snap in state["servers"].items():
+        server = campaign.network.server_at(ip)
+        server.sessions_accepted = snap["sessions_accepted"]
+        server.crash_count = snap["crash_count"]
+        server._blacklisted = snap["blacklisted"]
+        server._greylist_first_seen = dict(snap["greylist"])
+        server.inbox = list(snap["inbox"])
+        server._noise.setstate(snap["noise_state"])
+        if snap["stub_next_id"] is not None and server.resolver is not None:
+            server.resolver._next_id = snap["stub_next_id"]
+    network = campaign.network
+    network.connection_attempts = state["network"]["connection_attempts"]
+    network.connections_established = state["network"]["connections_established"]
+    ethics = campaign.ethics
+    ethics._last_contact = dict(state["ethics"]["last_contact"])
+    ethics._active = state["ethics"]["active"]
+    ethics.peak_concurrency = state["ethics"]["peak_concurrency"]
+    ethics.connections_opened = state["ethics"]["connections_opened"]
+    labels = campaign.labels
+    labels._next_suite = state["labels"]["next_suite"]
+    labels._next_id = dict(state["labels"]["next_id"])
+    labels._ip_for_label = dict(state["labels"]["ip_for_label"])
+    resolver = campaign.resolver
+    resolver._cache = dict(state["resolver"]["cache"])
+    resolver.query_count = state["resolver"]["query_count"]
+    resolver.cache_hits = state["resolver"]["cache_hits"]
+    campaign._stub._next_id = state["stub_next_id"]
+    campaign._preferred = dict(state["preferred"])
+    campaign._ip_domain = dict(state["ip_domain"])
+
+
+def restore_simulation(sim: "Simulation", state) -> None:
+    """Bring a freshly built simulation to a checkpoint's exact state.
+
+    ``state`` is a :class:`repro.store.RunState`.  The order matters:
+
+    1. **Replay the notification** (if the checkpoint is past it) at the
+       recorded clock reading — this consumes the same notification-RNG
+       draws and schedules the same open/patch callbacks the original
+       run scheduled.
+    2. **Fast-forward the clock** to the checkpoint instant, looping
+       until quiescent: callbacks scheduled *during* an advance (a
+       notification open that triggers a patch decision) land after the
+       due-list was computed, so a single ``advance_to`` can leave
+       strictly-due work pending.  Firing order inside the loop can
+       differ from the original run only between draw-free, commutative
+       ``do_patch`` callbacks; every RNG-consuming callback fires in
+       chronological order in both runs.
+    3. **Install the mutable snapshot** over the rebuilt world.
+    4. **Restore the executor's event history** so process workers can
+       respawn mid-timeline by replaying it (``_sent`` stays empty: the
+       next stage ships the full history to each fresh worker).
+    5. **Stitch the evidence**: merge the cumulative metrics snapshot,
+       ingest the trace and query-log delta segments in checkpoint
+       order, and re-seed stage numbering.
+    """
+    checkpoint = state.checkpoint
+    campaign = sim.campaign
+    clock = campaign.clock
+
+    if checkpoint.notified:
+        clock.advance_to(max(clock.now, checkpoint.notified_clock))
+        notification_report = sim.notification.send_notifications(
+            checkpoint.initial.vulnerable_domains(),
+            campaign.config.notification_date,
+        )
+        # The executor's restored history already contains this
+        # notification's NotifyEvent; record_notification must NOT run
+        # again here or replicas would replay it twice.
+    else:
+        notification_report = None
+
+    clock.advance_to(max(clock.now, checkpoint.clock_now))
+    while clock.next_scheduled(until=clock.now) is not None:
+        clock.advance_to(clock.now)
+
+    install_world_state(sim, checkpoint.world)
+    campaign.initial = checkpoint.initial
+    campaign._notified_clock = checkpoint.notified_clock
+
+    executor = campaign.executor
+    if hasattr(executor, "_history"):
+        executor._history = list(checkpoint.executor_history)
+        executor._stages_run = checkpoint.executor_stages_run
+    executor.metrics.stages = list(checkpoint.executor_stage_metrics)
+
+    obs = sim.observation
+    if obs is not None:
+        if checkpoint.metrics_snapshot is not None:
+            obs.metrics.merge(checkpoint.metrics_snapshot)
+        if obs.tracer.enabled:
+            obs.tracer.stitch(
+                state.trace_segments, stages_begun=checkpoint.stages_begun
+            )
+    campaign.responder.log.ingest(
+        entry for segment in state.querylog_segments for entry in segment
+    )
+
+    sim._resume = ResumeState(
+        rounds=list(checkpoint.rounds),
+        notified=checkpoint.notified,
+        notification_report=notification_report,
+    )
+    # A store writer attached to this simulation continues the same
+    # chain: it must keep the valid manifest prefix it resumed from.
+    sim._store_entries = list(state.entries)
+    sim.provenance = RunProvenance(
+        run_id=state.run_id,
+        config_hash=state.config.content_hash(),
+        checkpoint_kind=checkpoint.kind,
+        rounds_completed=len(checkpoint.rounds),
+        clock_now=checkpoint.clock_now,
+    )

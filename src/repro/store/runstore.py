@@ -1,0 +1,324 @@
+"""Crash-safe on-disk persistence for checkpointed campaigns.
+
+Layout, under the store root::
+
+    <root>/
+      run-<hash8>/                 one directory per RunConfig content hash
+        config.json                the full RunConfig (runtime fields too)
+        manifest.json              ordered checkpoint index + digests
+        checkpoint-0000.pkl        after run_initial
+        checkpoint-0001.pkl        after round 1
+        ...
+
+Durability relies on exactly two properties, both provided by
+:func:`_atomic_write` (write to a temp file in the same directory,
+``fsync``, then ``os.replace``):
+
+- a checkpoint or manifest file is always either the complete previous
+  version or the complete next version, never a torn hybrid;
+- the checkpoint file is renamed into place *before* the manifest that
+  references it, so a kill between the two leaves a manifest that
+  simply does not know about the orphan file yet.
+
+On load, every manifest entry's SHA-256 and size are re-verified and
+the longest valid prefix wins: a truncated or corrupted newest
+checkpoint silently degrades to the one before it (the torn-checkpoint
+test exercises exactly this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from ..errors import CampaignAborted, StoreError
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    capture_checkpoint,
+)
+
+if TYPE_CHECKING:
+    from ..api import RunConfig
+    from ..core.campaign import MeasurementCampaign, MeasurementRound
+    from ..simulation import Simulation
+
+MANIFEST_VERSION = 1
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Replace ``path`` with ``data`` such that a kill at any instant
+    leaves either the old complete file or the new complete file."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class RunState:
+    """A run loaded from the store, ready to hand to ``Simulation.resume``."""
+
+    run_id: str
+    run_dir: str
+    config: "RunConfig"
+    #: the newest usable checkpoint (end of the valid prefix).
+    checkpoint: Checkpoint
+    #: per-checkpoint trace deltas, in checkpoint order.
+    trace_segments: List[list]
+    #: per-checkpoint query-log deltas, in checkpoint order.
+    querylog_segments: List[list]
+    #: manifest entries for the valid prefix (what a resumed writer keeps).
+    entries: List[dict]
+
+
+class CheckpointWriter:
+    """Writes one run's checkpoint chain; bound to a live simulation.
+
+    The campaign calls :meth:`after_initial` / :meth:`after_round`; each
+    call pickles a :class:`~repro.store.checkpoint.Checkpoint`, renames
+    it into place, then publishes it in the manifest.  ``abort_after_round``
+    turns the writer into a fault injector: once that many rounds are
+    checkpointed it raises :class:`~repro.errors.CampaignAborted` —
+    *after* the checkpoint hit disk — which is how tests and the CI
+    smoke job kill a run at a deterministic point.
+    """
+
+    def __init__(
+        self,
+        run_dir: str,
+        sim: "Simulation",
+        *,
+        entries: List[dict],
+        abort_after_round: Optional[int] = None,
+    ) -> None:
+        self.run_dir = run_dir
+        self.sim = sim
+        self.abort_after_round = abort_after_round
+        self._entries = entries
+        obs = sim.observation
+        tracing = obs is not None and obs.tracer.enabled
+        # Evidence below these positions is already persisted by the
+        # checkpoints in ``entries`` (both are 0 for a fresh run).
+        self._trace_mark = obs.tracer.event_count() if tracing else 0
+        self._qlog_mark = len(sim.campaign.responder.log)
+
+    # -- campaign hooks -------------------------------------------------------
+
+    def after_initial(self, campaign: "MeasurementCampaign") -> None:
+        self._write("initial", rounds=[], notified=False)
+
+    def after_round(
+        self,
+        campaign: "MeasurementCampaign",
+        rounds: List["MeasurementRound"],
+        notified: bool,
+    ) -> None:
+        self._write("round", rounds=rounds, notified=notified)
+        if self.abort_after_round is not None and len(rounds) >= self.abort_after_round:
+            raise CampaignAborted(
+                f"aborted after round {len(rounds)} as requested; "
+                f"checkpoint saved in {self.run_dir}"
+            )
+
+    # -- persistence ----------------------------------------------------------
+
+    def _write(self, kind: str, *, rounds: list, notified: bool) -> None:
+        checkpoint = capture_checkpoint(
+            self.sim,
+            kind=kind,
+            rounds=rounds,
+            notified=notified,
+            trace_mark=self._trace_mark,
+            qlog_mark=self._qlog_mark,
+        )
+        self._trace_mark += len(checkpoint.trace_segment)
+        self._qlog_mark += len(checkpoint.querylog_segment)
+
+        data = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+        filename = f"checkpoint-{len(self._entries):04d}.pkl"
+        _atomic_write(os.path.join(self.run_dir, filename), data)
+        self._entries.append(
+            {
+                "file": filename,
+                "sha256": _digest(data),
+                "size": len(data),
+                "kind": kind,
+                "rounds_completed": len(rounds),
+                "clock_now": checkpoint.clock_now.isoformat(),
+            }
+        )
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "config_hash": self.sim.config.content_hash(),
+            "config": self.sim.config.to_dict(),
+            "checkpoints": self._entries,
+        }
+        _atomic_write(
+            os.path.join(self.run_dir, "manifest.json"),
+            json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+
+class RunStore:
+    """A directory of checkpointed runs, one subdirectory per config hash."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        #: fault-injection knob propagated to writers (see CLI
+        #: ``--abort-after-round``); ``None`` disables it.
+        self.abort_after_round: Optional[int] = None
+        os.makedirs(root, exist_ok=True)
+
+    # -- writing --------------------------------------------------------------
+
+    def writer(self, sim: "Simulation") -> CheckpointWriter:
+        """A writer for ``sim`` — fresh, or continuing a resumed run."""
+        if sim.config is None:
+            raise StoreError(
+                "RunStore needs a config-built Simulation (Simulation.build"
+                "(config=...)); this one has no RunConfig attached"
+            )
+        run_dir = self._run_dir(sim.config)
+        resumed = getattr(sim, "_resume", None)
+        if resumed is not None:
+            entries = list(getattr(sim, "_store_entries", []))
+            return CheckpointWriter(
+                run_dir, sim, entries=entries,
+                abort_after_round=self.abort_after_round,
+            )
+        # A fresh run of this config replaces any previous attempt: the
+        # old chain describes a different execution's evidence stream
+        # and must not be stitched into this one.
+        if os.path.isdir(run_dir):
+            shutil.rmtree(run_dir)
+        os.makedirs(run_dir)
+        _atomic_write(
+            os.path.join(run_dir, "config.json"),
+            sim.config.to_json().encode("utf-8"),
+        )
+        return CheckpointWriter(
+            run_dir, sim, entries=[], abort_after_round=self.abort_after_round
+        )
+
+    def _run_dir(self, config: "RunConfig") -> str:
+        return os.path.join(self.root, f"run-{config.content_hash()[:8]}")
+
+    # -- reading --------------------------------------------------------------
+
+    def runs(self) -> List[str]:
+        """Run directory names with a readable manifest, newest first."""
+        out = []
+        if not os.path.isdir(self.root):
+            return out
+        for name in os.listdir(self.root):
+            manifest = os.path.join(self.root, name, "manifest.json")
+            if os.path.isfile(manifest):
+                out.append((os.path.getmtime(manifest), name))
+        return [name for _, name in sorted(out, reverse=True)]
+
+    def load_latest(self, *, config_hash: Optional[str] = None) -> RunState:
+        """The newest usable checkpoint chain (optionally hash-filtered).
+
+        ``config_hash`` pins the run to resume; a mismatch is an error
+        listing what the store actually holds, never a silent fallback
+        to a different experiment.
+        """
+        candidates = []
+        for name in self.runs():
+            manifest = self._read_manifest(name)
+            if manifest is None:
+                continue
+            candidates.append((name, manifest))
+        if not candidates:
+            raise StoreError(f"no checkpointed runs under {self.root!r}")
+        if config_hash is not None:
+            matching = [
+                (name, manifest)
+                for name, manifest in candidates
+                if manifest.get("config_hash") == config_hash
+            ]
+            if not matching:
+                available = ", ".join(
+                    f"{name} ({manifest.get('config_hash', '?')[:12]})"
+                    for name, manifest in candidates
+                )
+                raise StoreError(
+                    f"no stored run matches config hash {config_hash[:12]}; "
+                    f"store {self.root!r} holds: {available}"
+                )
+            candidates = matching
+        name, manifest = candidates[0]
+        return self._load_run(name, manifest)
+
+    def _read_manifest(self, name: str) -> Optional[dict]:
+        path = os.path.join(self.root, name, "manifest.json")
+        try:
+            with open(path, "r") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if manifest.get("version") != MANIFEST_VERSION:
+            return None
+        return manifest
+
+    def _load_run(self, name: str, manifest: dict) -> RunState:
+        from ..api import RunConfig
+
+        run_dir = os.path.join(self.root, name)
+        config = RunConfig.from_dict(manifest["config"])
+        valid_entries: List[dict] = []
+        checkpoints: List[Checkpoint] = []
+        for entry in manifest.get("checkpoints", []):
+            checkpoint = self._load_checkpoint(run_dir, entry)
+            if checkpoint is None:
+                # Torn or corrupted file: the chain ends at the entry
+                # before it (only the newest write can ever be torn, but
+                # a mid-chain hole must not be skipped over either).
+                break
+            valid_entries.append(entry)
+            checkpoints.append(checkpoint)
+        if not checkpoints:
+            raise StoreError(
+                f"run {name!r} has no usable checkpoint (all torn or missing)"
+            )
+        return RunState(
+            run_id=name,
+            run_dir=run_dir,
+            config=config,
+            checkpoint=checkpoints[-1],
+            trace_segments=[c.trace_segment for c in checkpoints],
+            querylog_segments=[c.querylog_segment for c in checkpoints],
+            entries=valid_entries,
+        )
+
+    def _load_checkpoint(self, run_dir: str, entry: dict) -> Optional[Checkpoint]:
+        path = os.path.join(run_dir, entry["file"])
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        if len(data) != entry["size"] or _digest(data) != entry["sha256"]:
+            return None
+        try:
+            checkpoint = pickle.loads(data)
+        except Exception:
+            return None
+        if not isinstance(checkpoint, Checkpoint):
+            return None
+        if checkpoint.version != CHECKPOINT_VERSION:
+            return None
+        return checkpoint

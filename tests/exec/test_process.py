@@ -143,7 +143,7 @@ class TestSharding:
             ethics=EthicsControls(),
             client_ip="198.51.100.7",
         )
-        with pytest.raises(SimulationError, match="WorldSpec"):
+        with pytest.raises(SimulationError, match="RunConfig"):
             make_executor("process", env, workers=2)
 
 

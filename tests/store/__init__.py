@@ -1,0 +1,1 @@
+"""Tests for the persistent RunStore and deterministic resume."""

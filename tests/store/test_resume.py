@@ -1,0 +1,174 @@
+"""Interrupted campaigns must resume to byte-identical artifacts.
+
+The checkpoint/resume contract (see :mod:`repro.store`) is that a run
+killed after round *k* and resumed from its store finishes with the
+same canonical trace and the same exported CSVs, down to the byte, as a
+run that was never interrupted.  This module fault-injects the two
+interruption modes the paper's four-month measurement would actually
+face — an exception raised mid-timeline, and a SIGKILLed worker process
+between rounds — at scale 0.02 for both the serial and the
+process-sharded executor, plus a torn-checkpoint crash that must fall
+back to the previous complete checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.export import export_all
+from repro.api import RunConfig
+from repro.errors import CampaignAborted
+from repro.obs import Observation, observing
+from repro.simulation import Simulation
+from repro.store import RunStore
+
+from ..exec.test_determinism import canonicalize
+
+SCALE = 0.02
+SEED = 20211011
+ABORT_AFTER = 2
+
+
+def _csv_bytes(directory):
+    return {
+        name: (directory / name).read_bytes()
+        for name in sorted(os.listdir(directory))
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The uninterrupted serial run every resumed run must reproduce."""
+    root = tmp_path_factory.mktemp("reference")
+    obs = Observation(trace=True)
+    sim = Simulation.build(
+        config=RunConfig(scale=SCALE, seed=SEED, executor="serial", trace=True),
+        observation=obs,
+    )
+    sim.run()
+    trace = root / "trace.jsonl"
+    obs.tracer.write_jsonl(str(trace))
+    csv_dir = root / "csv"
+    export_all(sim, str(csv_dir))
+    return SimpleNamespace(
+        sim=sim,
+        trace_bytes=trace.read_bytes(),
+        csv=_csv_bytes(csv_dir),
+    )
+
+
+def _assert_matches_reference(resumed, obs, reference, tmp_path):
+    trace = tmp_path / "resumed.jsonl"
+    obs.tracer.write_jsonl(str(trace))
+    assert trace.read_bytes() == reference.trace_bytes
+    csv_dir = tmp_path / "csv"
+    export_all(resumed, str(csv_dir))
+    assert _csv_bytes(csv_dir) == reference.csv
+
+
+def test_serial_exception_mid_timeline_resumes_byte_identical(
+    reference, tmp_path
+):
+    """Kill a serial run with an exception after round k; resume it."""
+    store = RunStore(str(tmp_path / "store"))
+    store.abort_after_round = ABORT_AFTER
+    obs = Observation(trace=True)
+    sim = Simulation.build(
+        config=RunConfig(scale=SCALE, seed=SEED, executor="serial", trace=True),
+        observation=obs,
+    )
+    with pytest.raises(CampaignAborted):
+        sim.run(store=store)
+
+    store.abort_after_round = None
+    obs2 = Observation(trace=True)
+    resumed = Simulation.resume(store, observation=obs2)
+    assert resumed.provenance.rounds_completed == ABORT_AFTER
+    assert resumed.provenance.checkpoint_kind == "round"
+    resumed.run(store=store)
+
+    _assert_matches_reference(resumed, obs2, reference, tmp_path)
+
+
+def test_process_worker_sigkill_between_rounds_resumes_byte_identical(
+    reference, tmp_path
+):
+    """SIGKILL a process-executor worker between rounds; resume the run.
+
+    The resumed campaign spawns fresh worker pools mid-timeline (rebuilt
+    from the checkpointed config plus the replayed event history) and
+    must still land on the *serial* reference bytes — proving both crash
+    recovery and cross-strategy identity at once.
+    """
+    config = RunConfig(
+        scale=SCALE, seed=SEED, executor="process", workers=2, trace=True
+    )
+    store = RunStore(str(tmp_path / "store"))
+    store.abort_after_round = ABORT_AFTER
+    obs = Observation(trace=True)
+    sim = Simulation.build(config=config, observation=obs)
+    executor = sim.campaign.executor
+    writer = store.writer(sim)
+    try:
+        with observing(obs):
+            with pytest.raises(CampaignAborted):
+                sim.campaign.run(store=writer)
+        # Round k's checkpoint is on disk and the worker pools are still
+        # alive: SIGKILL one worker between rounds, as a crashing host
+        # would, then abandon the whole run.
+        pids = [
+            process.pid
+            for pool in executor._pools.values()
+            for process in pool._processes.values()
+        ]
+        assert pids, "process executor finished rounds without worker pools"
+        os.kill(pids[0], signal.SIGKILL)
+    finally:
+        executor.shutdown()
+
+    store.abort_after_round = None
+    obs2 = Observation(trace=True)
+    resumed = Simulation.resume(store, observation=obs2)
+    assert resumed.provenance.rounds_completed == ABORT_AFTER
+    result = resumed.run(store=store)
+
+    _assert_matches_reference(resumed, obs2, reference, tmp_path)
+    assert repr(canonicalize(result)).encode() == repr(
+        canonicalize(reference.sim.result)
+    ).encode()
+
+
+def test_torn_newest_checkpoint_falls_back_to_previous(tmp_path):
+    """A kill mid-write leaves a torn newest file; load must degrade.
+
+    The manifest still references the torn checkpoint, but its digest no
+    longer matches, so the chain ends one entry earlier — and resuming
+    from there still reproduces the uninterrupted campaign exactly.
+    """
+    config = RunConfig(scale=0.005, seed=SEED, executor="serial")
+    store = RunStore(str(tmp_path / "store"))
+    store.abort_after_round = 2
+    sim = Simulation.build(config=config)
+    with pytest.raises(CampaignAborted):
+        sim.run(store=store)
+
+    run_dir = tmp_path / "store" / f"run-{config.content_hash()[:8]}"
+    newest = run_dir / "checkpoint-0002.pkl"
+    data = newest.read_bytes()
+    newest.write_bytes(data[: len(data) // 2])
+
+    state = store.load_latest()
+    assert state.checkpoint.kind == "round"
+    assert len(state.checkpoint.rounds) == 1
+    assert len(state.entries) == 2  # initial + round 1 survived
+
+    store.abort_after_round = None
+    resumed = Simulation.resume(state)
+    result = resumed.run()
+
+    ref = Simulation.build(config=config).run()
+    assert repr(canonicalize(result)).encode() == repr(canonicalize(ref)).encode()

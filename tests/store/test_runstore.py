@@ -1,0 +1,192 @@
+"""Unit tests for the RunConfig value and the on-disk RunStore.
+
+Checkpoint chains, manifests, digests, atomic writes, and the
+hash-keyed store layout — everything below the full resume tests in
+:mod:`tests.store.test_resume`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import RunConfig
+from repro.core.campaign import CampaignConfig
+from repro.errors import SimulationError
+from repro.exec.shardworld import WorldSpec
+from repro.internet.population import PopulationConfig
+from repro.simulation import Simulation
+from repro.store import CampaignAborted, RunStore, StoreError
+from repro.store.runstore import _atomic_write
+
+SCALE = 0.002
+SEED = 5
+
+
+class TestRunConfig:
+    def test_json_round_trip(self):
+        config = RunConfig(
+            scale=0.004, seed=7, executor="sharded", workers=3, trace=True
+        )
+        clone = RunConfig.from_json(config.to_json())
+        assert clone == config
+        assert clone.content_hash() == config.content_hash()
+
+    def test_round_trip_with_explicit_subconfigs(self):
+        config = RunConfig(
+            scale=0.004,
+            seed=7,
+            population=PopulationConfig(scale=0.004, seed=7),
+            campaign=CampaignConfig(),
+        )
+        clone = RunConfig.from_json(config.to_json())
+        assert clone == config
+
+    def test_runtime_fields_do_not_change_the_hash(self):
+        base = RunConfig(scale=0.004, seed=7)
+        for runtime in (
+            RunConfig(scale=0.004, seed=7, executor="process", workers=8),
+            RunConfig(scale=0.004, seed=7, executor="serial", trace=True),
+        ):
+            assert runtime.content_hash() == base.content_hash()
+
+    def test_semantic_fields_change_the_hash(self):
+        base = RunConfig(scale=0.004, seed=7)
+        assert RunConfig(scale=0.005, seed=7).content_hash() != base.content_hash()
+        assert RunConfig(scale=0.004, seed=8).content_hash() != base.content_hash()
+
+    def test_explicit_population_hashes_like_the_derived_default(self):
+        base = RunConfig(scale=0.004, seed=7)
+        explicit = RunConfig(
+            scale=0.004, seed=7, population=PopulationConfig(scale=0.004, seed=7)
+        )
+        assert explicit.content_hash() == base.content_hash()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SimulationError, match="executor"):
+            RunConfig(executor="quantum")
+
+
+class TestWorldSpecShim:
+    def test_returns_runconfig_and_warns(self):
+        population = PopulationConfig(scale=0.004, seed=SEED)
+        campaign = CampaignConfig()
+        with pytest.warns(DeprecationWarning, match="WorldSpec is deprecated"):
+            spec = WorldSpec(population, campaign, SEED)
+        assert isinstance(spec, RunConfig)
+        assert spec.population == population
+        assert spec.campaign == campaign
+        assert spec.seed == SEED
+        assert spec.scale == population.scale
+
+
+@pytest.fixture(scope="module")
+def aborted(tmp_path_factory):
+    """A run checkpointed into a store and aborted after round 1."""
+    root = tmp_path_factory.mktemp("store")
+    config = RunConfig(scale=SCALE, seed=SEED, executor="serial")
+    store = RunStore(str(root))
+    store.abort_after_round = 1
+    sim = Simulation.build(config=config)
+    with pytest.raises(CampaignAborted):
+        sim.run(store=store)
+    store.abort_after_round = None
+    return SimpleNamespace(store=store, config=config, root=root)
+
+
+def _copy_store(aborted, tmp_path):
+    copy = tmp_path / "store"
+    shutil.copytree(aborted.root, copy)
+    return RunStore(str(copy)), copy
+
+
+class TestStoreLayout:
+    def test_run_directory_keyed_by_config_hash(self, aborted):
+        run_id = f"run-{aborted.config.content_hash()[:8]}"
+        assert aborted.store.runs() == [run_id]
+        run_dir = aborted.root / run_id
+        assert (run_dir / "config.json").is_file()
+        stored = RunConfig.from_json((run_dir / "config.json").read_text())
+        assert stored == aborted.config
+
+    def test_manifest_indexes_the_chain_with_digests(self, aborted):
+        run_dir = aborted.root / aborted.store.runs()[0]
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["config_hash"] == aborted.config.content_hash()
+        entries = manifest["checkpoints"]
+        assert [e["kind"] for e in entries] == ["initial", "round"]
+        assert [e["rounds_completed"] for e in entries] == [0, 1]
+        for entry in entries:
+            data = (run_dir / entry["file"]).read_bytes()
+            assert len(data) == entry["size"]
+            assert hashlib.sha256(data).hexdigest() == entry["sha256"]
+
+    def test_no_temp_files_left_behind(self, aborted):
+        run_dir = aborted.root / aborted.store.runs()[0]
+        assert not [n for n in os.listdir(run_dir) if n.endswith(".tmp")]
+
+    def test_load_latest_empty_store(self, tmp_path):
+        with pytest.raises(StoreError, match="no checkpointed runs"):
+            RunStore(str(tmp_path / "empty")).load_latest()
+
+    def test_load_latest_hash_mismatch_lists_candidates(self, aborted):
+        other = RunConfig(scale=0.003, seed=6)
+        with pytest.raises(StoreError, match=r"no stored run matches.*holds: run-"):
+            aborted.store.load_latest(config_hash=other.content_hash())
+
+    def test_load_latest_matching_hash(self, aborted):
+        state = aborted.store.load_latest(
+            config_hash=aborted.config.content_hash()
+        )
+        assert state.checkpoint.kind == "round"
+        assert len(state.checkpoint.rounds) == 1
+        assert state.config == aborted.config
+
+    def test_missing_checkpoint_file_truncates_the_chain(self, aborted, tmp_path):
+        store, copy = _copy_store(aborted, tmp_path)
+        run_id = store.runs()[0]
+        os.remove(copy / run_id / "checkpoint-0001.pkl")
+        state = store.load_latest()
+        assert state.checkpoint.kind == "initial"
+        assert len(state.entries) == 1
+
+    def test_all_checkpoints_torn_is_an_error(self, aborted, tmp_path):
+        store, copy = _copy_store(aborted, tmp_path)
+        run_id = store.runs()[0]
+        for name in ("checkpoint-0000.pkl", "checkpoint-0001.pkl"):
+            (copy / run_id / name).write_bytes(b"torn")
+        with pytest.raises(StoreError, match="no usable checkpoint"):
+            store.load_latest()
+
+
+class TestAtomicWrite:
+    def test_replaces_content_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "file.bin"
+        _atomic_write(str(target), b"one")
+        _atomic_write(str(target), b"two")
+        assert target.read_bytes() == b"two"
+        assert os.listdir(tmp_path) == ["file.bin"]
+
+
+class TestWriter:
+    def test_requires_config_built_simulation(self, tmp_path):
+        store = RunStore(str(tmp_path / "s"))
+        sim = Simulation.build(config=RunConfig(scale=SCALE, seed=SEED))
+        sim.config = None
+        with pytest.raises(StoreError, match="RunConfig"):
+            store.writer(sim)
+
+    def test_fresh_run_replaces_a_previous_attempt(self, aborted, tmp_path):
+        store, _ = _copy_store(aborted, tmp_path)
+        sim = Simulation.build(config=aborted.config)
+        sim.run(store=store)
+        state = store.load_latest()
+        assert state.checkpoint.kind == "round"
+        assert len(state.checkpoint.rounds) == len(sim.result.rounds)
+        # initial + one entry per round, freshly renumbered from zero
+        assert len(state.entries) == len(sim.result.rounds) + 1

@@ -100,6 +100,73 @@ class TestCli:
         assert "table1" in proc.stdout
 
 
+class TestRunResumeCli:
+    BASE = ["--scale", "0.002", "--seed", "5", "--artifact", "table6"]
+
+    def test_run_subcommand_without_deprecation_notice(self, capsys):
+        assert main(["run", *self.BASE]) == 0
+        captured = capsys.readouterr()
+        assert "Debian" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_legacy_top_level_flags_print_a_notice(self, capsys):
+        assert main(self.BASE) == 0
+        captured = capsys.readouterr()
+        assert "Debian" in captured.out
+        assert "deprecated" in captured.err
+        assert "python -m repro run" in captured.err
+
+    def test_abort_after_round_requires_store(self, capsys):
+        assert main(["run", *self.BASE, "--abort-after-round", "1"]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_run_abort_resume_trace_identical(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        full = tmp_path / "full.jsonl"
+        resumed = tmp_path / "resumed.jsonl"
+
+        assert main(["run", *self.BASE, "--trace", str(full)]) == 0
+
+        assert main([
+            "run", *self.BASE, "--store", str(store),
+            "--abort-after-round", "1",
+            "--trace", str(tmp_path / "unused.jsonl"),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "run aborted: aborted after round 1" in captured.out
+        # An aborted run emits no artifacts — only the checkpoint chain.
+        assert not (tmp_path / "unused.jsonl").exists()
+
+        assert main([
+            "resume", "--store", str(store),
+            "--scale", "0.002", "--seed", "5",
+            "--artifact", "table6", "--trace", str(resumed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Resuming run-" in out
+        assert "1 rounds completed" in out
+        assert resumed.read_bytes() == full.read_bytes()
+
+        assert main(["trace", "diff", str(full), str(resumed)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_resume_config_mismatch_exits_2(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "run", *self.BASE, "--store", str(store),
+            "--abort-after-round", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["resume", "--store", str(store), "--scale", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "resume failed" in err
+        assert "no stored run matches" in err
+
+    def test_resume_empty_store_exits_2(self, tmp_path, capsys):
+        assert main(["resume", "--store", str(tmp_path / "empty")]) == 2
+        assert "no checkpointed runs" in capsys.readouterr().err
+
+
 @pytest.fixture(scope="module")
 def smoke_traces(tmp_path_factory):
     """Serial and sharded traced runs of the same seed, for trace tooling."""

@@ -24,6 +24,29 @@ class TestBuild:
         assert len(engine.rounds) == len(sim.run().rounds)
 
 
+class TestShutdownOnFailure:
+    def test_executor_released_when_the_campaign_raises(self, monkeypatch):
+        """A raising run must still shut the executor down (try/finally)."""
+        from repro.api import RunConfig
+
+        sim = Simulation.build(config=RunConfig(scale=0.002, seed=5))
+        executor = sim.campaign.executor
+        calls = []
+        original = executor.shutdown
+        monkeypatch.setattr(
+            executor, "shutdown", lambda: (calls.append(True), original())
+        )
+
+        def boom(*, store=None):
+            raise RuntimeError("probe infrastructure fell over")
+
+        monkeypatch.setattr(sim.campaign, "run", boom)
+        with pytest.raises(RuntimeError, match="fell over"):
+            sim.run()
+        assert calls == [True]
+        assert sim.result is None  # a failed run caches nothing
+
+
 class TestDeterminism:
     def test_two_builds_agree_on_headline_numbers(self):
         a = Simulation.build(scale=0.003, seed=77)
