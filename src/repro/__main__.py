@@ -102,6 +102,12 @@ def _add_run_flags(
         "for the same seed",
     )
     add(
+        "--world", choices=("lazy", "eager"), default="lazy",
+        help="world materialization strategy: 'lazy' builds servers on "
+        "first touch (memory tracks the probed set); 'eager' pre-builds "
+        "every server up front; artifacts are byte-identical either way",
+    )
+    add(
         "--artifact", choices=ARTIFACT_NAMES, action="append", default=None,
         help="regenerate only the named table/figure (repeatable)",
     )
@@ -404,6 +410,7 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
         executor=args.executor,
         workers=args.workers,
         trace=bool(args.trace),
+        world=getattr(args, "world", "lazy"),
     )
     print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
     sim = Simulation.build(config=config, observation=observation)
@@ -425,7 +432,7 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
         sim.campaign.executor.progress = ProgressReporter()
     executor_name = type(sim.campaign.executor).__name__
     print(
-        f"  {len(sim.population):,} domains / {len(sim.fleet.all_ips):,} addresses; "
+        f"  {len(sim.population):,} domains / {sim.fleet.total_ip_count():,} addresses; "
         f"running the four-month campaign ({executor_name}, "
         f"workers={args.workers})..."
     )

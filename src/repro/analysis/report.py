@@ -75,7 +75,7 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
         f"Run provenance: scale={sim.population.config.scale}, "
         f"seed={sim.population.config.seed}; "
         f"{len(sim.population):,} domains, {len(sim.fleet.units):,} hosting "
-        f"units, {len(sim.fleet.all_ips):,} addresses; "
+        f"units, {sim.fleet.total_ip_count():,} addresses; "
         f"{len(result.initial.ip_records):,} addresses probed, "
         f"{len(result.initial.vulnerable_ips()):,} vulnerable "
         f"({len(result.initial.vulnerable_domains()):,} domains); "

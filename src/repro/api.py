@@ -15,8 +15,8 @@ JSON-round-trippable, and it splits cleanly in two:
 - **semantic fields** (``population``, ``campaign``, ``seed``,
   ``retry``) determine every campaign artifact byte-for-byte; they are
   covered by :meth:`RunConfig.content_hash`;
-- **runtime fields** (``executor``, ``workers``, ``trace``) choose how
-  the run executes and observes; results are byte-identical across
+- **runtime fields** (``executor``, ``workers``, ``trace``, ``world``)
+  choose how the run executes and observes; results are byte-identical across
   them for the same semantic fields, so they are excluded from the
   hash — a campaign checkpointed under the serial executor may be
   resumed under the process executor and vice versa.
@@ -67,6 +67,8 @@ def _decode_fields(cls, data: Optional[dict]):
 
 _EXECUTORS = (None, "serial", "sharded", "process")
 
+_WORLD_MODES = ("lazy", "eager")
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -90,11 +92,20 @@ class RunConfig:
     workers: int = 1
     #: whether runs built from this config attach a virtual-time tracer.
     trace: bool = False
+    #: world materialization strategy: ``"lazy"`` builds servers on first
+    #: touch (memory O(touched)); ``"eager"`` pre-builds every server up
+    #: front.  Both produce byte-identical artifacts, so this is a
+    #: runtime field outside the content hash.
+    world: str = "lazy"
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
             raise SimulationError(
                 f"unknown executor {self.executor!r} (serial | sharded | process)"
+            )
+        if self.world not in _WORLD_MODES:
+            raise SimulationError(
+                f"unknown world mode {self.world!r} (lazy | eager)"
             )
 
     # -- resolution -----------------------------------------------------------
@@ -143,6 +154,7 @@ class RunConfig:
             "executor": self.executor,
             "workers": self.workers,
             "trace": self.trace,
+            "world": self.world,
         }
 
     @classmethod
@@ -156,6 +168,7 @@ class RunConfig:
             executor=data.get("executor"),
             workers=data.get("workers", 1),
             trace=data.get("trace", False),
+            world=data.get("world", "lazy"),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

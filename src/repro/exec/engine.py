@@ -406,7 +406,7 @@ class ShardedExecutor(ProbeExecutor):
 
     Tasks are assigned round-robin to ``workers`` private contexts and
     dispatched in batches of ``workers * batch_size``.  The shared clock
-    advances only at event horizons (the next scheduled patch/move/flip)
+    advances only at event horizons (the next scheduled clock event)
     and at stage end, so a stage costs O(events) clock scans instead of
     O(tasks) — the difference is what ``benchmarks/bench_executor.py``
     measures.

@@ -16,13 +16,14 @@ but *values* cross the boundary:
   trace events, and a metrics snapshot, all plain data.
 
 A :class:`ShardWorld` mirrors :meth:`repro.simulation.Simulation.build`
-exactly (same seeded RNG forks in the same order), except that
-:meth:`~repro.internet.mta_fleet.MtaFleet.build_network` materializes
-only the addresses :func:`shard_of` assigns to this shard.  The shard
+exactly (same seeded RNG forks in the same order), except that its
+network's ``ip_filter`` restricts the addressable set to the addresses
+:func:`shard_of` assigns to this shard — under the lazy world a replica
+only ever materializes the servers its slice actually probes.  The shard
 key is a pure function of the IP, so a server's whole mutable history —
 greylist memory, blacklist counters, crash noise — lives in exactly one
-shard for the campaign's duration, and the patch/move callbacks fire in
-every shard (``server_at`` lookups outside the slice are no-ops).  Each
+shard for the campaign's duration, and patches/moves are pure functions
+of the clock folded in on touch, identical in every shard.  Each
 stage slice advances the replica's clock through the same instants the
 serial executor would, so scheduled events partition the work list
 identically and merged results stay byte-identical to a serial run.
@@ -222,8 +223,10 @@ class ShardWorld:
         self.notification = NotificationCampaign(
             fleet, patch_model, self.campaign.network, clock, seed=spec.seed
         )
-        patch_model.apply(fleet, self.campaign.network, clock)
-        fleet.schedule_moves(self.campaign.network, clock)
+        # Replicas are always lazy: servers materialize on first probe
+        # of this shard's slice, and patches/moves fold in on touch.
+        patch_model.bind_fleet(fleet)
+        self.campaign.network.bind_patch_model(patch_model)
 
     @property
     def key(self) -> Tuple["RunConfig", int, int]:

@@ -11,18 +11,32 @@ measurable but 48% of domains were (shared hosts validate); 17% of
 measured addresses were vulnerable but only 8.7% of measured domains were
 (the biggest hosts run maintained software).
 
-Per-class outcome probabilities are *solved at build time* from the
-paper's Table 3 address-level and domain-level targets, given the
-generated class shares — so the calibration holds at any scale and
-survives changes to the size mixture.
+Per-class outcome probabilities are *solved from class counts* — the
+lazily computed fleet census — against the paper's Table 3 address-level
+and domain-level targets, so the calibration holds at any scale without
+instantiating a single unit.
+
+Like the population, the fleet is **lazy**: :func:`build_fleet` returns
+in O(1).  Unit boundaries are drawn in fixed-size chunks of domain-pool
+positions (a per-chunk RNG fork), every unit's category/behavior/policy
+draws come from a per-unit RNG fork (label ``unit-{unit_id}``), and IP
+addresses are an arithmetic codec over reserved *slots* — so any single
+:class:`HostingUnit`, :class:`~repro.smtp.server.SmtpServer`, or DNS
+answer can be materialized on first touch (a probe, a notification, a
+snapshot restore) and regenerates identically every time.  Holding a
+fleet costs O(touched), not O(world).
 """
 
 from __future__ import annotations
 
+import bisect
 import datetime as _dt
 import enum
+import math
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..dns.message import Message, Rcode
 from ..dns.name import Name
@@ -46,6 +60,7 @@ from .population import (
     VULNERABLE_PROVIDER_DOMAINS,
 )
 from .rng import SeededRng
+from .tld import GENERIC_TLD_COUNTRY_MIX, TldModel
 
 
 class UnitCategory(enum.Enum):
@@ -260,25 +275,50 @@ class HostingUnit:
         return len(self.domains) >= 3
 
 
-class _IpAllocator:
-    """Hands out unique synthetic IPv4 addresses."""
+# --------------------------------------------------------------------------
+# synthetic address space
+# --------------------------------------------------------------------------
 
-    def __init__(self) -> None:
-        self._next = 0
+#: The 10.0.0.0/8 codec covers 2^24 slots.
+_SLOT_LIMIT = 1 << 24
 
-    def next_ip(self) -> str:
-        value = self._next
-        self._next += 1
-        if value >= 0xFFFFFF:
-            raise SimulationError("synthetic IPv4 space exhausted")
-        return f"10.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+def _encode_slot(slot: int) -> str:
+    """Slot number → synthetic 10.x.y.z address."""
+    if not 0 <= slot < _SLOT_LIMIT:
+        raise SimulationError("synthetic IPv4 space exhausted")
+    return f"10.{(slot >> 16) & 0xFF}.{(slot >> 8) & 0xFF}.{slot & 0xFF}"
+
+
+def _decode_slot(ip: str) -> Optional[int]:
+    """Synthetic address → slot number, or ``None`` for foreign input.
+
+    Only the canonical spelling decodes — re-encoding must reproduce the
+    input exactly, so padded octets ("10.00.0.1") are rejected rather
+    than aliased onto a real slot.
+    """
+    parts = ip.split(".")
+    if len(parts) != 4 or parts[0] != "10":
+        return None
+    try:
+        octets = [int(part) for part in parts[1:]]
+    except ValueError:
+        return None
+    if any(not 0 <= octet <= 255 for octet in octets):
+        return None
+    slot = (octets[0] << 16) | (octets[1] << 8) | octets[2]
+    if _encode_slot(slot) != ip:
+        return None
+    return slot
 
 
 class PopulationDnsBackend(DnsBackend):
-    """Answers MX and A queries for population domains.
+    """Answers MX and A queries from explicitly installed records.
 
-    A dict-backed authoritative responder — one :class:`~repro.dns.zone.Zone`
-    per domain would be needlessly heavy at population scale.
+    A dict-backed authoritative responder, kept for tests and tools that
+    wire up small scenarios by hand (``set_mx``/``set_a``).  The fleet
+    itself answers through :class:`FleetDnsBackend`, which derives
+    records from the lazy world instead of storing them.
     """
 
     def __init__(self) -> None:
@@ -320,21 +360,449 @@ class PopulationDnsBackend(DnsBackend):
         return response
 
 
-@dataclass
-class MtaFleet:
-    """The generated fleet plus its lookup structures."""
+def _unit_moved(unit: HostingUnit, now: Optional[_dt.datetime]) -> bool:
+    """Whether a mover's migration is in effect at ``now``."""
+    return (
+        unit.moves_at is not None
+        and bool(unit.new_ips)
+        and now is not None
+        and now >= unit.moves_at
+    )
 
-    units: List[HostingUnit]
-    unit_by_domain: Dict[str, HostingUnit]
-    unit_by_ip: Dict[str, HostingUnit]
-    dns_backend: PopulationDnsBackend
+
+class FleetDnsBackend(DnsBackend):
+    """Authoritative MX/A answers derived from the lazy fleet.
+
+    Nothing is stored: a query materializes (at most) the one hosting
+    unit that owns the name and answers from its current state.  Moves
+    are a function of the query time — ``now >= unit.moves_at`` flips the
+    MX host's A record to the new addresses — so shard replicas and
+    snapshot restores answer identically without replaying mutations.
+    """
+
+    def __init__(self, fleet: "MtaFleet") -> None:
+        self._fleet = fleet
+
+    def query(self, message: Message, *, source: str = "", now=None) -> Message:
+        if message.question is None:
+            return message.make_response(Rcode.FORMERR)
+        qname, rrtype = message.question.name, message.question.rrtype
+        response = message.make_response()
+        response.authoritative = True
+        text = str(qname).lower().rstrip(".")
+        if text.startswith("mx."):
+            unit = self._fleet.unit_by_domain.get(text[3:])
+            if unit is not None and unit.mail_hostname == text:
+                if rrtype == RRType.A:
+                    addresses = unit.new_ips if _unit_moved(unit, now) else unit.ips
+                    for address in addresses:
+                        response.answers.append(
+                            ResourceRecord(name=qname, rdata=A(address), ttl=300)
+                        )
+                return response  # NODATA for other types on a live host
+        else:
+            unit = self._fleet.unit_by_domain.get(text)
+            if unit is not None:
+                if rrtype == RRType.MX:
+                    response.answers.append(
+                        ResourceRecord(
+                            name=qname,
+                            rdata=MX(10, Name.from_text(unit.mail_hostname)),
+                            ttl=300,
+                        )
+                    )
+                return response  # apex has MX but no A in this model
+        response.rcode = Rcode.NXDOMAIN
+        return response
+
+
+# --------------------------------------------------------------------------
+# lazy fleet structure
+# --------------------------------------------------------------------------
+
+#: Domain-pool positions per unit-layout chunk (the unit of laziness).
+_UNIT_CHUNK = 4096
+#: Regenerated layout chunks kept in the fleet's LRU.
+_LAYOUT_CACHE = 64
+#: Strong LRU of materialized unit views (weak refs keep identity beyond it).
+_UNIT_VIEW_CACHE = 16384
+
+
+class _AffinePermutation:
+    """A seeded bijection on ``range(size)`` with O(1) apply/invert."""
+
+    __slots__ = ("size", "mult", "offset", "_inv")
+
+    def __init__(self, rng: SeededRng, size: int) -> None:
+        self.size = max(1, size)
+        mult = rng.randint(1, max(1, self.size - 1))
+        while math.gcd(mult, self.size) != 1:
+            mult = mult % self.size + 1
+        self.mult = mult
+        self.offset = rng.randint(0, self.size - 1)
+        self._inv = pow(mult, -1, self.size)
+
+    def apply(self, index: int) -> int:
+        return (index * self.mult + self.offset) % self.size
+
+    def invert(self, value: int) -> int:
+        return ((value - self.offset) * self._inv) % self.size
+
+
+class _LayoutChunk:
+    """Unit boundaries for one chunk of pool positions (parallel arrays)."""
+
+    __slots__ = ("starts", "sizes", "ip_counts", "slot_off", "total_slots")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.sizes: List[int] = []
+        self.ip_counts: List[int] = []
+        #: Slot offset of each unit within the chunk's reservation.
+        self.slot_off: List[int] = []
+        self.total_slots = 0
+
+
+class _PoolState:
+    """One domain set's unit pool: permutation plus census aggregates."""
+
+    __slots__ = (
+        "name", "lo", "size", "profile", "perm", "chunk_count",
+        "unit_base", "slot_base", "units_before", "slots_before",
+        "n_units", "total_slots", "primary_ips",
+        "small_units", "large_units", "small_domains", "large_domains",
+        "elig_large_units", "elig_large_domains",
+        "small_probs", "large_probs", "v_small", "v_large",
+    )
+
+    def __init__(self, name: str, lo: int, size: int, profile: FleetProfile, rng: SeededRng):
+        self.name = name
+        self.lo = lo  # first domain index owned by this pool
+        self.size = size
+        self.profile = profile
+        self.perm = _AffinePermutation(rng, size)
+        self.chunk_count = (size + _UNIT_CHUNK - 1) // _UNIT_CHUNK
+
+
+class MtaFleet:
+    """The hosting fleet as lazily regenerable state.
+
+    Public surface matches the old eager fleet — ``units`` (list-like,
+    indexable by ``unit_id``), ``unit_by_domain``/``unit_by_ip`` lookups,
+    ``dns_backend``, ``build_network`` — but every access path
+    materializes only what it touches:
+
+    - unit boundaries regenerate per layout chunk from a chunk RNG fork;
+    - a unit's full configuration regenerates from ``fork("unit-{id}")``;
+    - addresses are slot arithmetic (every unit reserves ``2 x ip_count``
+      slots; the second half exists only if the unit moves mid-campaign);
+    - SMTP servers are created by the network provider on first
+      connect/lookup and *synced* on every touch (refusal flips at
+      ``moves_at``, patches apply once their plan date passes), replacing
+      the old eagerly scheduled clock callbacks.
+
+    The census (:meth:`_ensure_census`) runs the chunk layout draws once
+    to build prefix-sum indexes and class counts — O(world) time on first
+    touch but O(#chunks) memory — which feeds the calibration solver with
+    counts instead of instantiated units.
+    """
+
+    def __init__(
+        self,
+        population: DomainPopulation,
+        *,
+        seed: Optional[int] = None,
+        campaign_start: Optional[_dt.datetime] = None,
+        alexa_profile: FleetProfile = ALEXA_PROFILE,
+        two_week_profile: FleetProfile = TWO_WEEK_PROFILE,
+    ) -> None:
+        from ..clock import INITIAL_MEASUREMENT
+
+        self.population = population
+        self.campaign_start = campaign_start or INITIAL_MEASUREMENT
+        self._root = SeededRng(
+            seed if seed is not None else population.config.seed
+        ).fork("fleet")
+        self._geo_seed: Optional[int] = None
+
+        table = population.table
+        self.n_providers = table.n_providers
+        self._pools = [
+            _PoolState(
+                "alexa", table.n_providers, table.n_alexa - table.n_providers,
+                alexa_profile, self._root.fork("alexa-pool"),
+            ),
+            _PoolState(
+                "two-week", table.n_alexa, table.n_two_week_only,
+                two_week_profile, self._root.fork("two-week-pool"),
+            ),
+        ]
+
+        # Providers are few and head the unit-id and slot spaces; their
+        # ip counts are the first draw of their per-provider fork, so the
+        # slot prefix is known without configuring them.
+        self._provider_ip_counts = [
+            self._root.fork(f"provider-{i}").randint(2, 5)
+            for i in range(self.n_providers)
+        ]
+        self._provider_slots_before = [0]
+        for count in self._provider_ip_counts:
+            self._provider_slots_before.append(
+                self._provider_slots_before[-1] + 2 * count
+            )
+        self._provider_slot_total = self._provider_slots_before[-1]
+
+        self._census_ready = False
+        self._unit_count: Optional[int] = None
+        self._layouts: "OrderedDict[Tuple[str, int], _LayoutChunk]" = OrderedDict()
+        self._unit_views: "weakref.WeakValueDictionary[int, HostingUnit]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._unit_lru: "OrderedDict[int, HostingUnit]" = OrderedDict()
+
+        self.units = _UnitSequence(self)
+        self.unit_by_domain = _DomainIndex(self)
+        self.unit_by_ip = _IpIndex(self)
+        self.dns_backend = FleetDnsBackend(self)
+
+    # -- census ---------------------------------------------------------------
+
+    def _ensure_census(self) -> None:
+        """Index the unit layout: prefix sums plus calibration counts."""
+        if self._census_ready:
+            return
+        unit_base = self.n_providers
+        slot_base = self._provider_slot_total
+        for pool in self._pools:
+            pool.unit_base = unit_base
+            pool.slot_base = slot_base
+            units_before, slots_before = [0], [0]
+            small_u = large_u = small_d = large_d = 0
+            elig_large_u = elig_large_d = primary = 0
+            for chunk_index in range(pool.chunk_count):
+                layout = self._layout(pool, chunk_index)
+                for size, ip_count in zip(layout.sizes, layout.ip_counts):
+                    primary += ip_count
+                    if size < 3:
+                        small_u += 1
+                        small_d += size
+                    else:
+                        large_u += 1
+                        large_d += size
+                        if size <= VULNERABLE_ELIGIBILITY_MAX_DOMAINS:
+                            elig_large_u += 1
+                            elig_large_d += size
+                units_before.append(units_before[-1] + len(layout.starts))
+                slots_before.append(slots_before[-1] + layout.total_slots)
+            pool.units_before = units_before
+            pool.slots_before = slots_before
+            pool.n_units = units_before[-1]
+            pool.total_slots = slots_before[-1]
+            pool.primary_ips = primary
+            pool.small_units, pool.large_units = small_u, large_u
+            pool.small_domains, pool.large_domains = small_d, large_d
+            pool.elig_large_units = elig_large_u
+            pool.elig_large_domains = elig_large_d
+            if pool.n_units:
+                pool.small_probs, pool.large_probs = _solve_class_probs(
+                    pool.profile.ip_targets,
+                    pool.profile.domain_targets,
+                    unit_share_small=small_u / pool.n_units,
+                    domain_share_small=(small_d) / max(1, small_d + large_d),
+                )
+                pool.v_small, pool.v_large = _solve_vulnerable_rates(
+                    pool.profile, pool
+                )
+            else:
+                pool.small_probs = pool.large_probs = dict(pool.profile.ip_targets)
+                pool.v_small = pool.v_large = 0.0
+            unit_base += pool.n_units
+            slot_base += pool.total_slots
+        self._unit_count = unit_base
+        self._census_ready = True
+
+    def _layout(self, pool: _PoolState, chunk_index: int) -> _LayoutChunk:
+        key = (pool.name, chunk_index)
+        layout = self._layouts.get(key)
+        if layout is None:
+            layout = self._generate_layout(pool, chunk_index)
+            self._layouts[key] = layout
+            while len(self._layouts) > _LAYOUT_CACHE:
+                self._layouts.popitem(last=False)
+        else:
+            self._layouts.move_to_end(key)
+        return layout
+
+    def _generate_layout(self, pool: _PoolState, chunk_index: int) -> _LayoutChunk:
+        """Draw unit boundaries for one chunk of pool positions."""
+        lo = chunk_index * _UNIT_CHUNK
+        hi = min(lo + _UNIT_CHUNK, pool.size)
+        rng = self._root.fork(f"{pool.name}/chunk-{chunk_index}")
+        layout = _LayoutChunk()
+        position = lo
+        while position < hi:
+            large = rng.bernoulli(pool.profile.large_unit_fraction)
+            size = _sample_large_size(rng) if large else _sample_small_size(rng)
+            size = min(size, hi - position)
+            ip_count = 1 + (1 if rng.bernoulli(0.10) else 0)
+            layout.starts.append(position)
+            layout.sizes.append(size)
+            layout.ip_counts.append(ip_count)
+            layout.slot_off.append(layout.total_slots)
+            layout.total_slots += 2 * ip_count  # second half: move targets
+            position += size
+        return layout
+
+    # -- unit materialization -------------------------------------------------
+
+    @property
+    def unit_count(self) -> int:
+        self._ensure_census()
+        return self._unit_count  # type: ignore[return-value]
+
+    def unit_at(self, unit_id: int) -> HostingUnit:
+        """The (cached) view of one hosting unit."""
+        view = self._unit_views.get(unit_id)
+        if view is None:
+            view = self._materialize_unit(unit_id)
+            self._unit_views[unit_id] = view
+        self._unit_lru[unit_id] = view
+        self._unit_lru.move_to_end(unit_id)
+        while len(self._unit_lru) > _UNIT_VIEW_CACHE:
+            self._unit_lru.popitem(last=False)
+        return view
+
+    def _materialize_unit(self, unit_id: int) -> HostingUnit:
+        if unit_id < self.n_providers:
+            return self._materialize_provider(unit_id)
+        self._ensure_census()
+        if not self.n_providers <= unit_id < self._unit_count:
+            raise IndexError(unit_id)
+        pool = self._pools[1] if unit_id >= self._pools[1].unit_base else self._pools[0]
+        local_uid = unit_id - pool.unit_base
+        chunk_index = bisect.bisect_right(pool.units_before, local_uid) - 1
+        layout = self._layout(pool, chunk_index)
+        local = local_uid - pool.units_before[chunk_index]
+        start = layout.starts[local]
+        size = layout.sizes[local]
+        ip_count = layout.ip_counts[local]
+        slot = pool.slot_base + pool.slots_before[chunk_index] + layout.slot_off[local]
+
+        domains = [
+            self.population.domain_at(pool.lo + pool.perm.apply(start + k))
+            for k in range(size)
+        ]
+        rng = self._root.fork(f"unit-{unit_id}")
+        probs = pool.large_probs if size >= 3 else pool.small_probs
+        category = rng.weighted_choice(probs)
+        if size > VULNERABLE_ELIGIBILITY_MAX_DOMAINS:
+            rate = 0.0
+        else:
+            rate = pool.v_large if size >= 3 else pool.v_small
+        unit = HostingUnit(
+            unit_id=unit_id,
+            domains=domains,
+            ips=[_encode_slot(slot + k) for k in range(ip_count)],
+            mail_hostname=f"mx.{domains[0].name}",
+            category=UnitCategory.NO_SPF,
+        )
+        _configure_unit(unit, category, pool.profile, rate, rng, self.campaign_start)
+        if unit.moves_at is not None:
+            unit.new_ips = [_encode_slot(slot + ip_count + k) for k in range(ip_count)]
+        if self._geo_seed is not None:
+            unit.country = _unit_country(self._geo_seed, unit_id, unit.primary_tld)
+        return unit
+
+    def _materialize_provider(self, unit_id: int) -> HostingUnit:
+        rng = self._root.fork(f"provider-{unit_id}")
+        ip_count = rng.randint(2, 5)  # same first draw as the census prefix
+        slot = self._provider_slots_before[unit_id]
+        domain = self.population.domain_at(unit_id)
+        unit = HostingUnit(
+            unit_id=unit_id,
+            domains=[domain],
+            ips=[_encode_slot(slot + k) for k in range(ip_count)],
+            mail_hostname=f"mx.{domain.name}",
+            category=UnitCategory.NO_SPF,
+        )
+        _configure_provider_unit(unit, domain, rng)
+        if unit.moves_at is not None:
+            unit.new_ips = [_encode_slot(slot + ip_count + k) for k in range(ip_count)]
+        if self._geo_seed is not None:
+            unit.country = _unit_country(self._geo_seed, unit_id, unit.primary_tld)
+        return unit
+
+    # -- lookups --------------------------------------------------------------
+
+    def _unit_id_for_domain_index(self, index: int) -> int:
+        if index < self.n_providers:
+            return index
+        self._ensure_census()
+        pool = self._pools[0] if index < self._pools[1].lo else self._pools[1]
+        position = pool.perm.invert(index - pool.lo)
+        chunk_index = position // _UNIT_CHUNK
+        layout = self._layout(pool, chunk_index)
+        local = bisect.bisect_right(layout.starts, position) - 1
+        return pool.unit_base + pool.units_before[chunk_index] + local
+
+    def _unit_for_domain(self, name: str) -> Optional[HostingUnit]:
+        index = self.population.index_of(name)
+        if index is None:
+            return None
+        return self.unit_at(self._unit_id_for_domain_index(index))
+
+    def _locate_slot(self, slot: int) -> Optional[Tuple[int, int, int]]:
+        """Slot → ``(unit_id, offset in reservation, ip_count)``."""
+        if slot < self._provider_slot_total:
+            i = bisect.bisect_right(self._provider_slots_before, slot) - 1
+            return i, slot - self._provider_slots_before[i], self._provider_ip_counts[i]
+        self._ensure_census()
+        for pool in self._pools:
+            rel = slot - pool.slot_base
+            if 0 <= rel < pool.total_slots:
+                chunk_index = bisect.bisect_right(pool.slots_before, rel) - 1
+                layout = self._layout(pool, chunk_index)
+                local_slot = rel - pool.slots_before[chunk_index]
+                local = bisect.bisect_right(layout.slot_off, local_slot) - 1
+                offset = local_slot - layout.slot_off[local]
+                unit_id = pool.unit_base + pool.units_before[chunk_index] + local
+                return unit_id, offset, layout.ip_counts[local]
+        return None
+
+    def _unit_for_ip(self, ip: str) -> Optional[HostingUnit]:
+        slot = _decode_slot(ip)
+        if slot is None:
+            return None
+        located = self._locate_slot(slot)
+        if located is None:
+            return None
+        unit_id, offset, ip_count = located
+        unit = self.unit_at(unit_id)
+        if offset < ip_count:
+            return unit
+        # Second-half slots are assigned only if the unit actually moves.
+        return unit if ip in unit.new_ips else None
+
+    # -- aggregate views ------------------------------------------------------
 
     @property
     def all_ips(self) -> List[str]:
+        """Every primary address (materializes the whole fleet — prefer
+        :meth:`total_ip_count` when only the number is needed)."""
         out: List[str] = []
         for unit in self.units:
             out.extend(unit.ips)
         return out
+
+    def total_ip_count(self) -> int:
+        """Number of primary addresses, from the census (no units built)."""
+        self._ensure_census()
+        return sum(self._provider_ip_counts) + sum(p.primary_ips for p in self._pools)
+
+    def total_slot_count(self) -> int:
+        """Reserved address slots (primary plus potential move targets)."""
+        self._ensure_census()
+        return self._provider_slot_total + sum(p.total_slots for p in self._pools)
 
     def vulnerable_units(self) -> List[HostingUnit]:
         return [u for u in self.units if u.is_vulnerable]
@@ -345,37 +813,41 @@ class MtaFleet:
             out.extend(unit.domains)
         return out
 
-    def schedule_moves(self, network: Network, clock) -> int:
-        """Schedule mid-campaign MX migrations.
+    # -- dynamics -------------------------------------------------------------
 
-        At ``unit.moves_at``, the unit's old addresses stop accepting
-        connections, its new addresses come alive with the same software,
-        and the unit's MX hostname re-points to the new addresses — so a
-        measurement that froze its IP list at the start loses the unit,
-        while a final snapshot that re-resolves MX records finds it again
-        (the paper's Section 7.2 snapshot behavior).
+    def bind_geography(self, seed: int) -> None:
+        """Give units a deterministic country on materialization."""
+        self._geo_seed = seed
+        for unit_id, unit in list(self._unit_views.items()):
+            unit.country = _unit_country(seed, unit_id, unit.primary_tld)
 
-        Returns the number of scheduled moves.
+    def sync_server(
+        self,
+        server: SmtpServer,
+        now: _dt.datetime,
+        patch_model=None,
+    ) -> None:
+        """Bring one server's time-dependent state up to ``now``.
+
+        Replaces the old scheduled patch/move callbacks: refusal is a
+        pure function of the unit's category and move date, and patching
+        applies (idempotently) once the unit's plan date has passed.
+        Both transitions are monotone, so touch order cannot diverge
+        between executors or across a snapshot restore.
         """
-        scheduled = 0
-        for unit in self.units:
-            if unit.moves_at is None or not unit.new_ips:
-                continue
-
-            def do_move(_when: _dt.datetime, unit=unit) -> None:
-                for ip in unit.ips:
-                    server = network.server_at(ip)
-                    if server is not None:
-                        server.policy.refuse_connections = True
-                for ip in unit.new_ips:
-                    server = network.server_at(ip)
-                    if server is not None:
-                        server.policy.refuse_connections = False
-                self.dns_backend.set_a(unit.mail_hostname, unit.new_ips)
-
-            clock.schedule(unit.moves_at, do_move)
-            scheduled += 1
-        return scheduled
+        unit = self._unit_for_ip(server.ip)
+        if unit is None:
+            return
+        moved = _unit_moved(unit, now)
+        if server.ip in unit.new_ips:
+            server.policy.refuse_connections = not moved
+        else:
+            server.policy.refuse_connections = (
+                unit.category == UnitCategory.REFUSE or moved
+            )
+        if patch_model is not None and server.is_vulnerable and unit.is_vulnerable:
+            if patch_model.plan_for(unit).patched_by(now):
+                server.patch()
 
     def build_network(
         self,
@@ -384,22 +856,18 @@ class MtaFleet:
         *,
         ip_filter: Optional[Callable[[str], bool]] = None,
     ) -> Network:
-        """Materialize every unit as live SMTP servers.
+        """A lazy network over the fleet's address space.
 
-        ``resolver_backend`` is the DNS path the servers' SPF validators
-        query (it must include the measurement responder's zone).
-        ``ip_filter`` restricts the build to the addresses it accepts —
-        a shard-world replica materializes only the servers its shard
-        owns, and the patch/move callbacks' ``server_at`` lookups already
-        tolerate the holes.
+        Servers materialize on first touch (probe, notification, or
+        snapshot restore) and are cached by the network, so memory tracks
+        the probed set.  ``resolver_backend`` is the DNS path the
+        servers' SPF validators query.  ``ip_filter`` restricts the
+        addressable set — a shard-world replica answers only for the
+        addresses its shard owns and ``server_at`` returns ``None`` for
+        the holes, exactly as the eager per-shard registration did.
         """
-        network = Network(clock=clock_fn)
-        for unit in self.units:
-            for ip in unit.all_ips:
-                if ip_filter is not None and not ip_filter(ip):
-                    continue
-                network.register(self._build_server(unit, ip, clock_fn, resolver_backend))
-        return network
+        provider = _FleetServerProvider(self, clock_fn, resolver_backend, ip_filter)
+        return Network(clock=clock_fn, provider=provider)
 
     def _build_server(
         self,
@@ -431,6 +899,124 @@ class MtaFleet:
             spf_stacks=stacks,
             resolver=resolver,
         )
+
+
+class _UnitSequence:
+    """List-like lazy view over a fleet's hosting units (by unit id)."""
+
+    __slots__ = ("_fleet",)
+
+    def __init__(self, fleet: MtaFleet) -> None:
+        self._fleet = fleet
+
+    def __len__(self) -> int:
+        return self._fleet.unit_count
+
+    def __getitem__(self, item):
+        size = len(self)
+        if isinstance(item, slice):
+            return [self._fleet.unit_at(i) for i in range(*item.indices(size))]
+        if item < 0:
+            item += size
+        if not 0 <= item < size:
+            raise IndexError(item)
+        return self._fleet.unit_at(item)
+
+    def __iter__(self) -> Iterator[HostingUnit]:
+        for unit_id in range(len(self)):
+            yield self._fleet.unit_at(unit_id)
+
+
+class _DomainIndex:
+    """``unit_by_domain``: domain name → owning unit, computed on access."""
+
+    __slots__ = ("_fleet",)
+
+    def __init__(self, fleet: MtaFleet) -> None:
+        self._fleet = fleet
+
+    def get(self, name: str, default=None):
+        unit = self._fleet._unit_for_domain(name)
+        return default if unit is None else unit
+
+    def __getitem__(self, name: str) -> HostingUnit:
+        unit = self._fleet._unit_for_domain(name)
+        if unit is None:
+            raise KeyError(name)
+        return unit
+
+    def __contains__(self, name: str) -> bool:
+        return self._fleet._unit_for_domain(name) is not None
+
+
+class _IpIndex:
+    """``unit_by_ip``: address → owning unit, computed on access."""
+
+    __slots__ = ("_fleet",)
+
+    def __init__(self, fleet: MtaFleet) -> None:
+        self._fleet = fleet
+
+    def get(self, ip: str, default=None):
+        unit = self._fleet._unit_for_ip(ip)
+        return default if unit is None else unit
+
+    def __getitem__(self, ip: str) -> HostingUnit:
+        unit = self._fleet._unit_for_ip(ip)
+        if unit is None:
+            raise KeyError(ip)
+        return unit
+
+    def __contains__(self, ip: str) -> bool:
+        return self._fleet._unit_for_ip(ip) is not None
+
+
+class _FleetServerProvider:
+    """The network's hook into the lazy fleet.
+
+    ``create`` materializes the server for an address on first touch;
+    ``sync`` is called on *every* touch to fold time-dependent dynamics
+    (moves, patches) into the cached instance.
+    """
+
+    __slots__ = ("_fleet", "_clock_fn", "_resolver_backend", "_ip_filter")
+
+    def __init__(
+        self,
+        fleet: MtaFleet,
+        clock_fn: Callable[[], _dt.datetime],
+        resolver_backend: DnsBackend,
+        ip_filter: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self._fleet = fleet
+        self._clock_fn = clock_fn
+        self._resolver_backend = resolver_backend
+        self._ip_filter = ip_filter
+
+    def _accepts(self, ip: str) -> bool:
+        return self._ip_filter is None or self._ip_filter(ip)
+
+    def create(self, ip: str) -> Optional[SmtpServer]:
+        if not self._accepts(ip):
+            return None
+        unit = self._fleet._unit_for_ip(ip)
+        if unit is None:
+            return None
+        return self._fleet._build_server(
+            unit, ip, self._clock_fn, self._resolver_backend
+        )
+
+    def sync(self, server: SmtpServer, now: _dt.datetime, patch_model=None) -> None:
+        self._fleet.sync_server(server, now, patch_model)
+
+    def has(self, ip: str) -> bool:
+        return self._accepts(ip) and self._fleet._unit_for_ip(ip) is not None
+
+    def addressable_ips(self) -> Iterator[str]:
+        for unit in self._fleet.units:
+            for ip in unit.all_ips:
+                if self._accepts(ip):
+                    yield ip
 
 
 # --------------------------------------------------------------------------
@@ -494,49 +1080,46 @@ VULNERABLE_ELIGIBILITY_MAX_DOMAINS = 40
 
 
 def _solve_vulnerable_rates(
-    profile: FleetProfile,
-    measured_units: List[HostingUnit],
+    profile: FleetProfile, pool: _PoolState
 ) -> Tuple[float, float]:
     """Per-class vulnerable probabilities among measured units.
 
     Hits the paper's address-level (17%) *and* domain-level (8.7%)
     vulnerable shares simultaneously: big measured hosts run maintained
-    software, so vulnerability skews toward small operators.  Mega-units
-    (past the eligibility cap) contribute to the denominators but can
-    never be vulnerable, so the targets are rescaled onto the eligible
-    subset before solving.
+    software, so vulnerability skews toward small operators.  Operates
+    purely on the census *counts* — expected measured units/domains per
+    class under the solved bucket probabilities — so no unit needs to be
+    instantiated.  Mega-units (past the eligibility cap) contribute to
+    the denominators but can never be vulnerable, so the targets are
+    rescaled onto the eligible subset before solving.
     """
-    eligible = [
-        u for u in measured_units
-        if len(u.domains) <= VULNERABLE_ELIGIBILITY_MAX_DOMAINS
-    ]
-    if not eligible:
+    p_small = sum(pool.small_probs[c] for c in _CATEGORIES if c.validates_spf)
+    p_large = sum(pool.large_probs[c] for c in _CATEGORIES if c.validates_spf)
+    measured_units = pool.small_units * p_small + pool.large_units * p_large
+    measured_domains = pool.small_domains * p_small + pool.large_domains * p_large
+    elig_units = pool.small_units * p_small + pool.elig_large_units * p_large
+    elig_domains = pool.small_domains * p_small + pool.elig_large_domains * p_large
+    if elig_units <= 0 or elig_domains <= 0:
         return 0.0, 0.0
-    total_units = len(measured_units)
-    total_domains = max(1, sum(len(u.domains) for u in measured_units))
-    eligible_units = len(eligible)
-    eligible_domains = max(1, sum(len(u.domains) for u in eligible))
 
     # All vulnerable units/domains must come from the eligible subset.
     ip_target = min(
-        0.95, profile.vulnerable_ip_share * total_units / eligible_units
+        0.95, profile.vulnerable_ip_share * measured_units / elig_units
     )
     domain_target = min(
-        0.95, profile.vulnerable_domain_share * total_domains / eligible_domains
+        0.95, profile.vulnerable_domain_share * measured_domains / elig_domains
     )
 
-    small_units = sum(1 for u in eligible if not u.is_large)
-    large_units = eligible_units - small_units
-    small_domains = sum(len(u.domains) for u in eligible if not u.is_large)
-    large_domains = eligible_domains - small_domains
-    u_s, u_l = small_units / eligible_units, large_units / eligible_units
-    d_s, d_l = small_domains / eligible_domains, large_domains / eligible_domains
+    u_s = pool.small_units * p_small / elig_units
+    u_l = pool.elig_large_units * p_large / elig_units
+    d_s = pool.small_domains * p_small / elig_domains
+    d_l = pool.elig_large_domains * p_large / elig_domains
     det = u_s * d_l - u_l * d_s
+    clamp = lambda v: min(0.9, max(0.0, v))
     if abs(det) < 1e-9:
-        return ip_target, ip_target
+        return clamp(ip_target), clamp(ip_target)
     v_small = (d_l * ip_target - u_l * domain_target) / det
     v_large = (u_s * domain_target - d_s * ip_target) / det
-    clamp = lambda v: min(0.9, max(0.0, v))
     return clamp(v_small), clamp(v_large)
 
 
@@ -622,6 +1205,15 @@ def _configure_unit(
         unit.moves_at = campaign_start + _dt.timedelta(days=rng.randint(10, 100))
 
 
+def _unit_country(geo_seed: int, unit_id: int, primary_tld: str) -> str:
+    """A unit's deterministic country (ccTLD pin or a seeded draw)."""
+    country = TldModel.country_for(primary_tld)
+    if country is None:
+        rng = SeededRng(geo_seed).fork("geo").fork(f"unit-{unit_id}")
+        country = rng.weighted_choice(GENERIC_TLD_COUNTRY_MIX)
+    return country
+
+
 def build_fleet(
     population: DomainPopulation,
     *,
@@ -630,121 +1222,18 @@ def build_fleet(
     alexa_profile: FleetProfile = ALEXA_PROFILE,
     two_week_profile: FleetProfile = TWO_WEEK_PROFILE,
 ) -> MtaFleet:
-    """Group the population into hosting units and configure each one."""
-    from ..clock import INITIAL_MEASUREMENT
+    """The (lazy) hosting fleet for a population.
 
-    campaign_start = campaign_start or INITIAL_MEASUREMENT
-    rng = SeededRng(seed if seed is not None else population.config.seed).fork("fleet")
-    allocator = _IpAllocator()
-    backend = PopulationDnsBackend()
-
-    units: List[HostingUnit] = []
-    unit_by_domain: Dict[str, HostingUnit] = {}
-    unit_by_ip: Dict[str, HostingUnit] = {}
-
-    providers = [d for d in population.domains if d.in_set(DomainSet.TOP_EMAIL_PROVIDERS)]
-    alexa_only = [
-        d
-        for d in population.domains
-        if d.in_set(DomainSet.ALEXA_TOP_LIST) and not d.in_set(DomainSet.TOP_EMAIL_PROVIDERS)
-    ]
-    two_week_only = [
-        d
-        for d in population.domains
-        if d.in_set(DomainSet.TWO_WEEK_MX) and not d.in_set(DomainSet.ALEXA_TOP_LIST)
-    ]
-
-    def new_unit(domains: List[Domain], ip_count: int) -> HostingUnit:
-        unit = HostingUnit(
-            unit_id=len(units),
-            domains=domains,
-            ips=[allocator.next_ip() for _ in range(ip_count)],
-            mail_hostname=f"mx.{domains[0].name}" if domains else "mx.invalid",
-            category=UnitCategory.NO_SPF,
-        )
-        units.append(unit)
-        for domain in domains:
-            unit_by_domain[domain.name] = unit
-        return unit
-
-    # --- top email providers: one well-provisioned unit each --------------
-    for domain in providers:
-        unit = new_unit([domain], ip_count=rng.randint(2, 5))
-        _configure_provider_unit(unit, domain, rng)
-
-    # --- bulk sets ----------------------------------------------------------
-    for pool, profile in ((alexa_only, alexa_profile), (two_week_only, two_week_profile)):
-        _build_set_units(pool, profile, rng, new_unit, campaign_start)
-
-    # Movers get their future addresses allocated up front.
-    for unit in units:
-        if unit.moves_at is not None and not unit.new_ips:
-            unit.new_ips = [allocator.next_ip() for _ in unit.ips]
-
-    # --- DNS data -------------------------------------------------------------
-    for unit in units:
-        for domain in unit.domains:
-            backend.set_mx(domain.name, [(10, unit.mail_hostname)])
-        backend.set_a(unit.mail_hostname, unit.ips)
-
-    for unit in units:
-        for ip in unit.all_ips:
-            unit_by_ip[ip] = unit
-
+    Returns in O(1): units, addresses, servers, and DNS answers all
+    regenerate deterministically on first touch.
+    """
     return MtaFleet(
-        units=units,
-        unit_by_domain=unit_by_domain,
-        unit_by_ip=unit_by_ip,
-        dns_backend=backend,
+        population,
+        seed=seed,
+        campaign_start=campaign_start,
+        alexa_profile=alexa_profile,
+        two_week_profile=two_week_profile,
     )
-
-
-def _build_set_units(
-    pool: List[Domain],
-    profile: FleetProfile,
-    rng: SeededRng,
-    new_unit: Callable[[List[Domain], int], HostingUnit],
-    campaign_start: _dt.datetime,
-) -> None:
-    """Create and configure all hosting units for one domain set."""
-    rng.shuffle(pool)
-    set_units: List[HostingUnit] = []
-    index = 0
-    while index < len(pool):
-        large = rng.bernoulli(profile.large_unit_fraction)
-        size = _sample_large_size(rng) if large else _sample_small_size(rng)
-        size = min(size, len(pool) - index)
-        domains = pool[index : index + size]
-        index += size
-        ip_count = 1 + (1 if rng.bernoulli(0.10) else 0)
-        set_units.append(new_unit(domains, ip_count))
-
-    if not set_units:
-        return
-    small_units = sum(1 for u in set_units if not u.is_large)
-    small_domains = sum(len(u.domains) for u in set_units if not u.is_large)
-    total_domains = sum(len(u.domains) for u in set_units)
-    small_probs, large_probs = _solve_class_probs(
-        profile.ip_targets,
-        profile.domain_targets,
-        unit_share_small=small_units / len(set_units),
-        domain_share_small=small_domains / max(1, total_domains),
-    )
-
-    # Assign buckets, then solve vulnerable rates over the measured units.
-    assignments: List[Tuple[HostingUnit, UnitCategory]] = []
-    for unit in set_units:
-        probs = small_probs if not unit.is_large else large_probs
-        assignments.append((unit, rng.weighted_choice(probs)))
-
-    measured = [u for u, c in assignments if c.validates_spf]
-    v_small, v_large = _solve_vulnerable_rates(profile, measured)
-    for unit, category in assignments:
-        if len(unit.domains) > VULNERABLE_ELIGIBILITY_MAX_DOMAINS:
-            rate = 0.0
-        else:
-            rate = v_large if unit.is_large else v_small
-        _configure_unit(unit, category, profile, rate, rng, campaign_start)
 
 
 def _configure_provider_unit(unit: HostingUnit, domain: Domain, rng: SeededRng) -> None:

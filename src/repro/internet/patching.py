@@ -16,9 +16,12 @@ dynamics (Sections 7.2-7.8):
 - roughly 80% of initially vulnerable units never patch at all, and the
   Alexa Top 1000 patches least.
 
-Plans are sampled once per unit and cached; applying a plan schedules
-``server.patch()`` on the simulation clock for each of the unit's
-addresses.
+Plans are sampled lazily from a per-unit RNG fork (``unit-{unit_id}``),
+so any unit's fate is answerable on first touch without walking the
+fleet, and cached; a plan takes effect through the network's
+sync-on-touch path — every ``server_at`` brings the server's patched
+state up to the clock — rather than through scheduled callbacks, which
+keeps snapshot restores and shard replicas consistent by construction.
 """
 
 from __future__ import annotations
@@ -82,13 +85,23 @@ class PatchBehaviorModel:
         provider_patch_probability: float = 0.0,
         notification_response_probability: float = 0.02,
     ) -> None:
+        #: Sequential stream for the notification coupling (opens arrive
+        #: in event order, which every executor replays identically).
         self._rng = SeededRng(seed).fork("patching")
+        #: Root for per-unit plan forks — plans are a function of
+        #: (seed, unit_id), independent of sampling order.
+        self._plan_root = SeededRng(seed).fork("patch-plans")
         self.base_patch_probability = base_patch_probability
         self.alexa_1000_multiplier = alexa_1000_multiplier
         self.provider_patch_probability = provider_patch_probability
         #: P(an opener patches *because of* the private notification).
         self.notification_response_probability = notification_response_probability
         self._plans: Dict[int, PatchPlan] = {}
+        self._fleet: Optional[MtaFleet] = None
+
+    def bind_fleet(self, fleet: MtaFleet) -> None:
+        """Let :meth:`plans` enumerate the fleet's vulnerable units."""
+        self._fleet = fleet
 
     # -- plan sampling -------------------------------------------------------
 
@@ -96,11 +109,24 @@ class PatchBehaviorModel:
         """The unit's (cached) patch plan."""
         plan = self._plans.get(unit.unit_id)
         if plan is None:
-            plan = self._sample_plan(unit)
+            plan = self._sample_plan(
+                unit, self._plan_root.fork(f"unit-{unit.unit_id}")
+            )
             self._plans[unit.unit_id] = plan
         return plan
 
     def plans(self) -> List[PatchPlan]:
+        """Every plan the model would act on.
+
+        Bound to a fleet, this enumerates the vulnerable units' plans
+        (sampling any not yet touched) plus any cached plan the
+        notification coupling rewrote; unbound models report only what
+        they have sampled so far.
+        """
+        if self._fleet is None:
+            return list(self._plans.values())
+        for unit in self._fleet.vulnerable_units():
+            self.plan_for(unit)
         return list(self._plans.values())
 
     def _patch_probability(self, unit: HostingUnit) -> float:
@@ -121,8 +147,7 @@ class PatchBehaviorModel:
             probability *= 0.40
         return min(probability, 0.95)
 
-    def _sample_plan(self, unit: HostingUnit) -> PatchPlan:
-        rng = self._rng
+    def _sample_plan(self, unit: HostingUnit, rng: SeededRng) -> PatchPlan:
         if not unit.is_vulnerable:
             return PatchPlan(unit.unit_id, None, PatchTrigger.NONE)
         if not rng.bernoulli(self._patch_probability(unit)):
@@ -148,7 +173,7 @@ class PatchBehaviorModel:
         # measurement window (RedHat/Gentoo shipped folded fixes *before*
         # October 11 — their slow-updating subscribers are the early-
         # window patching the paper attributes to proactive monitoring).
-        manager = self._sample_patched_manager()
+        manager = self._sample_patched_manager(rng)
         if manager is not None:
             record = next(r for r in PACKAGE_MANAGER_TIMELINE if r.name == manager)
             assert record.cve_33912_patch is not None
@@ -167,14 +192,16 @@ class PatchBehaviorModel:
                 package_manager=manager,
             )
 
-        # Unmanaged: a modest proactive share, the rest follow disclosure.
+        # Unmanaged: a modest proactive share patches inside the first
+        # measurement window (before any notification — the paper's
+        # October/November wave); the rest follow disclosure.
         if rng.bernoulli(0.30):
-            date = INITIAL_MEASUREMENT + _dt.timedelta(days=rng.uniform(10.0, 50.0))
+            date = INITIAL_MEASUREMENT + _dt.timedelta(days=rng.uniform(4.0, 34.0))
             return PatchPlan(unit.unit_id, date, PatchTrigger.PROACTIVE)
         date = PUBLIC_DISCLOSURE + _dt.timedelta(days=rng.exponential_days(9.0))
         return PatchPlan(unit.unit_id, date, PatchTrigger.PUBLIC_DISCLOSURE)
 
-    def _sample_patched_manager(self) -> Optional[str]:
+    def _sample_patched_manager(self, rng: SeededRng) -> Optional[str]:
         """A package manager that shipped a fix, or None for unmanaged.
 
         Managers that never shipped contribute their weight to the
@@ -191,7 +218,7 @@ class PatchBehaviorModel:
             if r.cve_33912_patch is None
         )
         outcomes.append((None, UNMANAGED_SHARE + never))
-        return self._rng.categorical(outcomes)
+        return rng.categorical(outcomes)
 
     # -- notification coupling --------------------------------------------------
 
@@ -222,26 +249,19 @@ class PatchBehaviorModel:
     def apply(
         self, fleet: MtaFleet, network: Network, clock: SimulatedClock
     ) -> int:
-        """Sample plans for all vulnerable units and schedule the patch
-        events on the clock.  Returns the number of scheduled patches."""
-        scheduled = 0
+        """Wire this model into a fleet's network.
+
+        No clock events are scheduled: the network applies
+        ``server.patch()`` through its sync-on-touch path, asking this
+        model (via :meth:`PatchPlan.patched_by`) whenever a vulnerable
+        server is touched.  Returns the number of vulnerable units whose
+        plan eventually patches — the count the old scheduler reported.
+        """
+        self.bind_fleet(fleet)
+        if hasattr(network, "bind_patch_model"):
+            network.bind_patch_model(self)
+        planned = 0
         for unit in fleet.vulnerable_units():
-            scheduled += self.schedule_unit(unit, network, clock)
-        return scheduled
-
-    def schedule_unit(
-        self, unit: HostingUnit, network: Network, clock: SimulatedClock
-    ) -> int:
-        """(Re)schedule one unit's patch event if it has one."""
-        plan = self.plan_for(unit)
-        if plan.patch_date is None:
-            return 0
-
-        def do_patch(_when: _dt.datetime, unit=unit) -> None:
-            for ip in unit.all_ips:
-                server = network.server_at(ip)
-                if server is not None:
-                    server.patch()
-
-        clock.schedule(plan.patch_date, do_patch)
-        return 1
+            if self.plan_for(unit).patches:
+                planned += 1
+        return planned

@@ -1,4 +1,4 @@
-"""Domain population generation.
+"""Domain population generation — lazy and columnar.
 
 Generates the paper's two measurement sets — the **Alexa Top List**
 (418,842 domains, October 2021 snapshot) and the **2-Week MX** set
@@ -7,17 +7,42 @@ Generates the paper's two measurement sets — the **Alexa Top List**
 most-common email services), with the paper's overlaps (Table 1) and TLD
 mix (Table 2).
 
-Everything scales with ``PopulationConfig.scale`` so tests run on a small
-Internet and benches can approach the paper's full counts.
+Unlike the original eager implementation, nothing here materializes the
+population up front.  A :class:`DomainTable` stores the population as
+parallel column chunks (TLD index, set-membership bitmask, MX query
+count) generated on demand, and every row is a pure function of
+``(config.seed, index)``:
+
+- index ``0 .. 19`` — the top email providers, pinned to the head of the
+  Alexa ranking;
+- index ``20 .. alexa_size-1`` — the remaining Alexa Top List (rank is
+  ``index + 1``; the Alexa 1000 is the head);
+- index ``alexa_size .. len-1`` — the 2-Week-MX-only tail.
+
+Membership of the 2-Week MX ∩ Alexa overlaps is decided by exact-count
+affine selections instead of rejection sampling, so Table 1 cell sizes
+are closed-form at every scale.  Generated names carry a deterministic
+base-36 suffix derived from the row index, which makes name generation
+O(1) and total (no collision-retry loop) and gives `get`/`__contains__`
+an O(1) reverse lookup.  :class:`Domain` objects are cheap views
+materialized on access and cached weakly, so memory stays O(touched)
+rather than O(world).
+
+Everything scales with ``PopulationConfig.scale`` so tests run on a
+small Internet and benches can approach (and exceed) the paper's full
+counts.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+import math
+import weakref
+from array import array
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..errors import SimulationError
 from .rng import SeededRng
 from .tld import ALEXA_TLD_WEIGHTS, ALEXA_TOTAL, TWO_WEEK_TLD_WEIGHTS, TWO_WEEK_TOTAL
 
@@ -29,6 +54,14 @@ class DomainSet(enum.Flag):
     ALEXA_1000 = enum.auto()
     TWO_WEEK_MX = enum.auto()
     TOP_EMAIL_PROVIDERS = enum.auto()
+
+
+_SINGLE_SETS: Tuple[DomainSet, ...] = (
+    DomainSet.ALEXA_TOP_LIST,
+    DomainSet.ALEXA_1000,
+    DomainSet.TWO_WEEK_MX,
+    DomainSet.TOP_EMAIL_PROVIDERS,
+)
 
 
 #: The 20 most common email services (after Foster et al. [6]); the paper's
@@ -49,7 +82,7 @@ VULNERABLE_PROVIDER_DOMAINS: Tuple[str, ...] = (
 
 @dataclass
 class Domain:
-    """One measured email domain."""
+    """One measured email domain (a cheap view over a table row)."""
 
     name: str
     tld: str
@@ -92,131 +125,451 @@ class PopulationConfig:
         return max(60, int(round(TWO_WEEK_TOTAL * self.scale)))
 
 
-@dataclass
-class DomainPopulation:
-    """The generated population with set-indexed access."""
+_BASE36_DIGITS = "0123456789abcdefghijklmnopqrstuvwxyz"
 
-    config: PopulationConfig
-    domains: List[Domain] = field(default_factory=list)
-    _by_name: Dict[str, Domain] = field(default_factory=dict)
 
-    def add(self, domain: Domain) -> None:
-        if domain.name in self._by_name:
-            raise SimulationError(f"duplicate domain {domain.name}")
-        self.domains.append(domain)
-        self._by_name[domain.name] = domain
+def _base36(value: int) -> str:
+    if value == 0:
+        return "0"
+    out = []
+    while value:
+        value, digit = divmod(value, 36)
+        out.append(_BASE36_DIGITS[digit])
+    return "".join(reversed(out))
+
+
+class _AffineSelection:
+    """Exactly ``count`` members of ``range(size)`` with O(1) membership.
+
+    The bijection ``i -> (i * mult + offset) % size`` (``mult`` coprime
+    to ``size``) scatters indices over a pseudo-random ordering; members
+    are the indices that land in the first ``count`` slots.  Unlike
+    rejection sampling this is exact-count and needs no materialized
+    index set, which keeps Table 1 overlap cells closed-form.
+    """
+
+    __slots__ = ("size", "count", "mult", "offset")
+
+    def __init__(self, rng: SeededRng, size: int, count: int) -> None:
+        self.size = size
+        self.count = max(0, min(count, size))
+        if size <= 0:
+            self.mult, self.offset = 1, 0
+            return
+        mult = rng.randint(1, max(1, size - 1))
+        while math.gcd(mult, size) != 1:
+            mult = mult % size + 1
+        self.mult = mult
+        self.offset = rng.randint(0, size - 1)
+
+    def member(self, index: int) -> bool:
+        if self.count <= 0:
+            return False
+        return (index * self.mult + self.offset) % self.size < self.count
+
+
+#: Rows per column chunk; chunk generation is the unit of laziness.
+CHUNK_ROWS = 4096
+#: Generated chunks kept alive in the table's LRU.
+_CHUNK_CACHE = 64
+
+
+class _Chunk:
+    """One chunk of parallel column arrays (plus memoized name labels)."""
+
+    __slots__ = ("names", "tld_idx", "flags", "mx")
+
+    def __init__(
+        self, names: List[str], tld_idx: array, flags: array, mx: array
+    ) -> None:
+        self.names = names
+        self.tld_idx = tld_idx
+        self.flags = flags
+        self.mx = mx
+
+
+class DomainTable:
+    """Columnar, lazily generated domain rows.
+
+    Row *i* is regenerated deterministically from ``(seed, i)``: a
+    per-index fork of the population RNG (label ``dom-{i}``) redraws the
+    same TLD, name word and query count every time the chunk holding the
+    row is rebuilt.  Columns live in parallel ``array`` chunks of
+    :data:`CHUNK_ROWS` rows, produced on first touch and kept in a small
+    LRU, so holding a table costs O(touched chunks), not O(world).
+    """
+
+    def __init__(self, config: PopulationConfig) -> None:
+        self.config = config
+        self.n_providers = len(TOP_EMAIL_PROVIDER_DOMAINS)
+        self.n_alexa = config.alexa_size
+        self.n_top = min(config.alexa_1000_size, self.n_alexa)
+        self.n_two_week = config.two_week_size
+
+        n_overlap = int(round(config.two_week_alexa_overlap * self.n_two_week))
+        n_overlap_top = min(
+            int(round(config.two_week_alexa1000_overlap * self.n_two_week)),
+            n_overlap,
+        )
+        #: overlap pulled from the Alexa 1000 head (providers included,
+        #: mirroring the eager sampler's ``top_domains`` pool).
+        self.k_top = min(n_overlap_top, self.n_top)
+        self.k_rest = min(n_overlap - self.k_top, self.n_alexa - self.n_top)
+        self.n_two_week_only = self.n_two_week - self.k_top - self.k_rest
+        self.total = self.n_alexa + self.n_two_week_only
+
+        self._root = SeededRng(config.seed).fork("population")
+        self._sel_top = _AffineSelection(
+            self._root.fork("two-week-top"), self.n_top, self.k_top
+        )
+        self._sel_rest = _AffineSelection(
+            self._root.fork("two-week-rest"),
+            self.n_alexa - self.n_top,
+            self.k_rest,
+        )
+
+        tlds = set(ALEXA_TLD_WEIGHTS) | set(TWO_WEEK_TLD_WEIGHTS)
+        tlds.update(name.rsplit(".", 1)[1] for name in TOP_EMAIL_PROVIDER_DOMAINS)
+        self.tlds: Tuple[str, ...] = tuple(sorted(tlds))
+        self._tld_index: Dict[str, int] = {t: i for i, t in enumerate(self.tlds)}
+        self._provider_index: Dict[str, int] = {
+            name: i for i, name in enumerate(TOP_EMAIL_PROVIDER_DOMAINS)
+        }
+        self._chunks: "OrderedDict[int, _Chunk]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self.domains)
+        return self.total
+
+    @property
+    def chunk_count(self) -> int:
+        return (self.total + CHUNK_ROWS - 1) // CHUNK_ROWS
+
+    def in_two_week_overlap(self, index: int) -> bool:
+        """Whether Alexa row ``index`` is also a 2-Week MX member."""
+        if index < self.n_top:
+            return self._sel_top.member(index)
+        if index < self.n_alexa:
+            return self._sel_rest.member(index - self.n_top)
+        return False
+
+    def provider_two_week_count(self) -> int:
+        return sum(
+            1 for i in range(self.n_providers) if self._sel_top.member(i)
+        )
+
+    # -- chunk generation -----------------------------------------------------
+
+    def chunk(self, chunk_index: int) -> _Chunk:
+        chunk = self._chunks.get(chunk_index)
+        if chunk is None:
+            chunk = self._generate_chunk(chunk_index)
+            self._chunks[chunk_index] = chunk
+            while len(self._chunks) > _CHUNK_CACHE:
+                self._chunks.popitem(last=False)
+        else:
+            self._chunks.move_to_end(chunk_index)
+        return chunk
+
+    def _generate_chunk(self, chunk_index: int) -> _Chunk:
+        lo = chunk_index * CHUNK_ROWS
+        hi = min(lo + CHUNK_ROWS, self.total)
+        names: List[str] = []
+        tld_idx = array("H")
+        flags = array("B")
+        mx = array("L")
+        for index in range(lo, hi):
+            name, tld, flag_bits, count = self._generate_row(index)
+            names.append(name)
+            tld_idx.append(self._tld_index[tld])
+            flags.append(flag_bits)
+            mx.append(count)
+        return _Chunk(names, tld_idx, flags, mx)
+
+    def _generate_row(self, index: int) -> Tuple[str, str, int, int]:
+        """Regenerate row ``index`` from its ``(seed, index)`` fork."""
+        rng = self._root.fork(f"dom-{index}")
+        if index < self.n_providers:
+            name = TOP_EMAIL_PROVIDER_DOMAINS[index]
+            tld = name.rsplit(".", 1)[1]
+            flag_bits = (
+                DomainSet.TOP_EMAIL_PROVIDERS | DomainSet.ALEXA_TOP_LIST
+            ).value
+            if index < self.n_top:
+                flag_bits |= DomainSet.ALEXA_1000.value
+            count = 0
+            if self._sel_top.member(index):
+                flag_bits |= DomainSet.TWO_WEEK_MX.value
+                count = 50 + rng.zipf_size(alpha=1.4, max_size=100_000)
+            return name, tld, flag_bits, count
+        if index < self.n_alexa:
+            tld = rng.weighted_choice(ALEXA_TLD_WEIGHTS)
+            name = f"{rng.domain_word()}-{_base36(index)}.{tld}"
+            flag_bits = DomainSet.ALEXA_TOP_LIST.value
+            if index < self.n_top:
+                flag_bits |= DomainSet.ALEXA_1000.value
+            count = 0
+            if self.in_two_week_overlap(index):
+                flag_bits |= DomainSet.TWO_WEEK_MX.value
+                # Popular domains are queried often in university traffic.
+                count = 50 + rng.zipf_size(alpha=1.4, max_size=100_000)
+            return name, tld, flag_bits, count
+        tld = rng.weighted_choice(TWO_WEEK_TLD_WEIGHTS)
+        name = f"{rng.domain_word()}-{_base36(index)}.{tld}"
+        return (
+            name,
+            tld,
+            DomainSet.TWO_WEEK_MX.value,
+            rng.zipf_size(alpha=1.5, max_size=50_000),
+        )
+
+    # -- row access -----------------------------------------------------------
+
+    def row(self, index: int) -> Tuple[str, str, int, int]:
+        """``(name, tld, flag bits, mx count)`` for row ``index``.
+
+        Reads through an already-cached chunk when one covers the index,
+        but a miss regenerates the *single* row: rows are independent
+        functions of ``(seed, index)``, and scattered access (a hosting
+        unit's permuted domain list, a snapshot restore) must not pay
+        for — or thrash the cache of — 4096 neighbors per lookup.  Whole
+        chunks are generated only by the sequential scans.
+        """
+        if not 0 <= index < self.total:
+            raise IndexError(index)
+        chunk = self._chunks.get(index // CHUNK_ROWS)
+        if chunk is None:
+            return self._generate_row(index)
+        self._chunks.move_to_end(index // CHUNK_ROWS)
+        offset = index % CHUNK_ROWS
+        return (
+            chunk.names[offset],
+            self.tlds[chunk.tld_idx[offset]],
+            chunk.flags[offset],
+            chunk.mx[offset],
+        )
+
+    def name_at(self, index: int) -> str:
+        return self.row(index)[0]
+
+    def index_of(self, name: str) -> Optional[int]:
+        """Reverse the deterministic naming scheme, or ``None``.
+
+        Provider names come from a fixed dictionary; every generated name
+        carries the ``-<base36 index>`` suffix, so the candidate index is
+        parsed in O(1) and confirmed by regenerating the row.
+        """
+        provider = self._provider_index.get(name)
+        if provider is not None:
+            return provider
+        label, dot, _tld = name.rpartition(".")
+        if not dot:
+            return None
+        word, dash, suffix = label.rpartition("-")
+        if not dash or not word or not suffix:
+            return None
+        try:
+            index = int(suffix, 36)
+        except ValueError:
+            return None
+        if suffix != _base36(index):  # reject non-canonical spellings
+            return None
+        if not self.n_providers <= index < self.total:
+            return None
+        if self.name_at(index) != name:
+            return None
+        return index
+
+
+class _DomainSequence:
+    """A list-like lazy view over a population's domains."""
+
+    __slots__ = ("_population",)
+
+    def __init__(self, population: "DomainPopulation") -> None:
+        self._population = population
+
+    def __len__(self) -> int:
+        return len(self._population.table)
+
+    def __getitem__(self, item):
+        size = len(self)
+        if isinstance(item, slice):
+            return [
+                self._population.domain_at(i) for i in range(*item.indices(size))
+            ]
+        if item < 0:
+            item += size
+        if not 0 <= item < size:
+            raise IndexError(item)
+        return self._population.domain_at(item)
+
+    def __iter__(self) -> Iterator[Domain]:
+        for index in range(len(self)):
+            yield self._population.domain_at(index)
+
+
+class DomainPopulation:
+    """Set-indexed access over a lazily generated :class:`DomainTable`.
+
+    ``domains`` is a lazy sequence; indexing or iterating it materializes
+    :class:`Domain` views on demand.  Views are cached weakly, so two
+    lookups of a live domain return the *same* object while memory still
+    stays proportional to what callers actually hold.
+
+    Membership is part of the public API — ``name in population``,
+    :meth:`get` and :meth:`index_of` — so nothing outside this class has
+    a reason to reach into private lookup state (the eager
+    implementation's ``_unique_name`` used to probe ``_by_name``
+    directly; the deterministic index-derived names removed both the
+    retry loop and the need for reservation bookkeeping).
+
+    Set statistics (:meth:`set_size`, :meth:`overlap`,
+    :meth:`tld_counts`) are closed-form where the generation scheme pins
+    them and cached otherwise — the Table 1/2 report builders call them
+    repeatedly per report.
+    """
+
+    def __init__(self, config: Optional[PopulationConfig] = None) -> None:
+        self.config = config or PopulationConfig()
+        self.table = DomainTable(self.config)
+        self.domains = _DomainSequence(self)
+        self._views: "weakref.WeakValueDictionary[int, Domain]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._stats: Dict[tuple, object] = {}
+
+    # -- row views ------------------------------------------------------------
+
+    def domain_at(self, index: int) -> Domain:
+        """The (cached) :class:`Domain` view for row ``index``."""
+        view = self._views.get(index)
+        if view is not None:
+            return view
+        name, tld, flag_bits, count = self.table.row(index)
+        sets = DomainSet(flag_bits)
+        view = Domain(
+            name=name,
+            tld=tld,
+            sets=sets,
+            alexa_rank=index + 1 if index < self.table.n_alexa else None,
+            mx_query_count=count or None,
+            provider_name=(
+                name.split(".")[0]
+                if sets & DomainSet.TOP_EMAIL_PROVIDERS
+                else None
+            ),
+        )
+        self._views[index] = view
+        return view
+
+    def index_of(self, name: str) -> Optional[int]:
+        """The table row generating ``name``, or ``None``."""
+        return self.table.index_of(name)
+
+    def __len__(self) -> int:
+        return len(self.table)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._by_name
+        return self.table.index_of(name) is not None
 
     def get(self, name: str) -> Optional[Domain]:
-        return self._by_name.get(name)
+        index = self.table.index_of(name)
+        return None if index is None else self.domain_at(index)
+
+    # -- set statistics -------------------------------------------------------
 
     def in_set(self, domain_set: DomainSet) -> List[Domain]:
-        return [d for d in self.domains if d.in_set(domain_set)]
+        """Materialized views for every member of ``domain_set``."""
+        mask = domain_set.value
+        table = self.table
+        out: List[Domain] = []
+        for chunk_index in range(table.chunk_count):
+            chunk = table.chunk(chunk_index)
+            base = chunk_index * CHUNK_ROWS
+            for offset, flag_bits in enumerate(chunk.flags):
+                if flag_bits & mask:
+                    out.append(self.domain_at(base + offset))
+        return out
 
     def set_size(self, domain_set: DomainSet) -> int:
-        return sum(1 for d in self.domains if d.in_set(domain_set))
+        table = self.table
+        if domain_set == DomainSet.ALEXA_TOP_LIST:
+            return table.n_alexa
+        if domain_set == DomainSet.ALEXA_1000:
+            return table.n_top
+        if domain_set == DomainSet.TWO_WEEK_MX:
+            return table.n_two_week
+        if domain_set == DomainSet.TOP_EMAIL_PROVIDERS:
+            return table.n_providers
+        key = ("size", domain_set.value)
+        if key not in self._stats:
+            self._stats[key] = sum(
+                1
+                for chunk_index in range(table.chunk_count)
+                for flag_bits in table.chunk(chunk_index).flags
+                if flag_bits & domain_set.value
+            )
+        return self._stats[key]  # type: ignore[return-value]
 
     def overlap(self, first: DomainSet, second: DomainSet) -> int:
         """Number of domains in both sets (Table 1 cells)."""
-        return sum(1 for d in self.domains if d.in_set(first) and d.in_set(second))
+        if first == second:
+            return self.set_size(first)
+        closed = self._closed_overlap(first, second)
+        if closed is not None:
+            return closed
+        key = ("overlap", frozenset((first.value, second.value)))
+        if key not in self._stats:
+            table = self.table
+            self._stats[key] = sum(
+                1
+                for chunk_index in range(table.chunk_count)
+                for flag_bits in table.chunk(chunk_index).flags
+                if flag_bits & first.value and flag_bits & second.value
+            )
+        return self._stats[key]  # type: ignore[return-value]
+
+    def _closed_overlap(self, first: DomainSet, second: DomainSet) -> Optional[int]:
+        if first not in _SINGLE_SETS or second not in _SINGLE_SETS:
+            return None
+        table = self.table
+        pair = frozenset((first, second))
+        if pair == {DomainSet.ALEXA_TOP_LIST, DomainSet.ALEXA_1000}:
+            return table.n_top
+        if pair == {DomainSet.ALEXA_TOP_LIST, DomainSet.TWO_WEEK_MX}:
+            return table.k_top + table.k_rest
+        if pair == {DomainSet.ALEXA_TOP_LIST, DomainSet.TOP_EMAIL_PROVIDERS}:
+            return table.n_providers
+        if pair == {DomainSet.ALEXA_1000, DomainSet.TWO_WEEK_MX}:
+            return table.k_top
+        if pair == {DomainSet.ALEXA_1000, DomainSet.TOP_EMAIL_PROVIDERS}:
+            return min(table.n_providers, table.n_top)
+        if pair == {DomainSet.TWO_WEEK_MX, DomainSet.TOP_EMAIL_PROVIDERS}:
+            return table.provider_two_week_count()
+        return None
 
     def tld_counts(self, domain_set: DomainSet) -> Dict[str, int]:
         """TLD histogram for one set (Table 2 rows)."""
-        counts: Dict[str, int] = {}
-        for domain in self.domains:
-            if domain.in_set(domain_set):
-                counts[domain.tld] = counts.get(domain.tld, 0) + 1
-        return counts
-
-
-def _unique_name(rng: SeededRng, tld: str, taken: Dict[str, Domain]) -> str:
-    for _ in range(64):
-        name = f"{rng.domain_word()}.{tld}"
-        if name not in taken:
-            return name
-        name = f"{rng.domain_word()}-{rng.label(3)}.{tld}"
-        if name not in taken:
-            return name
-    raise SimulationError("could not generate a unique domain name")
+        key = ("tld", domain_set.value)
+        cached = self._stats.get(key)
+        if cached is None:
+            table = self.table
+            mask = domain_set.value
+            counts: Dict[str, int] = {}
+            for chunk_index in range(table.chunk_count):
+                chunk = table.chunk(chunk_index)
+                for flag_bits, tld_index in zip(chunk.flags, chunk.tld_idx):
+                    if flag_bits & mask:
+                        tld = table.tlds[tld_index]
+                        counts[tld] = counts.get(tld, 0) + 1
+            self._stats[key] = cached = counts
+        return dict(cached)  # callers may mutate their copy
 
 
 def generate_population(config: Optional[PopulationConfig] = None) -> DomainPopulation:
-    """Generate the full domain population for a configuration."""
-    config = config or PopulationConfig()
-    rng = SeededRng(config.seed).fork("population")
-    population = DomainPopulation(config=config)
+    """The (lazy) domain population for a configuration.
 
-    n_alexa = config.alexa_size
-    n_top = min(config.alexa_1000_size, n_alexa)
-
-    # --- Top email providers, pinned to the head of the Alexa ranking ----
-    provider_names = list(TOP_EMAIL_PROVIDER_DOMAINS)
-    for rank, name in enumerate(provider_names, start=1):
-        tld = name.rsplit(".", 1)[1]
-        sets = DomainSet.TOP_EMAIL_PROVIDERS | DomainSet.ALEXA_TOP_LIST
-        if rank <= n_top:
-            sets |= DomainSet.ALEXA_1000
-        population.add(
-            Domain(
-                name=name,
-                tld=tld,
-                sets=sets,
-                alexa_rank=rank,
-                provider_name=name.split(".")[0],
-            )
-        )
-
-    # --- Remaining Alexa Top List domains ---------------------------------
-    rank = len(provider_names)
-    alexa_count = population.set_size(DomainSet.ALEXA_TOP_LIST)
-    while alexa_count < n_alexa:
-        rank += 1
-        alexa_count += 1
-        tld = rng.weighted_choice(ALEXA_TLD_WEIGHTS)
-        name = _unique_name(rng, tld, population._by_name)
-        sets = DomainSet.ALEXA_TOP_LIST
-        if rank <= n_top:
-            sets |= DomainSet.ALEXA_1000
-        population.add(Domain(name=name, tld=tld, sets=sets, alexa_rank=rank))
-
-    # --- 2-Week MX set -----------------------------------------------------
-    n_two_week = config.two_week_size
-    n_overlap = int(round(config.two_week_alexa_overlap * n_two_week))
-    n_overlap_top = min(
-        int(round(config.two_week_alexa1000_overlap * n_two_week)), n_overlap
-    )
-
-    alexa_domains = population.in_set(DomainSet.ALEXA_TOP_LIST)
-    top_domains = [d for d in alexa_domains if d.in_set(DomainSet.ALEXA_1000)]
-    non_top = [d for d in alexa_domains if not d.in_set(DomainSet.ALEXA_1000)]
-
-    overlap_from_top = rng.sample(top_domains, min(n_overlap_top, len(top_domains)))
-    overlap_rest = rng.sample(
-        non_top, min(n_overlap - len(overlap_from_top), len(non_top))
-    )
-    two_week_count = 0
-    for domain in overlap_from_top + overlap_rest:
-        domain.sets |= DomainSet.TWO_WEEK_MX
-        # Popular domains are queried often in university traffic.
-        domain.mx_query_count = 50 + rng.zipf_size(alpha=1.4, max_size=100_000)
-        two_week_count += 1
-
-    while two_week_count < n_two_week:
-        tld = rng.weighted_choice(TWO_WEEK_TLD_WEIGHTS)
-        name = _unique_name(rng, tld, population._by_name)
-        population.add(
-            Domain(
-                name=name,
-                tld=tld,
-                sets=DomainSet.TWO_WEEK_MX,
-                mx_query_count=rng.zipf_size(alpha=1.5, max_size=50_000),
-            )
-        )
-        two_week_count += 1
-
-    return population
+    Construction is O(1) in the population size: rows generate on first
+    touch and regenerate identically from ``(seed, index)``.
+    """
+    return DomainPopulation(config)

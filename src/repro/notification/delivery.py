@@ -157,7 +157,8 @@ class NotificationCampaign:
         def do_open(when: _dt.datetime, record=record, unit=unit) -> None:
             record.opened_at = when
             self.tracking.fetch_pixel(record.email.tracking_token, when)
-            if self.patch_model.on_notification_opened(unit, when):
-                self.patch_model.schedule_unit(unit, self.network, self.clock)
+            # A plan rewrite needs no (re)scheduling: the next touch of
+            # any of the unit's servers reads the updated plan.
+            self.patch_model.on_notification_opened(unit, when)
 
         self.clock.schedule(open_at, do_open)

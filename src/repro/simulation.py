@@ -5,9 +5,10 @@
 1. generate the domain population (:mod:`repro.internet.population`),
 2. build and configure the MTA fleet (:mod:`repro.internet.mta_fleet`),
 3. assign geography (:mod:`repro.internet.geo`),
-4. construct the measurement campaign — which materializes the live SMTP
+4. construct the measurement campaign — which wires up the (lazy) SMTP
    network and DNS plumbing (:mod:`repro.core.campaign`),
-5. schedule patch events and mid-campaign moves on the shared clock,
+5. bind the patch model so mid-campaign dynamics (patches, address
+   moves) fold into servers as they are touched,
 6. attach the private-notification machinery.
 
 ``Simulation.build(config=RunConfig(scale=...)).run()`` reproduces the
@@ -171,9 +172,13 @@ class Simulation:
         )
         campaign.notifier = notification.send_notifications
 
-        # Ground-truth dynamics ride the shared clock.
-        patch_model.apply(fleet, campaign.network, clock)
-        fleet.schedule_moves(campaign.network, clock)
+        # Ground-truth dynamics (patches, address moves) are a function
+        # of the clock, folded into servers on touch; binding the patch
+        # model is all the wiring they need.
+        patch_model.bind_fleet(fleet)
+        campaign.network.bind_patch_model(patch_model)
+        if config.world == "eager":
+            campaign.network.materialize_all()
 
         if observation is not None:
             observation.bind_clock(campaign.clock_router)
@@ -208,9 +213,11 @@ class Simulation:
         already-loaded :class:`repro.store.RunState`.
 
         The world is rebuilt from the stored config, the clock is
-        fast-forwarded through every scheduled patch/move/notification
-        event up to the checkpoint instant, and the snapshotted mutable
-        state is installed on top, so :meth:`run` continues with the
+        fast-forwarded through every scheduled notification event up to
+        the checkpoint instant (patch and move effects need no replay —
+        they are pure functions of the clock, folded into each server
+        on touch), and the snapshotted mutable state is installed on
+        top, so :meth:`run` continues with the
         remaining rounds and finishes byte-identical to an uninterrupted
         run.  ``executor``/``workers`` optionally override the stored
         runtime strategy — they are outside the content hash precisely

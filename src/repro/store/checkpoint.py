@@ -9,12 +9,13 @@ The split of labor is deliberate:
 
 - **Rebuilt, not snapshotted** — everything :meth:`Simulation.build`
   derives deterministically from the :class:`~repro.api.RunConfig`:
-  population, fleet, geography, patch plans, scheduled patch/move
-  callbacks, notification RNG.  Re-running the build and then
-  fast-forwarding the clock to the checkpoint instant replays the exact
-  same scheduled events (including the notification, re-sent at the
-  recorded clock reading), so none of it needs to cross the pickle
-  boundary.
+  population, fleet, geography, patch plans, notification RNG.  Under
+  the lazy world, patch and move *effects* are not scheduled events at
+  all — each server folds them in as pure functions of the clock on
+  first touch (see "Lazy world construction" in ``DESIGN.md``) — so
+  re-running the build and fast-forwarding the clock to the checkpoint
+  instant (replaying the notification at the recorded clock reading)
+  reproduces all of it without crossing the pickle boundary.
 
 - **Snapshotted** — the mutable state those events and ``k`` rounds of
   probing left behind: per-server session counters, greylist/blacklist
@@ -235,16 +236,16 @@ def restore_simulation(sim: "Simulation", state) -> None:
 
     1. **Replay the notification** (if the checkpoint is past it) at the
        recorded clock reading — this consumes the same notification-RNG
-       draws and schedules the same open/patch callbacks the original
+       draws and schedules the same email-open callbacks the original
        run scheduled.
     2. **Fast-forward the clock** to the checkpoint instant, looping
-       until quiescent: callbacks scheduled *during* an advance (a
-       notification open that triggers a patch decision) land after the
+       until quiescent: callbacks scheduled *during* an advance (an
+       open that triggers a patch-plan override) land after the
        due-list was computed, so a single ``advance_to`` can leave
-       strictly-due work pending.  Firing order inside the loop can
-       differ from the original run only between draw-free, commutative
-       ``do_patch`` callbacks; every RNG-consuming callback fires in
-       chronological order in both runs.
+       strictly-due work pending.  Every RNG-consuming callback fires
+       in chronological order in both runs; patch and move *effects*
+       need no replay — they are pure functions of the clock, folded
+       into each server on touch.
     3. **Install the mutable snapshot** over the rebuilt world.
     4. **Restore the executor's event history** so process workers can
        respawn mid-timeline by replaying it (``_sent`` stays empty: the
