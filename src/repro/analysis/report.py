@@ -153,6 +153,23 @@ def generate_report(sim: Simulation, *, title: str = "SPFail reproduction report
             "`--metrics-out` to capture virtual-time spans and metrics."
         )
     write()
+    write("### World cache efficiency")
+    write()
+    write(
+        "Deterministic access counters from the lazy world — a pure "
+        "function of the probe pattern, so they are identical with or "
+        "without `--perf` (wall-clock telemetry lives in the perf "
+        "sideband, never here)."
+    )
+    write()
+    from ..obs.perf import campaign_counters
+
+    counters = campaign_counters(sim.campaign)
+    write("| counter | value |")
+    write("|---|---|")
+    for name in sorted(counters):
+        write(f"| {name} | {counters[name]:,} |")
+    write()
 
     blocks = [
         render_table1(build_table1(sim.population)),

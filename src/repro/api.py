@@ -15,11 +15,12 @@ JSON-round-trippable, and it splits cleanly in two:
 - **semantic fields** (``population``, ``campaign``, ``seed``,
   ``retry``) determine every campaign artifact byte-for-byte; they are
   covered by :meth:`RunConfig.content_hash`;
-- **runtime fields** (``executor``, ``workers``, ``trace``, ``world``)
-  choose how the run executes and observes; results are byte-identical across
-  them for the same semantic fields, so they are excluded from the
-  hash — a campaign checkpointed under the serial executor may be
-  resumed under the process executor and vice versa.
+- **runtime fields** (``executor``, ``workers``, ``trace``, ``world``,
+  ``perf``) choose how the run executes and observes; results are
+  byte-identical across them for the same semantic fields, so they are
+  excluded from the hash — a campaign checkpointed under the serial
+  executor may be resumed under the process executor and vice versa,
+  and a profiled run hashes the same as an unprofiled one.
 """
 
 from __future__ import annotations
@@ -97,6 +98,12 @@ class RunConfig:
     #: front.  Both produce byte-identical artifacts, so this is a
     #: runtime field outside the content hash.
     world: str = "lazy"
+    #: wall-clock telemetry sideband directory (``--perf``), or ``None``.
+    #: The sideband writes to separate files only and never feeds back
+    #: into artifacts, so — like ``trace`` — it is a runtime field; it is
+    #: serialized because process-executor children read it off the
+    #: config to write their own per-shard perf streams.
+    perf: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -155,6 +162,7 @@ class RunConfig:
             "workers": self.workers,
             "trace": self.trace,
             "world": self.world,
+            "perf": self.perf,
         }
 
     @classmethod
@@ -169,6 +177,7 @@ class RunConfig:
             workers=data.get("workers", 1),
             trace=data.get("trace", False),
             world=data.get("world", "lazy"),
+            perf=data.get("perf"),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

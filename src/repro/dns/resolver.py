@@ -128,6 +128,13 @@ class CachingResolver(DnsBackend):
     def flush(self) -> None:
         self._cache.clear()
 
+    def perf_counters(self) -> Dict[str, int]:
+        """Read-only cache telemetry (repro.obs.perf counter surface)."""
+        return {
+            "dns.resolver.queries": self.query_count,
+            "dns.resolver.cache_hits": self.cache_hits,
+        }
+
 
 class StubResolver:
     """Typed lookups for a simulated host.

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import logging
+import pickle
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace as _dc_replace
@@ -267,6 +268,12 @@ class ProbeExecutor:
                 metrics.retried, metrics.refused, metrics.queries_observed,
                 metrics.sim_seconds,
             )
+        # Sideband only: push buffered wall-timing records to disk at
+        # stage boundaries (after the wall_seconds metric is captured, so
+        # the flush itself is not charged to the stage).
+        perf = getattr(obs, "perf", None)
+        if perf is not None:
+            perf.flush()
 
     def _execute(
         self,
@@ -538,6 +545,12 @@ class ProcessShardedExecutor(ProbeExecutor):
         self._fallback: Dict[int, object] = {}
         self._fallback_sent: Dict[int, int] = {}
         self._stages_run = 0
+        #: event-shipping volume telemetry, gathered only when the run is
+        #: profiled (measuring costs an extra pickle of each payload).
+        self._ship_counting = bool(getattr(self.world, "perf", None))
+        self.ship_payload_bytes = 0
+        self.ship_result_bytes = 0
+        self.ship_events = 0
 
     # -- world-event plumbing --------------------------------------------------
 
@@ -586,7 +599,11 @@ class ProcessShardedExecutor(ProbeExecutor):
 
         world = self._fallback.get(shard)
         if world is None:
-            world = ShardWorld(self.world, shard, self.workers)
+            # The dead child may have left (or still own) this shard's
+            # perf stream; the in-process replacement writes its own.
+            world = ShardWorld(
+                self.world, shard, self.workers, perf_role=f"shard{shard}f"
+            )
             self._fallback[shard] = world
         return world.apply(self._pending(shard, self._fallback_sent))
 
@@ -594,6 +611,19 @@ class ProcessShardedExecutor(ProbeExecutor):
         for pool in self._pools.values():
             pool.shutdown(wait=True, cancel_futures=True)
         self._pools.clear()
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Event-shipping volume (repro.obs.perf counter surface).
+
+        All zeros unless the run carries a perf directory — measuring the
+        volume costs an extra pickle of every payload, so it only happens
+        when someone is profiling.
+        """
+        return {
+            "exec.ship_payload_bytes": self.ship_payload_bytes,
+            "exec.ship_result_bytes": self.ship_result_bytes,
+            "exec.ship_events": self.ship_events,
+        }
 
     def kill_shard(self, shard: int) -> bool:
         """Fault injection: hard-kill a shard's worker (tests and drills).
@@ -653,6 +683,8 @@ class ProcessShardedExecutor(ProbeExecutor):
             if shard in self._broken:
                 continue
             payload = self._pending(shard, self._sent)
+            if self._ship_counting:
+                self.ship_payload_bytes += len(pickle.dumps(payload))
             try:
                 futures[shard] = self._pool(shard).submit(
                     _child_run, self.world, shard, self.workers, payload
@@ -667,12 +699,23 @@ class ProcessShardedExecutor(ProbeExecutor):
         for shard in sorted(futures):
             try:
                 shard_results[shard] = futures[shard].result()
+                if self._ship_counting:
+                    sres = shard_results[shard]
+                    self.ship_result_bytes += len(pickle.dumps(sres))
+                    self.ship_events += sum(
+                        len(out.events) for out in sres.outputs
+                    )
             except (BrokenExecutor, OSError, EOFError) as error:
                 self._note_shard_failure(shard, obs, error)
                 shard_results[shard] = self._run_fallback(shard)
 
         results = self._merge(shard_results, metrics, obs, suite, count)
         metrics.batches += len(shard_results)
+        if self._ship_counting:
+            for world in self._fallback.values():
+                perf = getattr(world, "perf", None)
+                if perf is not None:
+                    perf.flush(with_sample=True)
         env.clock.advance_to(max(env.clock.now, self._slot(base, count, slot)))
         metrics.wall_seconds = time.perf_counter() - started
         metrics.sim_seconds = (env.clock.now - base).total_seconds()

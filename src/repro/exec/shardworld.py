@@ -188,7 +188,14 @@ class ShardStageResult:
 class ShardWorld:
     """A shard's deterministic replica of the campaign world."""
 
-    def __init__(self, spec: "RunConfig", shard_id: int, num_shards: int) -> None:
+    def __init__(
+        self,
+        spec: "RunConfig",
+        shard_id: int,
+        num_shards: int,
+        *,
+        perf_role: Optional[str] = None,
+    ) -> None:
         # Local imports: this module is imported by ``repro.exec`` while
         # ``repro.core.campaign`` may still be mid-import (it imports the
         # exec package itself), so the heavyweight world modules load
@@ -227,6 +234,22 @@ class ShardWorld:
         # of this shard's slice, and patches/moves fold in on touch.
         patch_model.bind_fleet(fleet)
         self.campaign.network.bind_patch_model(patch_model)
+
+        # Wall-clock sideband: when the spec carries a perf directory,
+        # each replica writes its own part streams (role "shard<k>", or
+        # "shard<k>f" for an in-process fallback replica) that the parent
+        # merges deterministically at finalize.  Nothing here feeds back
+        # into trace events or results.
+        self.perf = None
+        if getattr(spec, "perf", None):
+            from ..obs.perf import PerfRecorder, campaign_counters
+
+            self.perf = PerfRecorder(
+                spec.perf, role=perf_role or f"shard{shard_id}"
+            )
+            self.perf.start_sampler(
+                lambda: campaign_counters(self.campaign)
+            )
 
     @property
     def key(self) -> Tuple["RunConfig", int, int]:
@@ -277,6 +300,8 @@ class ShardWorld:
         obs = Observation(trace=ev.trace and observed)
         obs.bind_clock(campaign.clock_router)
         tracing = obs.tracer.enabled
+        if self.perf is not None and tracing:
+            obs.attach_perf(self.perf)
         if tracing:
             obs.tracer.seed_stage_ordinal(ev.ordinal)
         metrics = StageMetrics(stage=ev.stage, workers=1)
@@ -312,6 +337,8 @@ class ShardWorld:
                     )
                 )
             clock.advance_to(max(clock.now, ev.base + ev.count * slot))
+        if self.perf is not None:
+            self.perf.flush(with_sample=True)
         if not observed:
             return None
         return ShardStageResult(

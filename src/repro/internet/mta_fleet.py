@@ -382,8 +382,11 @@ class FleetDnsBackend(DnsBackend):
 
     def __init__(self, fleet: "MtaFleet") -> None:
         self._fleet = fleet
+        #: answers served (read-only telemetry; see ``MtaFleet.perf_counters``).
+        self.query_count = 0
 
     def query(self, message: Message, *, source: str = "", now=None) -> Message:
+        self.query_count += 1
         if message.question is None:
             return message.make_response(Rcode.FORMERR)
         qname, rrtype = message.question.name, message.question.rrtype
@@ -560,6 +563,14 @@ class MtaFleet:
         )
         self._unit_lru: "OrderedDict[int, HostingUnit]" = OrderedDict()
 
+        # Read-only cache telemetry (repro.obs.perf counter surface);
+        # always-on plain integers, deterministic for an access pattern.
+        self.layout_hits = 0
+        self.layout_misses = 0
+        self.layout_evictions = 0
+        self.unit_view_hits = 0
+        self.unit_materializations = 0
+
         self.units = _UnitSequence(self)
         self.unit_by_domain = _DomainIndex(self)
         self.unit_by_ip = _IpIndex(self)
@@ -625,11 +636,14 @@ class MtaFleet:
         key = (pool.name, chunk_index)
         layout = self._layouts.get(key)
         if layout is None:
+            self.layout_misses += 1
             layout = self._generate_layout(pool, chunk_index)
             self._layouts[key] = layout
             while len(self._layouts) > _LAYOUT_CACHE:
                 self._layouts.popitem(last=False)
+                self.layout_evictions += 1
         else:
+            self.layout_hits += 1
             self._layouts.move_to_end(key)
         return layout
 
@@ -664,8 +678,11 @@ class MtaFleet:
         """The (cached) view of one hosting unit."""
         view = self._unit_views.get(unit_id)
         if view is None:
+            self.unit_materializations += 1
             view = self._materialize_unit(unit_id)
             self._unit_views[unit_id] = view
+        else:
+            self.unit_view_hits += 1
         self._unit_lru[unit_id] = view
         self._unit_lru.move_to_end(unit_id)
         while len(self._unit_lru) > _UNIT_VIEW_CACHE:
@@ -731,6 +748,17 @@ class MtaFleet:
         if self._geo_seed is not None:
             unit.country = _unit_country(self._geo_seed, unit_id, unit.primary_tld)
         return unit
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Read-only layout/unit cache telemetry (deterministic counts)."""
+        return {
+            "fleet.layout_hits": self.layout_hits,
+            "fleet.layout_misses": self.layout_misses,
+            "fleet.layout_evictions": self.layout_evictions,
+            "fleet.unit_view_hits": self.unit_view_hits,
+            "fleet.unit_materializations": self.unit_materializations,
+            "fleet.dns_answers": self.dns_backend.query_count,
+        }
 
     # -- lookups --------------------------------------------------------------
 

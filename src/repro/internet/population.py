@@ -236,6 +236,14 @@ class DomainTable:
             name: i for i, name in enumerate(TOP_EMAIL_PROVIDER_DOMAINS)
         }
         self._chunks: "OrderedDict[int, _Chunk]" = OrderedDict()
+        # Read-only cache telemetry (repro.obs.perf counter surface).
+        # Plain always-on integers: the counts are deterministic for a
+        # given access pattern, so the report can print them, and reading
+        # them from the perf sampler thread cannot perturb the cache.
+        self.chunk_hits = 0
+        self.chunk_misses = 0
+        self.chunk_evictions = 0
+        self.row_regens = 0
 
     def __len__(self) -> int:
         return self.total
@@ -262,11 +270,14 @@ class DomainTable:
     def chunk(self, chunk_index: int) -> _Chunk:
         chunk = self._chunks.get(chunk_index)
         if chunk is None:
+            self.chunk_misses += 1
             chunk = self._generate_chunk(chunk_index)
             self._chunks[chunk_index] = chunk
             while len(self._chunks) > _CHUNK_CACHE:
                 self._chunks.popitem(last=False)
+                self.chunk_evictions += 1
         else:
+            self.chunk_hits += 1
             self._chunks.move_to_end(chunk_index)
         return chunk
 
@@ -338,7 +349,9 @@ class DomainTable:
             raise IndexError(index)
         chunk = self._chunks.get(index // CHUNK_ROWS)
         if chunk is None:
+            self.row_regens += 1
             return self._generate_row(index)
+        self.chunk_hits += 1
         self._chunks.move_to_end(index // CHUNK_ROWS)
         offset = index % CHUNK_ROWS
         return (
@@ -378,6 +391,15 @@ class DomainTable:
         if self.name_at(index) != name:
             return None
         return index
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Read-only chunk-LRU telemetry (deterministic counts)."""
+        return {
+            "population.chunk_hits": self.chunk_hits,
+            "population.chunk_misses": self.chunk_misses,
+            "population.chunk_evictions": self.chunk_evictions,
+            "population.row_regens": self.row_regens,
+        }
 
 
 class _DomainSequence:
@@ -465,6 +487,10 @@ class DomainPopulation:
     def index_of(self, name: str) -> Optional[int]:
         """The table row generating ``name``, or ``None``."""
         return self.table.index_of(name)
+
+    def perf_counters(self) -> Dict[str, int]:
+        """The underlying table's cache telemetry."""
+        return self.table.perf_counters()
 
     def __len__(self) -> int:
         return len(self.table)

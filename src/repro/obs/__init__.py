@@ -29,6 +29,11 @@ a metrics source.
   (``python -m repro trace diff A B``).
 - :mod:`repro.obs.progress` — live stderr progress for a running
   campaign (``--progress``): stage, tasks done/total, probes/s, ETA.
+- :mod:`repro.obs.perf` — the wall-clock sideband (``--perf <dir>``):
+  per-span ``perf_counter`` timings and resource/cache-counter samples
+  written to separate files that join the canonical trace by span id,
+  consumed by ``trace profile``; deterministic artifacts stay
+  byte-identical with perf on or off.
 
 Usage::
 
@@ -48,6 +53,7 @@ from .context import Observation, activate, active, deactivate, observing
 from .diff import TraceDivergence, assert_traces_identical, diff_events, diff_files
 from .logbridge import TraceLogHandler, attach_trace_handler, configure_logging
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perf import PerfProfile, PerfRecorder
 from .progress import ProgressReporter
 from .records import ParsedEvent, load_jsonl, parse_jsonl
 from .trace import TraceEvent, Tracer
@@ -59,6 +65,8 @@ __all__ = [
     "MetricsRegistry",
     "Observation",
     "ParsedEvent",
+    "PerfProfile",
+    "PerfRecorder",
     "ProgressReporter",
     "TraceAnalysis",
     "TraceDivergence",

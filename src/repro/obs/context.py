@@ -36,6 +36,22 @@ class Observation:
     ) -> None:
         self.tracer = Tracer(enabled=trace, clock=clock)
         self.metrics = MetricsRegistry()
+        #: the attached wall-clock sideband recorder, or ``None``
+        #: (:class:`repro.obs.perf.PerfRecorder`, via :meth:`attach_perf`).
+        self.perf = None
+
+    def attach_perf(self, recorder) -> None:
+        """Attach a wall-clock sideband recorder as the tracer's sink.
+
+        Span wall-timing rides the tracer's span boundaries, so the
+        tracer must be enabled for the recorder to see anything — the
+        CLI turns tracing on whenever ``--perf`` is given.  The recorder
+        only ever *receives* ids from the tracer; nothing it does can
+        alter a trace event, which is the structural guarantee behind
+        the byte-neutrality tests.
+        """
+        self.perf = recorder
+        self.tracer.sink = recorder
 
     def bind_clock(self, clock) -> None:
         """Point trace timestamps at a simulation clock callable.

@@ -1,0 +1,697 @@
+"""Wall-clock performance telemetry: the sideband profiler.
+
+Everything else in :mod:`repro.obs` stamps *virtual* time — wall clocks
+are banned from trace payloads because they would differ between runs
+and between executors, breaking the byte-identical canonical export.
+This module is the explicit, structural exception: a
+:class:`PerfRecorder` observes the same span/task/stage boundaries the
+tracer emits, but writes ``perf_counter`` wall timings into *separate*
+sideband files that no deterministic artifact ever reads or embeds.
+
+The design makes perturbation impossible rather than merely avoided:
+
+- the recorder is a write-only **sink** hung off :class:`~.trace.Tracer`
+  (``tracer.sink``); it receives span ids and never returns a value the
+  tracer could incorporate into an event;
+- records go to files of their own (``perf.jsonl`` and
+  ``perf_samples.jsonl`` in the ``--perf`` directory), appended with raw
+  ``os.write`` calls so no Python-level stream buffer is shared with —
+  or can be double-flushed by — forked worker processes;
+- the join back to the deterministic world happens offline: each span
+  record carries the tracer's span id (``s<stage>.t<task>#<n>``), which
+  matches the ``span`` field of the canonical trace 1:1, so ``trace
+  profile`` can attribute wall seconds to virtual spans after the fact.
+
+Per-process streams and the merge
+---------------------------------
+
+Every process writes its own part files, named by *role*: the parent is
+``main``, process-executor shard workers are ``shard<k>``, and a shard
+that degraded to in-process fallback is ``shard<k>f``.  At
+:meth:`PerfRecorder.finalize` (parent, after executor shutdown) the part
+files are concatenated in deterministic role order — ``main`` first,
+then shards by ascending id — into ``perf.jsonl`` / ``perf_samples.jsonl``,
+mirroring how trace events are merged by shard id today.
+
+Sampler
+-------
+
+``start_sampler`` launches a daemon thread that periodically appends a
+resource sample: RSS (``/proc/self/status``), GC statistics, and — when
+a counter source is bound — the read-only counter surface of the lazy
+world (chunk-LRU hits/misses, unit/server materializations, DNS cache
+hit rate, shard event-shipping bytes).  Reading counters cannot disturb
+them: they are plain integers incremented by the world regardless of
+whether perf is enabled, which is also what lets the report print them
+deterministically.
+"""
+
+from __future__ import annotations
+
+import gc as _gc
+import json
+import os
+import re
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PerfRecorder",
+    "PerfProfile",
+    "SPAN_STREAM",
+    "SAMPLE_STREAM",
+    "campaign_counters",
+    "simulation_counters",
+    "load_perf_dir",
+    "rss_kb",
+]
+
+#: Merged (post-:meth:`~PerfRecorder.finalize`) stream file names.
+SPAN_STREAM = "perf.jsonl"
+SAMPLE_STREAM = "perf_samples.jsonl"
+META_FILE = "perf_meta.json"
+
+#: Span records buffered in memory before an ``os.write`` flush.
+_FLUSH_LINES = 50_000
+
+_ROLE_RE = re.compile(r"^shard(\d+)(f?)$")
+
+
+def rss_kb() -> int:
+    """Resident set size of this process in KiB (0 when unreadable)."""
+    try:
+        with open("/proc/self/status", "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0
+
+
+def _gc_stats() -> Dict[str, object]:
+    stats = _gc.get_stats()
+    return {
+        "counts": list(_gc.get_count()),
+        "collections": sum(int(s.get("collections", 0)) for s in stats),
+        "collected": sum(int(s.get("collected", 0)) for s in stats),
+        "uncollectable": sum(int(s.get("uncollectable", 0)) for s in stats),
+    }
+
+
+def _role_order(role: str) -> Tuple[int, int, str]:
+    """Deterministic merge order: ``main`` first, then shards by id."""
+    if role == "main":
+        return (0, 0, "")
+    match = _ROLE_RE.match(role)
+    if match is not None:
+        return (1, int(match.group(1)), match.group(2))
+    return (2, 0, role)
+
+
+class PerfRecorder:
+    """One process's wall-clock sideband writer.
+
+    Acts as the tracer's ``sink``: :meth:`enter` / :meth:`exit` bracket a
+    span, task or stage by its tracer-assigned id and append one JSON
+    record per closed pair.  All writes go to this role's private part
+    files via unbuffered ``os.write`` appends, so a ``fork()`` taken at
+    any instant can never duplicate buffered sideband data, let alone
+    touch a deterministic artifact.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        role: str = "main",
+        sample_interval: float = 0.5,
+    ) -> None:
+        self.directory = directory
+        self.role = role
+        self.sample_interval = sample_interval
+        self.record_count = 0
+        self.sample_count = 0
+        os.makedirs(directory, exist_ok=True)
+        self._span_path = os.path.join(directory, f"spans-{role}.jsonl")
+        self._sample_path = os.path.join(directory, f"samples-{role}.jsonl")
+        # A rerun into the same directory must not append to stale parts.
+        for path in (self._span_path, self._sample_path):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._epoch = time.perf_counter()
+        self._open: Dict[str, Tuple[float, str, str, Optional[str]]] = {}
+        self._buf: List[str] = []
+        self._lock = threading.Lock()
+        self._esc_cache: Dict[Optional[str], str] = {None: "null"}
+        self._role_json = json.dumps(role)
+        self._counters: Optional[Callable[[], Dict[str, int]]] = None
+        self._stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- tracer sink protocol -------------------------------------------------
+
+    def enter(self, sid: str, kind: str, name: str, probe: Optional[str]) -> None:
+        """A span/task/stage with tracer id ``sid`` just began."""
+        self._open[sid] = (time.perf_counter(), kind, name, probe)
+
+    def exit(self, sid: str) -> None:
+        """The pending entry for ``sid`` just ended; record its wall time."""
+        entry = self._open.pop(sid, None)
+        if entry is None:
+            return
+        ended = time.perf_counter()
+        t0, kind, name, probe = entry
+        cache = self._esc_cache
+        escaped_name = cache.get(name)
+        if escaped_name is None:
+            escaped_name = cache[name] = json.dumps(name)
+        escaped_probe = cache.get(probe)
+        if escaped_probe is None:
+            escaped_probe = cache[probe] = json.dumps(probe)
+        # Keys in sorted order, matching json.dumps(sort_keys=True).  The
+        # sid is tracer-generated ([a-z0-9.#] only) and embeds raw.
+        line = (
+            f'{{"kind":"{kind}","name":{escaped_name},"probe":{escaped_probe},'
+            f'"role":{self._role_json},"sid":"{sid}",'
+            f'"t0":{t0 - self._epoch:.6f},"wall":{ended - t0:.9f}}}\n'
+        )
+        with self._lock:
+            self._buf.append(line)
+            pending = len(self._buf)
+        self.record_count += 1
+        if pending >= _FLUSH_LINES:
+            self.flush()
+
+    def discard(self, sid: str) -> None:
+        """Abandon a pending entry (task dropped on exception unwind)."""
+        self._open.pop(sid, None)
+
+    # -- file plumbing --------------------------------------------------------
+
+    @staticmethod
+    def _append(path: str, text: str) -> None:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, text.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def flush(self, *, with_sample: bool = False) -> None:
+        """Write buffered span records out; optionally append a sample.
+
+        Shard workers call this at every stage boundary (with a sample),
+        so their streams are on disk before the parent merges them.
+        """
+        with self._lock:
+            lines = self._buf
+            self._buf = []
+        if lines:
+            self._append(self._span_path, "".join(lines))
+        if with_sample:
+            self._write_sample()
+
+    # -- resource sampler -----------------------------------------------------
+
+    def start_sampler(
+        self, counters: Optional[Callable[[], Dict[str, int]]] = None
+    ) -> None:
+        """Begin periodic resource/counter sampling on a daemon thread."""
+        self._counters = counters
+        if self._thread is not None:
+            return
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name=f"perf-sampler-{self.role}", daemon=True
+        )
+        self._thread.start()
+
+    def _sample_loop(self) -> None:
+        stop = self._stop
+        while stop is not None and not stop.wait(self.sample_interval):
+            self._write_sample()
+
+    def stop_sampler(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        if self._stop is not None:
+            self._stop.set()
+        thread.join(timeout=5.0)
+        # One final sample so even sub-interval runs record end state.
+        self._write_sample()
+
+    def _write_sample(self) -> None:
+        record = {
+            "kind": "sample",
+            "role": self.role,
+            "t": round(time.perf_counter() - self._epoch, 6),
+            "rss_kb": rss_kb(),
+            "gc": _gc_stats(),
+            "spans": self.record_count,
+        }
+        counters = self._counters
+        if counters is not None:
+            try:
+                record["counters"] = counters()
+            except Exception:
+                pass
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._append(self._sample_path, line + "\n")
+        self.sample_count += 1
+
+    # -- merge ----------------------------------------------------------------
+
+    def finalize(self) -> Dict[str, object]:
+        """Stop sampling, flush, and merge all part files.
+
+        Called in the parent after executor shutdown — every worker has
+        exited (flushing at each stage boundary along the way), so the
+        part files are complete.  Parts are concatenated ``main`` first,
+        then shards by ascending id (fallback parts after their shard),
+        into :data:`SPAN_STREAM` / :data:`SAMPLE_STREAM`, and removed.
+        """
+        self.stop_sampler()
+        self.flush()
+        summary: Dict[str, object] = {"directory": self.directory}
+        roles: List[str] = []
+        for prefix, merged_name, key in (
+            ("spans-", SPAN_STREAM, "records"),
+            ("samples-", SAMPLE_STREAM, "samples"),
+        ):
+            part_roles = [
+                name[len(prefix):-len(".jsonl")]
+                for name in os.listdir(self.directory)
+                if name.startswith(prefix) and name.endswith(".jsonl")
+            ]
+            part_roles.sort(key=_role_order)
+            if prefix == "spans-":
+                roles = part_roles
+            merged = os.path.join(self.directory, merged_name)
+            count = 0
+            fd = os.open(merged, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                for role in part_roles:
+                    path = os.path.join(
+                        self.directory, f"{prefix}{role}.jsonl"
+                    )
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                    count += data.count(b"\n")
+                    os.write(fd, data)
+                    os.remove(path)
+            finally:
+                os.close(fd)
+            summary[key] = count
+        summary["roles"] = roles or [self.role]
+        meta = {
+            "python": sys.version.split()[0],
+            "sample_interval": self.sample_interval,
+            "records": summary.get("records", 0),
+            "samples": summary.get("samples", 0),
+            "roles": summary["roles"],
+        }
+        with open(os.path.join(self.directory, META_FILE), "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return summary
+
+
+# -- counter surface ----------------------------------------------------------
+
+
+def campaign_counters(campaign) -> Dict[str, int]:
+    """Read-only counter snapshot of one campaign's (lazy) world.
+
+    Duck-typed over the ``perf_counters()`` methods of the population,
+    fleet, resolver and network; works identically for the parent
+    campaign and a shard-world replica's campaign.
+    """
+    counters: Dict[str, int] = {}
+    for source in (
+        getattr(campaign, "population", None),
+        getattr(campaign, "fleet", None),
+        getattr(campaign, "resolver", None),
+        getattr(campaign, "network", None),
+    ):
+        exporter = getattr(source, "perf_counters", None)
+        if exporter is not None:
+            counters.update(exporter())
+    return counters
+
+
+def simulation_counters(sim) -> Dict[str, int]:
+    """Campaign counters plus the executor's shipping-volume counters."""
+    counters = campaign_counters(sim.campaign)
+    exporter = getattr(getattr(sim.campaign, "executor", None), "perf_counters", None)
+    if exporter is not None:
+        counters.update(exporter())
+    return counters
+
+
+# -- consumption: load + join ------------------------------------------------
+
+
+def load_perf_dir(directory: str) -> Tuple[list, List[dict]]:
+    """``(PerfRecord list, sample dicts)`` from a ``--perf`` directory."""
+    from .records import TraceFormatError, parse_perf_jsonl
+
+    span_path = os.path.join(directory, SPAN_STREAM)
+    records = []
+    if os.path.exists(span_path):
+        with open(span_path, "r") as handle:
+            records = parse_perf_jsonl(handle.read())
+    samples: List[dict] = []
+    sample_path = os.path.join(directory, SAMPLE_STREAM)
+    if os.path.exists(sample_path):
+        with open(sample_path, "r") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    samples.append(json.loads(line))
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{sample_path}:{lineno}: not valid JSON: {exc}"
+                    ) from exc
+    return records, samples
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "—"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def _rate(hits: int, total: int) -> str:
+    if total <= 0:
+        return "—"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+class PerfProfile:
+    """The wall-clock profile: perf sideband joined to the span trees.
+
+    Joins each perf record back to the canonical trace by span id and
+    answers the question the virtual-time analysis cannot: where do the
+    *real* seconds go ("stage X is 2% of virtual time but 41% of wall
+    time"), which span types are wall-hot, and how well the lazy world's
+    caches performed.
+    """
+
+    def __init__(self, analysis, records: list, samples: List[dict]) -> None:
+        self.analysis = analysis
+        self.records = records
+        self.samples = samples
+        self.span_wall: Dict[str, float] = {}
+        self.task_wall: Dict[str, float] = {}
+        #: stage ordinal -> wall seconds (parent record preferred: it
+        #: covers scheduling + shipping + merge, not just probe work).
+        self.stage_wall: Dict[int, float] = {}
+        for record in records:
+            if record.kind == "span":
+                self.span_wall[record.sid] = (
+                    self.span_wall.get(record.sid, 0.0) + record.wall
+                )
+            elif record.kind == "task":
+                self.task_wall[record.sid] = record.wall
+            elif record.kind == "stage" and record.sid.startswith("s"):
+                try:
+                    ordinal = int(record.sid[1:])
+                except ValueError:
+                    continue
+                if record.role == "main" or ordinal not in self.stage_wall:
+                    self.stage_wall[ordinal] = record.wall
+
+    @classmethod
+    def load(cls, trace_path: str, perf_dir: str) -> "PerfProfile":
+        from .analyze import TraceAnalysis
+
+        records, samples = load_perf_dir(perf_dir)
+        return cls(TraceAnalysis.from_file(trace_path), records, samples)
+
+    # -- attribution ----------------------------------------------------------
+
+    def stage_rows(self) -> List[dict]:
+        total_virtual = sum(s.seconds for s in self.analysis.stages)
+        total_wall = sum(self.stage_wall.values())
+        rows = []
+        for stage in self.analysis.stages:
+            wall = self.stage_wall.get(stage.ordinal, 0.0)
+            rows.append(
+                {
+                    "ordinal": stage.ordinal,
+                    "name": stage.name,
+                    "probes": stage.probes,
+                    "virtual": stage.seconds,
+                    "virtual_share": _pct(stage.seconds, total_virtual),
+                    "wall": wall,
+                    "wall_share": _pct(wall, total_wall),
+                    "wall_per_probe_us": (
+                        1e6 * wall / stage.probes if stage.probes else 0.0
+                    ),
+                }
+            )
+        return rows
+
+    def span_profile(self) -> List[dict]:
+        """Per-span-name wall aggregate (self time excludes child spans)."""
+        agg: Dict[str, dict] = {}
+
+        def visit(node) -> float:
+            child_wall = 0.0
+            for child in node.children:
+                child_wall += visit(child)
+            wall = self.span_wall.get(node.sid)
+            if wall is None:
+                return child_wall
+            row = agg.setdefault(
+                node.name,
+                {"name": node.name, "count": 0, "wall": 0.0, "self_wall": 0.0,
+                 "virtual_self": 0.0},
+            )
+            row["count"] += 1
+            row["wall"] += wall
+            row["self_wall"] += max(0.0, wall - child_wall)
+            row["virtual_self"] += node.self_seconds
+            return wall
+
+        for task in self.analysis.tasks:
+            for root in task.spans:
+                visit(root)
+        return sorted(agg.values(), key=lambda r: (-r["self_wall"], r["name"]))
+
+    # -- samples --------------------------------------------------------------
+
+    def resource_rows(self) -> List[dict]:
+        by_role: Dict[str, dict] = {}
+        for sample in self.samples:
+            role = str(sample.get("role", "?"))
+            row = by_role.setdefault(
+                role,
+                {"role": role, "samples": 0, "rss_peak_kb": 0, "rss_last_kb": 0,
+                 "gc_collections": 0},
+            )
+            row["samples"] += 1
+            rss = int(sample.get("rss_kb", 0))
+            row["rss_peak_kb"] = max(row["rss_peak_kb"], rss)
+            row["rss_last_kb"] = rss
+            gc_info = sample.get("gc") or {}
+            row["gc_collections"] = int(gc_info.get("collections", 0))
+        return sorted(by_role.values(), key=lambda r: _role_order(r["role"]))
+
+    def final_counters(self) -> Dict[str, Dict[str, int]]:
+        """Last sampled counter snapshot per role."""
+        out: Dict[str, Dict[str, int]] = {}
+        for sample in self.samples:
+            counters = sample.get("counters")
+            if counters:
+                out[str(sample.get("role", "?"))] = counters
+        return out
+
+    # -- folded wall stacks ---------------------------------------------------
+
+    def folded_wall_stacks(self) -> str:
+        """Flamegraph input weighted by *wall* self-time microseconds.
+
+        Same ``campaign;<stage>;<probe>;<span...>`` paths as
+        :meth:`~.analyze.TraceAnalysis.folded_stacks`, so the two graphs
+        line up frame-for-frame; only the sample weights differ.
+        """
+        weights: Dict[str, int] = {}
+
+        def add(path: str, seconds: float) -> None:
+            micros = int(round(seconds * 1e6))
+            if micros > 0:
+                weights[path] = weights.get(path, 0) + micros
+
+        def visit(prefix: str, node) -> float:
+            path = f"{prefix};{node.name}"
+            child_wall = 0.0
+            for child in node.children:
+                child_wall += visit(path, child)
+            wall = self.span_wall.get(node.sid)
+            if wall is None:
+                return child_wall
+            add(path, max(0.0, wall - child_wall))
+            return wall
+
+        stage_task_wall: Dict[int, float] = {}
+        for task in self.analysis.tasks:
+            stage = (
+                self.analysis._stages_by_ordinal.get(task.stage_ordinal)
+                if task.stage_ordinal is not None
+                else None
+            )
+            stage_label = stage.name if stage is not None else "(no stage)"
+            base = f"campaign;{stage_label};{task.probe or task.scope}"
+            span_wall = 0.0
+            for root in task.spans:
+                span_wall += visit(base, root)
+            wall = self.task_wall.get(task.scope)
+            if wall is not None:
+                add(base, max(0.0, wall - span_wall))
+                if task.stage_ordinal is not None:
+                    stage_task_wall[task.stage_ordinal] = (
+                        stage_task_wall.get(task.stage_ordinal, 0.0) + wall
+                    )
+        # Stage overhead not inside any task: scheduling, event shipping,
+        # result merge.
+        for ordinal, wall in self.stage_wall.items():
+            stage = self.analysis._stages_by_ordinal.get(ordinal)
+            label = stage.name if stage is not None else f"s{ordinal}"
+            add(
+                f"campaign;{label}",
+                max(0.0, wall - stage_task_wall.get(ordinal, 0.0)),
+            )
+        return "\n".join(f"{path} {weights[path]}" for path in sorted(weights))
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_stage_table(self) -> str:
+        lines = [
+            "| # | stage | probes | virtual s | virtual % | wall s | wall % "
+            "| wall µs/probe |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for row in self.stage_rows():
+            lines.append(
+                f"| {row['ordinal']} | {row['name']} | {row['probes']} "
+                f"| {row['virtual']:.1f} | {row['virtual_share']} "
+                f"| {_fmt_seconds(row['wall'])} | {row['wall_share']} "
+                f"| {row['wall_per_probe_us']:.0f} |"
+            )
+        return "\n".join(lines)
+
+    def render_span_table(self, top: int = 15) -> str:
+        lines = [
+            "| span | count | wall s | wall self s | mean µs | virtual self s |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in self.span_profile()[:top]:
+            mean_us = 1e6 * row["wall"] / row["count"] if row["count"] else 0.0
+            lines.append(
+                f"| {row['name']} | {row['count']} "
+                f"| {_fmt_seconds(row['wall'])} "
+                f"| {_fmt_seconds(row['self_wall'])} | {mean_us:.0f} "
+                f"| {row['virtual_self']:.1f} |"
+            )
+        return "\n".join(lines)
+
+    def render_cache_table(self) -> str:
+        per_role = self.final_counters()
+        if not per_role:
+            return "(no counter samples recorded)"
+        totals: Dict[str, int] = {}
+        for counters in per_role.values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        lines = ["| counter | total |", "|---|---|"]
+        for key in sorted(totals):
+            lines.append(f"| {key} | {totals[key]:,} |")
+        derived = [
+            ("population chunk hit rate", "population.chunk_hits",
+             "population.chunk_misses"),
+            ("fleet layout hit rate", "fleet.layout_hits", "fleet.layout_misses"),
+            ("dns resolver hit rate", "dns.resolver.cache_hits",
+             "dns.resolver.queries"),
+        ]
+        extras = []
+        for label, hit_key, other_key in derived:
+            hits = totals.get(hit_key, 0)
+            if other_key == "dns.resolver.queries":
+                total = totals.get(other_key, 0)
+            else:
+                total = hits + totals.get(other_key, 0)
+            if total:
+                extras.append(f"- {label}: {_rate(hits, total)}")
+        if extras:
+            lines.append("")
+            lines.extend(extras)
+        return "\n".join(lines)
+
+    def render_resource_table(self) -> str:
+        rows = self.resource_rows()
+        if not rows:
+            return "(no resource samples recorded)"
+        lines = [
+            "| role | samples | peak RSS MB | final RSS MB | gc collections |",
+            "|---|---|---|---|---|",
+        ]
+        for row in rows:
+            lines.append(
+                f"| {row['role']} | {row['samples']} "
+                f"| {row['rss_peak_kb'] / 1024.0:.1f} "
+                f"| {row['rss_last_kb'] / 1024.0:.1f} "
+                f"| {row['gc_collections']} |"
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self, *, top_spans: int = 15) -> str:
+        """The ``trace profile`` document."""
+        total_wall = sum(self.stage_wall.values())
+        total_virtual = sum(s.seconds for s in self.analysis.stages)
+        roles = sorted({r.role for r in self.records}, key=_role_order)
+        parts = [
+            "# Wall-clock profile",
+            "",
+            f"- perf records: {len(self.records):,} spans/tasks/stages; "
+            f"samples: {len(self.samples):,}; roles: {', '.join(roles) or '—'}",
+            f"- stage wall time: {total_wall:.2f} s for "
+            f"{total_virtual:,.0f} virtual s "
+            f"({total_virtual / total_wall:,.0f}x real-time)"
+            if total_wall > 0
+            else f"- stage wall time: (no stage records)",
+            "",
+            "## Wall vs virtual attribution by stage",
+            "",
+            self.render_stage_table(),
+            "",
+            f"## Hottest span types (wall self-time, top {top_spans})",
+            "",
+            self.render_span_table(top=top_spans),
+            "",
+            "## Cache efficiency (final counter samples)",
+            "",
+            self.render_cache_table(),
+            "",
+            "## Resource usage by role",
+            "",
+            self.render_resource_table(),
+            "",
+        ]
+        return "\n".join(parts)

@@ -128,6 +128,55 @@ def load_jsonl(path: str) -> List[ParsedEvent]:
         return parse_jsonl(handle.read())
 
 
+@dataclass(frozen=True)
+class PerfRecord:
+    """One wall-clock sideband record (``perf.jsonl``).
+
+    ``sid`` is the tracer-assigned id the record joins the canonical
+    trace on: a span id (``s<stage>.t<task>#<n>``, matching the trace's
+    ``span`` field), a task scope (``s<stage>.t<task>``) or a stage
+    scope (``s<stage>``), disambiguated by ``kind``.  ``t0`` is seconds
+    since the emitting role's recorder epoch; ``wall`` is the measured
+    ``perf_counter`` duration.  Wall values are intentionally absent
+    from :class:`ParsedEvent` — they live only here, in the sideband.
+    """
+
+    index: int
+    kind: str
+    sid: str
+    name: str
+    probe: Optional[str]
+    role: str
+    t0: float
+    wall: float
+
+
+def parse_perf_jsonl(text: str) -> List[PerfRecord]:
+    """Parse a ``perf.jsonl`` stream; raises :class:`TraceFormatError`."""
+    records: List[PerfRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            record = PerfRecord(
+                index=len(records),
+                kind=payload["kind"],
+                sid=payload["sid"],
+                name=payload["name"],
+                probe=payload.get("probe"),
+                role=payload.get("role", "main"),
+                t0=float(payload["t0"]),
+                wall=float(payload["wall"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {lineno}: not a perf sideband record ({exc})"
+            ) from exc
+        records.append(record)
+    return records
+
+
 def from_tracer(tracer: Tracer) -> List[ParsedEvent]:
     """Adapt a live tracer's canonical events without a serialize round."""
     return [_from_trace_event(i, e) for i, e in enumerate(tracer.canonical_events())]

@@ -8,7 +8,9 @@ in-task waits advance only that task's cursor), so the same seed
 produces the same stamps under every execution strategy.  A wall-clock
 timestamp would differ between runs and between executors, which is why
 wall time is banned from trace payloads outright (it lives in
-:mod:`repro.obs.metrics` instead).
+:mod:`repro.obs.metrics` instead — and, per span, in the
+:mod:`repro.obs.perf` sideband, which observes span boundaries through
+:attr:`Tracer.sink` but writes to files of its own).
 
 Ordering uses the same idea.  Each event belongs to a *scope* — the run,
 a stage, or one probe task — and scopes carry a sort prefix derived from
@@ -110,6 +112,12 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self.clock = clock
+        #: Optional wall-clock sideband (:class:`repro.obs.perf.PerfRecorder`).
+        #: Strictly write-only from the tracer's point of view: it is told
+        #: when spans/tasks/stages open and close (by tracer-assigned id)
+        #: and can never feed anything back into an event, so the
+        #: canonical export stays byte-identical with or without it.
+        self.sink = None
         self._events: List[TraceEvent] = []
         self._lock = threading.Lock()
         self._emit_counter = 0
@@ -207,6 +215,8 @@ class Tracer:
         self._emit(
             "stage.begin", scope, attrs=dict(attrs, stage=stage)
         )
+        if self.sink is not None:
+            self.sink.enter(scope.sid, "stage", stage, None)
 
     def end_stage(self, **attrs) -> None:
         if not self.enabled:
@@ -214,6 +224,8 @@ class Tracer:
         scope = self._stage
         if scope is None:
             return
+        if self.sink is not None:
+            self.sink.exit(scope.sid)
         self._emit("stage.end", scope, lane=_LANE_END, attrs=attrs)
         self._stage = None
 
@@ -239,6 +251,8 @@ class Tracer:
         scope = _Scope(sid, stage_ord, index, probe)
         self._local.scope = scope
         self._emit("task.begin", scope, vt=vt, attrs=attrs)
+        if self.sink is not None:
+            self.sink.enter(sid, "task", "task", probe)
 
     def end_task(self, *, vt: Optional[_dt.datetime] = None, **attrs) -> None:
         """Emit ``task.end`` and fall back to the stage scope."""
@@ -246,11 +260,16 @@ class Tracer:
             return
         scope = getattr(self._local, "scope", None)
         if scope is not None:
+            if self.sink is not None:
+                self.sink.exit(scope.sid)
             self._emit("task.end", scope, vt=vt, attrs=attrs)
         self._local.scope = None
 
     def drop_task(self) -> None:
         """Abandon the task scope without an event (exception unwind)."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None and self.sink is not None:
+            self.sink.discard(scope.sid)
         self._local.scope = None
 
     # -- shard-world support --------------------------------------------------
@@ -383,12 +402,16 @@ class _SpanContext:
             attrs=self._attrs,
         )
         stack.append(self._sid)
+        if tracer.sink is not None:
+            tracer.sink.enter(self._sid, "span", self._name, scope.probe)
         return self._sid
 
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self._tracer
         if self._sid is None:
             return
+        if tracer.sink is not None:
+            tracer.sink.exit(self._sid)
         stack = tracer._span_stack()
         if stack and stack[-1] == self._sid:
             stack.pop()

@@ -204,6 +204,7 @@ class Simulation:
         observation: Optional[Observation] = None,
         executor: object = _UNSET,
         workers: object = _UNSET,
+        perf: object = _UNSET,
     ) -> "Simulation":
         """Reconstruct a checkpointed campaign mid-timeline.
 
@@ -243,6 +244,10 @@ class Simulation:
             overrides["executor"] = executor
         if workers is not _UNSET:
             overrides["workers"] = workers
+        if perf is not _UNSET:
+            # Runtime-only: whether this resumed leg is profiled is the
+            # caller's choice, never the checkpoint's.
+            overrides["perf"] = perf
         if overrides:
             cfg = _dc_replace(cfg, **overrides)
 

@@ -97,6 +97,14 @@ class Network:
         """How many servers have actually been touched into existence."""
         return len(self._servers)
 
+    def perf_counters(self) -> Dict[str, int]:
+        """Read-only telemetry (repro.obs.perf counter surface)."""
+        return {
+            "network.servers_materialized": len(self._servers),
+            "network.connection_attempts": self.connection_attempts,
+            "network.connections_established": self.connections_established,
+        }
+
     def materialize_all(self) -> None:
         """Eagerly build every addressable server (the pre-lazy behavior).
 

@@ -249,6 +249,50 @@ class TestTraceSubcommands:
         # --progress must not alter the trace bytes
         assert progress_trace.read_bytes() == serial.read_bytes()
 
+    def test_run_perf_then_trace_profile(self, smoke_traces, tmp_path, capsys):
+        serial, _ = smoke_traces
+        perf_dir = tmp_path / "perf"
+        perf_trace = tmp_path / "perf.jsonl"
+        assert main([
+            "run", "--scale", "0.002", "--seed", "5", "--artifact", "table6",
+            "--trace", str(perf_trace), "--perf", str(perf_dir),
+            "--progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "perf:" in captured.out and "span records" in captured.out
+        # --progress grows RSS/sample cells when perf is on.
+        assert "rss" in captured.err and "samples" in captured.err
+        # the sideband never alters the canonical trace bytes
+        assert perf_trace.read_bytes() == serial.read_bytes()
+        assert (perf_dir / "perf.jsonl").stat().st_size > 0
+        assert (perf_dir / "perf_samples.jsonl").stat().st_size > 0
+
+        profile_md = tmp_path / "profile.md"
+        folded = tmp_path / "wall.folded"
+        assert main([
+            "trace", "profile", str(perf_trace), "--perf", str(perf_dir),
+            "--out", str(profile_md), "--folded", str(folded),
+        ]) == 0
+        text = profile_md.read_text()
+        assert "# Wall-clock profile" in text
+        assert "## Wall vs virtual attribution by stage" in text
+        assert "## Hottest span types" in text
+        assert "## Cache efficiency" in text
+        for line in folded.read_text().splitlines():
+            path, value = line.rsplit(" ", 1)
+            assert path.startswith("campaign;")
+            assert int(value) >= 0
+
+    def test_perf_without_trace_flag_still_profiles(self, tmp_path, capsys):
+        # --perf implies tracing even when no --trace file is requested.
+        perf_dir = tmp_path / "perf"
+        assert main([
+            "run", "--scale", "0.002", "--seed", "5", "--artifact", "table6",
+            "--perf", str(perf_dir),
+        ]) == 0
+        assert "perf:" in capsys.readouterr().out
+        assert (perf_dir / "perf.jsonl").stat().st_size > 0
+
     def test_metrics_out_carries_histogram_percentiles(self, tmp_path, capsys):
         metrics = tmp_path / "metrics.json"
         assert main([
