@@ -38,10 +38,12 @@ import gc
 import shutil
 import sys
 import tempfile
+import warnings
 from time import perf_counter
 
 from repro.api import RunConfig
 from repro.obs import Observation, PerfRecorder
+from repro.obs import ledger as obs_ledger
 from repro.obs.perf import simulation_counters
 
 from repro.simulation import Simulation
@@ -81,7 +83,6 @@ def _compare(scratch: str) -> dict:
     _run(None)  # warm-up, discarded
     baseline = []
     profiled = []
-    ratios = []
     for rep in range(REPS):
         legs = ["baseline", "profiled"]
         if rep % 2:
@@ -93,15 +94,15 @@ def _compare(scratch: str) -> dict:
                 perf_dir = f"{scratch}/perf-{rep}"
                 profiled.append(_run(perf_dir))
                 shutil.rmtree(perf_dir)
-        ratios.append(profiled[-1]["wall"] / baseline[-1]["wall"])
-    ratios.sort()
-    median = (
-        ratios[len(ratios) // 2]
-        if len(ratios) % 2
-        else (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2
+    # The pair-ratio protocol lives in repro.obs.ledger now (``obs
+    # regress`` uses the same call); the bench keeps only its measurement
+    # loop and translates the ComparisonResult back into its record shape.
+    result = obs_ledger.compare(
+        [run["wall"] for run in baseline],
+        [run["wall"] for run in profiled],
+        metric="wall_seconds",
+        threshold=MAX_OVERHEAD,
     )
-    base_walls = [run["wall"] for run in baseline]
-    noise = max(base_walls) / min(base_walls) - 1.0
     return {
         "scale": PERF_SCALE,
         "seed": PERF_SEED,
@@ -111,13 +112,14 @@ def _compare(scratch: str) -> dict:
         "samples": profiled[-1]["samples"],
         "baseline_wall_seconds": min(run["wall"] for run in baseline),
         "profiled_wall_seconds": min(run["wall"] for run in profiled),
-        "pair_ratios": ratios,
-        "overhead": median - 1.0,
+        "pair_ratios": result.pair_ratios,
+        "overhead": result.change,
         "max_overhead": MAX_OVERHEAD,
         # The spread of identical baseline runs: the machine's own wall
         # noise.  When it exceeds the budget, the assertion is moot.
-        "baseline_noise": noise,
-        "overhead_asserted": noise <= MAX_OVERHEAD,
+        "baseline_noise": result.noise,
+        "overhead_asserted": result.asserted,
+        "verdict": result.verdict,
     }
 
 
@@ -152,6 +154,22 @@ def _check(record: dict) -> list:
     return failures
 
 
+def _warn_if_unasserted(record: dict) -> None:
+    """A silent pass is worse than a loud one: when noise moots the
+    budget, say so where it cannot be missed (the pytest warnings
+    summary, or stderr standalone) instead of quietly going green."""
+    if record["overhead_asserted"]:
+        return
+    warnings.warn(
+        f"perf overhead budget NOT asserted: baseline noise "
+        f"{record['baseline_noise']:.1%} exceeds the "
+        f"{record['max_overhead']:.0%} budget on this machine — the "
+        f"measured {record['overhead']:+.1%} overhead is recorded in the "
+        f"ledger, not asserted",
+        stacklevel=2,
+    )
+
+
 def test_perf_sideband_overhead_under_budget(benchmark, tmp_path):
     from conftest import emit, emit_json
 
@@ -160,6 +178,7 @@ def test_perf_sideband_overhead_under_budget(benchmark, tmp_path):
     )
     emit(_render(record))
     emit_json("perf", record)
+    _warn_if_unasserted(record)
     assert record["span_records"] > 10_000
     assert record["samples"] > 0
     failures = _check(record)
@@ -177,6 +196,9 @@ def main() -> int:
     print(_render(record))
     path = emit_json("perf", record)
     print(f"(record written to {path})")
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        _warn_if_unasserted(record)
     failures = _check(record)
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -18,6 +18,7 @@ from typing import List
 
 import pytest
 
+from repro.obs import ledger as obs_ledger
 from repro.simulation import Simulation
 
 BENCH_SCALE = 0.02
@@ -25,6 +26,7 @@ BENCH_SEED = 20211011
 
 RESULTS_PATH = pathlib.Path(__file__).resolve().parent / "latest_results.txt"
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent
+LEDGER_PATH = RESULTS_DIR / obs_ledger.LEDGER_FILENAME
 
 _EMITTED: List[str] = []
 
@@ -57,18 +59,31 @@ def env_info() -> dict:
     """Machine provenance stamped uniformly into every BENCH record.
 
     Bench numbers are meaningless without knowing what ran them; every
-    ``BENCH_<name>.json`` carries the core count and Python version of
-    the container that produced it.
+    ``BENCH_<name>.json`` carries the core count, Python version, and
+    git commit (plus a dirty flag) of the checkout that produced it, so
+    a number in the ledger can always be tied back to the code it
+    measured.
     """
-    return {"cpus": available_cpus(), "python": platform.python_version()}
+    info = {"cpus": available_cpus(), "python": platform.python_version()}
+    info.update(obs_ledger.git_provenance(str(RESULTS_DIR)))
+    return info
 
 
 def emit_json(name: str, payload: dict) -> pathlib.Path:
-    """Write a machine-readable benchmark record to ``BENCH_<name>.json``."""
+    """Write a machine-readable benchmark record to ``BENCH_<name>.json``.
+
+    The same payload is also appended as one compact line to the shared
+    ``benchmarks/ledger.jsonl`` so benchmark numbers trend across
+    sessions with ``obs history`` / ``obs regress`` alongside campaign
+    records.
+    """
     path = RESULTS_DIR / f"BENCH_{name}.json"
     record = dict(payload)
     record["env"] = env_info()
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    obs_ledger.append_record(
+        str(LEDGER_PATH), obs_ledger.bench_record(name, record)
+    )
     return path
 
 

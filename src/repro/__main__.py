@@ -11,11 +11,14 @@ Usage::
     python -m repro resume --store runs/  # continue an interrupted campaign
     python -m repro trace summary t.jsonl # analyze a captured trace
     python -m repro trace diff a.jsonl b.jsonl   # pinpoint first divergence
+    python -m repro run --ledger perf.jsonl      # append a perf-ledger record
+    python -m repro obs history perf.jsonl       # cross-run trend tables
+    python -m repro obs regress BASE CAND        # noise-gated regression gate
 
-The parser is structured around the ``run`` / ``resume`` / ``trace``
-subcommands.  The pre-subcommand invocation (``python -m repro --scale
-0.02 ...``) keeps working with a deprecation notice: every run flag
-still exists at the top level with the same defaults.
+The parser is structured around the ``run`` / ``resume`` / ``trace`` /
+``obs`` subcommands.  The pre-subcommand invocation (``python -m repro
+--scale 0.02 ...``) keeps working with a deprecation notice: every run
+flag still exists at the top level with the same defaults.
 """
 
 from __future__ import annotations
@@ -147,6 +150,14 @@ def _add_run_flags(
         "(a sideband: trace, report, and CSV bytes are unchanged); implies "
         "tracing; inspect with `python -m repro trace profile`",
     )
+    add(
+        "--ledger", metavar="FILE", default=None,
+        help="append one performance-ledger record for this run to FILE "
+        "(config hash, env + git commit, throughput, stage wall "
+        "attribution when --perf is on); with --store a record also "
+        "lands in the run directory's ledger.jsonl; inspect with "
+        "`python -m repro obs history` / `obs regress`",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -229,6 +240,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=20, metavar="N",
         help="event names listed in the counts table (default 20)",
     )
+    summary.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the machine-readable stage/span/critical-path "
+        "tables as JSON to FILE ('-' for stdout; suppresses the default "
+        "markdown-to-stdout unless --out is given)",
+    )
 
     diff = trace_sub.add_parser(
         "diff",
@@ -262,6 +279,123 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--top", type=int, default=15, metavar="N",
         help="span types listed in the hottest-spans table (default 15)",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the machine-readable wall-vs-virtual attribution "
+        "as JSON to FILE ('-' for stdout; suppresses the default "
+        "markdown-to-stdout unless --out is given); the 'stages' rows "
+        "are exactly what a profiled run's ledger record embeds",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="cross-run performance ledger: history and regression gate"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    history = obs_sub.add_parser(
+        "history",
+        help="trend tables over a ledger (per metric, exact percentiles)",
+    )
+    history.add_argument(
+        "ledger",
+        help="ledger JSONL file, a run directory holding ledger.jsonl, or "
+        "a single-record .json file",
+    )
+    history.add_argument(
+        "--metric", action="append", metavar="NAME", default=None,
+        help="metric column(s) to trend (repeatable; default "
+        "probes_per_second and wall_seconds)",
+    )
+    history.add_argument(
+        "--config-hash", metavar="PREFIX", default=None,
+        help="only records whose RunConfig content hash starts with PREFIX",
+    )
+    history.add_argument(
+        "--kind", action="append", metavar="KIND", default=None,
+        help="only records of this kind (run/resume/record/bench; repeatable)",
+    )
+    history.add_argument(
+        "--last", type=int, metavar="N", default=None,
+        help="only the N most recent matching records",
+    )
+    history.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the trend data as JSON to FILE ('-' for stdout) "
+        "instead of markdown",
+    )
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="compare two ledger slices; exit 1 only on a CONFIRMED "
+        "(noise-cleared) regression",
+    )
+    regress.add_argument(
+        "baseline",
+        help="baseline slice: ledger JSONL, run dir, or single-record .json "
+        "(e.g. a committed benchmarks/BASELINE.json)",
+    )
+    regress.add_argument("candidate", help="candidate slice (same spellings)")
+    regress.add_argument(
+        "--metric", default="probes_per_second", metavar="NAME",
+        help="metric to compare (default probes_per_second)",
+    )
+    regress.add_argument(
+        "--threshold", type=float, default=0.15, metavar="FRAC",
+        help="regression budget as a fraction (default 0.15 = 15%%)",
+    )
+    regress.add_argument(
+        "--noise", type=float, default=0.0, metavar="FRAC",
+        help="noise-gate floor: the machine's known identical-run wall "
+        "spread; folded in with any noise the records themselves declare "
+        "and the measured baseline spread (default 0)",
+    )
+    regress.add_argument(
+        "--config-hash", metavar="PREFIX", default=None,
+        help="filter both slices to records whose config hash starts "
+        "with PREFIX",
+    )
+    regress.add_argument(
+        "--last", type=int, metavar="N", default=None,
+        help="use only the N most recent matching records of each slice",
+    )
+    regress.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full comparison verdict as JSON to FILE "
+        "('-' for stdout)",
+    )
+
+    record = obs_sub.add_parser(
+        "record",
+        help="append a ledger record for an existing run directory "
+        "retroactively",
+    )
+    record.add_argument(
+        "run_dir",
+        help="a RunStore run directory (holds config.json / manifest.json)",
+    )
+    record.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append to FILE instead of <run_dir>/ledger.jsonl",
+    )
+    record.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="join executor wall/throughput totals from a --metrics-out "
+        "JSON file of that run",
+    )
+    record.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="canonical trace of that run (with --perf: join per-stage "
+        "wall attribution)",
+    )
+    record.add_argument(
+        "--perf", metavar="DIR", default=None,
+        help="perf sideband directory of that run (requires --trace)",
+    )
+    record.add_argument(
+        "--noise", type=float, default=None, metavar="FRAC",
+        help="declare the machine's measured identical-run wall spread in "
+        "the record, so later comparisons gate on it",
     )
     return parser
 
@@ -307,22 +441,43 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
         help="record wall-clock span timings and resource samples into DIR "
         "(sideband only; canonical artifacts unchanged)",
     )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default=argparse.SUPPRESS,
+        help="append one performance-ledger record for the resumed run to "
+        "FILE (a record also lands in the run directory's ledger.jsonl)",
+    )
 
 
 # -- trace subcommands -----------------------------------------------------------
+
+
+def _write_json_payload(dest: str, payload, *, label: str) -> None:
+    """Write a JSON document to a file, or to stdout when dest is ``-``."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+        return
+    with open(dest, "w") as handle:
+        handle.write(text + "\n")
+    print(f"{label} written to {dest}", file=sys.stderr)
 
 
 def _trace_summary(args: argparse.Namespace) -> int:
     from .obs.analyze import TraceAnalysis
 
     analysis_ = TraceAnalysis.from_file(args.file)
-    text = analysis_.render_markdown(top_events=args.top)
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text)
-        print(f"summary written to {args.out}")
-    else:
-        print(text)
+    if args.out or not args.json:
+        text = analysis_.render_markdown(top_events=args.top)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"summary written to {args.out}")
+        else:
+            print(text)
+    if args.json:
+        _write_json_payload(
+            args.json, analysis_.to_dict(top_events=args.top), label="summary JSON"
+        )
     if args.folded:
         folded = analysis_.folded_stacks()
         with open(args.folded, "w") as handle:
@@ -336,19 +491,113 @@ def _trace_profile(args: argparse.Namespace) -> int:
     from .obs.perf import PerfProfile
 
     profile = PerfProfile.load(args.file, args.perf)
-    text = profile.render_markdown(top_spans=args.top)
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text)
-        print(f"profile written to {args.out}")
-    else:
-        print(text)
+    if args.out or not args.json:
+        text = profile.render_markdown(top_spans=args.top)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"profile written to {args.out}")
+        else:
+            print(text)
+    if args.json:
+        _write_json_payload(
+            args.json, profile.to_dict(top_spans=args.top), label="profile JSON"
+        )
     if args.folded:
         folded = profile.folded_wall_stacks()
         with open(args.folded, "w") as handle:
             if folded:
                 handle.write(folded + "\n")
         print(f"folded wall stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+# -- obs subcommands (the performance ledger) ------------------------------------
+
+
+def _obs_history(args: argparse.Namespace) -> int:
+    from .obs.ledger import (
+        DEFAULT_HISTORY_METRICS,
+        LedgerError,
+        filter_records,
+        history_dict,
+        load_slice,
+        render_history,
+    )
+
+    try:
+        records = filter_records(
+            load_slice(args.ledger),
+            config_hash=args.config_hash,
+            kinds=args.kind,
+            last=args.last,
+        )
+    except LedgerError as error:
+        print(f"obs history failed: {error}", file=sys.stderr)
+        return 2
+    metrics = args.metric or list(DEFAULT_HISTORY_METRICS)
+    if args.json:
+        _write_json_payload(
+            args.json, history_dict(records, metrics), label="history JSON"
+        )
+    else:
+        print(render_history(records, metrics))
+    return 0
+
+
+def _obs_regress(args: argparse.Namespace) -> int:
+    from .obs.ledger import (
+        LedgerError,
+        compare_records,
+        filter_records,
+        load_slice,
+    )
+
+    try:
+        baseline = filter_records(
+            load_slice(args.baseline), config_hash=args.config_hash, last=args.last
+        )
+        candidate = filter_records(
+            load_slice(args.candidate), config_hash=args.config_hash, last=args.last
+        )
+        result = compare_records(
+            baseline,
+            candidate,
+            metric=args.metric,
+            threshold=args.threshold,
+            noise_floor=args.noise,
+        )
+    except LedgerError as error:
+        print(f"obs regress failed: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        _write_json_payload(args.json, result.to_dict(), label="verdict JSON")
+    print(result.render())
+    return 1 if result.regressed else 0
+
+
+def _obs_record(args: argparse.Namespace) -> int:
+    from .obs.ledger import LedgerError, retro_record
+
+    if args.perf and not args.trace:
+        print("obs record: --perf requires --trace", file=sys.stderr)
+        return 2
+    try:
+        record, path = retro_record(
+            args.run_dir,
+            ledger_path=args.ledger,
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            perf_dir=args.perf,
+            noise=args.noise,
+        )
+    except LedgerError as error:
+        print(f"obs record failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"ledger: record for config {record['config_hash'][:12]} "
+        f"appended to {path}"
+    )
     return 0
 
 
@@ -418,6 +667,44 @@ def _finalize_perf(observation: Optional[Observation]) -> None:
         f"{summary['samples']:,} samples from {len(summary['roles'])} "
         f"role(s) merged into {summary['directory']}"
     )
+
+
+def _append_ledger(
+    sim: Simulation,
+    args: argparse.Namespace,
+    *,
+    store,
+    wall_seconds: float,
+    kind: str,
+) -> None:
+    """Append one performance-ledger record for a completed run.
+
+    Targets: the RunStore run directory's ``ledger.jsonl`` (when the run
+    was checkpointed) and the shared ``--ledger`` file (when given).
+    Appending happens strictly *after* every deterministic artifact and
+    the perf merge are on disk — the ledger reads the run, never the
+    other way around, so trace/CSV/report bytes are identical with the
+    ledger on or off.
+    """
+    paths = []
+    if store is not None and sim.config is not None:
+        paths.append(store.ledger_path(sim.config))
+    shared = getattr(args, "ledger", None)
+    if shared:
+        paths.append(shared)
+    if not paths:
+        return
+    from .obs.ledger import append_record, build_record
+
+    record = build_record(
+        sim,
+        kind=kind,
+        wall_seconds=wall_seconds,
+        perf_dir=getattr(args, "perf", None),
+    )
+    for path in paths:
+        append_record(path, record)
+    print(f"ledger: record appended to {', '.join(paths)}")
 
 
 def _emit_outputs(sim: Simulation, args: argparse.Namespace) -> int:
@@ -520,17 +807,25 @@ def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
         f"running the four-month campaign ({executor_name}, "
         f"workers={args.workers})..."
     )
+    from time import perf_counter
+
     try:
+        started = perf_counter()
         try:
             sim.run(store=store)
         except CampaignAborted as abort:
             print(f"run aborted: {abort}")
             return 0
-        return _emit_outputs(sim, args)
+        run_wall = perf_counter() - started
+        code = _emit_outputs(sim, args)
     finally:
         # After sim.run the executor has shut down (its finally), so
         # every worker's part streams are on disk and safe to merge.
         _finalize_perf(observation)
+    # The ledger record is built after the perf merge so a profiled
+    # run's record can embed the per-stage wall attribution.
+    _append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="run")
+    return code
 
 
 def _resume(args: argparse.Namespace) -> int:
@@ -590,11 +885,17 @@ def _resume(args: argparse.Namespace) -> int:
         if observation is not None:
             reporter.perf = observation.perf
         sim.campaign.executor.progress = reporter
+    from time import perf_counter
+
     try:
+        started = perf_counter()
         sim.run(store=store)
-        return _emit_outputs(sim, args)
+        run_wall = perf_counter() - started
+        code = _emit_outputs(sim, args)
     finally:
         _finalize_perf(observation)
+    _append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="resume")
+    return code
 
 
 def main(argv=None) -> int:
@@ -607,6 +908,12 @@ def main(argv=None) -> int:
         if args.trace_command == "profile":
             return _trace_profile(args)
         return _trace_diff(args)
+    if command == "obs":
+        if args.obs_command == "history":
+            return _obs_history(args)
+        if args.obs_command == "regress":
+            return _obs_regress(args)
+        return _obs_record(args)
     if command == "resume":
         return _resume(args)
     return _run(args, legacy=command is None)

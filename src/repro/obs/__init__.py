@@ -34,6 +34,12 @@ a metrics source.
   written to separate files that join the canonical trace by span id,
   consumed by ``trace profile``; deterministic artifacts stay
   byte-identical with perf on or off.
+- :mod:`repro.obs.ledger` — the cross-run performance ledger: every
+  ``run``/``resume``/benchmark appends one compact JSON record
+  (config hash, env + git commit, throughput, stage wall attribution)
+  to an append-only ``ledger.jsonl``; ``obs history`` renders trend
+  tables and ``obs regress`` compares two slices with explicit noise
+  gating (non-zero exit only on a *confirmed* regression).
 
 Usage::
 
@@ -51,6 +57,7 @@ or via the CLI: ``python -m repro --trace t.jsonl --metrics-out m.json``.
 from .analyze import TraceAnalysis
 from .context import Observation, activate, active, deactivate, observing
 from .diff import TraceDivergence, assert_traces_identical, diff_events, diff_files
+from .ledger import ComparisonResult, LedgerError
 from .logbridge import TraceLogHandler, attach_trace_handler, configure_logging
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perf import PerfProfile, PerfRecorder
@@ -59,9 +66,11 @@ from .records import ParsedEvent, load_jsonl, parse_jsonl
 from .trace import TraceEvent, Tracer
 
 __all__ = [
+    "ComparisonResult",
     "Counter",
     "Gauge",
     "Histogram",
+    "LedgerError",
     "MetricsRegistry",
     "Observation",
     "ParsedEvent",

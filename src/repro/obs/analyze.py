@@ -360,6 +360,55 @@ class TraceAnalysis:
                 visit(base, root)
         return "\n".join(f"{path} {weights[path]}" for path in sorted(weights))
 
+    # -- machine-readable export ----------------------------------------------
+
+    def to_dict(self, *, top_events: int = 20) -> dict:
+        """The ``trace summary --json`` payload: every table, typed.
+
+        Same content as :meth:`render_markdown` — stages, critical path,
+        span-duration percentiles, event counts — as plain JSON-ready
+        values, so scripts (and the performance ledger's join tests)
+        never scrape markdown.
+        """
+        start, end = self.virtual_start, self.virtual_end
+        stages = [
+            {
+                "ordinal": stage.ordinal,
+                "name": stage.name,
+                "tasks": stage.task_count,
+                "declared_tasks": stage.declared_tasks,
+                "probes": stage.probes,
+                "retried": stage.retried,
+                "refused": stage.refused,
+                "queries": stage.queries,
+                "virtual_seconds": stage.seconds,
+                "sim_seconds": stage.sim_seconds,
+                "events": stage.event_count,
+            }
+            for stage in self.stages
+        ]
+        spans = {
+            name: histogram.to_dict()
+            for name, histogram in sorted(self.span_duration_histograms().items())
+        }
+        ranked = sorted(self.name_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {
+            "events": len(self.events),
+            "distinct_names": len(self.name_counts),
+            "stages": stages,
+            "tasks": len(self.tasks),
+            "virtual_start": start.isoformat() if start is not None else None,
+            "virtual_end": end.isoformat() if end is not None else None,
+            "virtual_seconds": self.virtual_seconds,
+            "critical_path": [
+                {"kind": step.kind, "label": step.label, "seconds": step.seconds}
+                for step in self.critical_path()
+            ],
+            "spans": spans,
+            "task_seconds": self.task_duration_histogram().to_dict(),
+            "event_counts": dict(ranked[:top_events]),
+        }
+
     # -- rendering -------------------------------------------------------------
 
     def render_stage_table(self) -> str:

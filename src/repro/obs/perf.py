@@ -447,6 +447,12 @@ class PerfProfile:
     # -- attribution ----------------------------------------------------------
 
     def stage_rows(self) -> List[dict]:
+        """Wall-vs-virtual attribution rows, one per stage.
+
+        Floats are pre-rounded (µs precision) so the rows are JSON-stable:
+        the performance-ledger record and ``trace profile --json`` both
+        embed these rows verbatim and must join 1:1.
+        """
         total_virtual = sum(s.seconds for s in self.analysis.stages)
         total_wall = sum(self.stage_wall.values())
         rows = []
@@ -457,12 +463,12 @@ class PerfProfile:
                     "ordinal": stage.ordinal,
                     "name": stage.name,
                     "probes": stage.probes,
-                    "virtual": stage.seconds,
+                    "virtual": round(stage.seconds, 6),
                     "virtual_share": _pct(stage.seconds, total_virtual),
-                    "wall": wall,
+                    "wall": round(wall, 6),
                     "wall_share": _pct(wall, total_wall),
-                    "wall_per_probe_us": (
-                        1e6 * wall / stage.probes if stage.probes else 0.0
+                    "wall_per_probe_us": round(
+                        1e6 * wall / stage.probes if stage.probes else 0.0, 3
                     ),
                 }
             )
@@ -579,6 +585,33 @@ class PerfProfile:
                 max(0.0, wall - stage_task_wall.get(ordinal, 0.0)),
             )
         return "\n".join(f"{path} {weights[path]}" for path in sorted(weights))
+
+    # -- machine-readable export ----------------------------------------------
+
+    def to_dict(self, *, top_spans: int = 15) -> dict:
+        """The ``trace profile --json`` payload.
+
+        ``stages`` holds exactly the rows :meth:`stage_rows` computes —
+        the same rows a profiled run's performance-ledger record embeds,
+        so the two sources always join 1:1.
+        """
+        total_wall = sum(self.stage_wall.values())
+        total_virtual = sum(s.seconds for s in self.analysis.stages)
+        counters: Dict[str, int] = {}
+        for role_counters in self.final_counters().values():
+            for key, value in role_counters.items():
+                counters[key] = counters.get(key, 0) + int(value)
+        return {
+            "records": len(self.records),
+            "samples": len(self.samples),
+            "roles": sorted({r.role for r in self.records}, key=_role_order),
+            "stage_wall_seconds": total_wall,
+            "virtual_seconds": total_virtual,
+            "stages": self.stage_rows(),
+            "spans": self.span_profile()[:top_spans],
+            "counters": {key: counters[key] for key in sorted(counters)},
+            "resources": self.resource_rows(),
+        }
 
     # -- rendering ------------------------------------------------------------
 

@@ -201,10 +201,21 @@ class RunStore:
             )
         # A fresh run of this config replaces any previous attempt: the
         # old chain describes a different execution's evidence stream
-        # and must not be stitched into this one.
+        # and must not be stitched into this one.  The performance
+        # ledger is the exception — its records describe *measurements
+        # of* past executions, which is exactly what should accumulate
+        # across re-runs — so it survives the replacement.
+        ledger = None
         if os.path.isdir(run_dir):
+            ledger_file = self.ledger_path(sim.config)
+            if os.path.isfile(ledger_file):
+                with open(ledger_file, "rb") as handle:
+                    ledger = handle.read()
             shutil.rmtree(run_dir)
         os.makedirs(run_dir)
+        if ledger is not None:
+            with open(self.ledger_path(sim.config), "wb") as handle:
+                handle.write(ledger)
         _atomic_write(
             os.path.join(run_dir, "config.json"),
             sim.config.to_json().encode("utf-8"),
@@ -215,6 +226,24 @@ class RunStore:
 
     def _run_dir(self, config: "RunConfig") -> str:
         return os.path.join(self.root, f"run-{config.content_hash()[:8]}")
+
+    def run_dir(self, config: "RunConfig") -> str:
+        """The run directory a config maps to (may not exist yet)."""
+        return self._run_dir(config)
+
+    def ledger_path(self, config: "RunConfig") -> str:
+        """Where this run's performance-ledger records are appended.
+
+        The ledger lives beside the checkpoint chain but is append-only
+        across re-runs of the same config: :meth:`writer` replaces a
+        fresh run's checkpoint chain (it describes one execution's
+        evidence stream) while carrying the ledger file over, because
+        ledger records describe *measurements of* executions — exactly
+        what one wants to trend across re-runs.
+        """
+        from ..obs.ledger import LEDGER_FILENAME
+
+        return os.path.join(self._run_dir(config), LEDGER_FILENAME)
 
     # -- reading --------------------------------------------------------------
 

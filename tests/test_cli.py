@@ -211,6 +211,49 @@ class TestTraceSubcommands:
             assert path.startswith("campaign;")
             assert int(value) > 0
 
+    def test_summary_json_file_and_stdout(self, smoke_traces, tmp_path, capsys):
+        serial, _ = smoke_traces
+        out_file = tmp_path / "summary.json"
+        capsys.readouterr()
+        assert main([
+            "trace", "summary", str(serial), "--json", str(out_file),
+        ]) == 0
+        captured = capsys.readouterr()
+        # --json FILE suppresses the markdown (machine consumers get one
+        # artifact), with a stderr notice saying where it went.
+        assert "# Trace summary" not in captured.out
+        assert "summary JSON" in captured.err
+        payload = json.loads(out_file.read_text())
+        assert payload["events"] > 0
+        assert payload["stages"][0]["name"] == "initial"
+        assert payload["critical_path"]
+        # "-" streams the same JSON to stdout instead.
+        assert main(["trace", "summary", str(serial), "--json", "-"]) == 0
+        streamed = json.loads(capsys.readouterr().out)
+        assert streamed["events"] == payload["events"]
+
+    def test_profile_json_matches_markdown_run(self, tmp_path, capsys):
+        perf_dir = tmp_path / "perf"
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "run", "--scale", "0.002", "--seed", "5", "--artifact", "table6",
+            "--trace", str(trace), "--perf", str(perf_dir),
+        ]) == 0
+        out_file = tmp_path / "profile.json"
+        capsys.readouterr()
+        assert main([
+            "trace", "profile", str(trace), "--perf", str(perf_dir),
+            "--json", str(out_file),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "# Wall-clock profile" not in captured.out
+        payload = json.loads(out_file.read_text())
+        assert payload["records"] > 0
+        assert payload["stages"], "profile JSON must carry stage rows"
+        for row in payload["stages"]:
+            assert set(row) >= {"name", "virtual", "wall", "wall_per_probe_us"}
+        assert payload["spans"]
+
     def test_diff_serial_vs_sharded_reports_identical(self, smoke_traces, capsys):
         serial, sharded = smoke_traces
         capsys.readouterr()
