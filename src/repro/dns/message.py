@@ -74,22 +74,37 @@ class Message:
         recursion_desired: bool = True,
     ) -> "Message":
         """Build a standard query message."""
-        return cls(
-            id=id,
-            question=Question(name, rrtype),
-            recursion_desired=recursion_desired,
-        )
+        # Hot path: direct attribute assignment skips the dataclass
+        # __init__'s keyword matching and default handling.
+        msg = cls.__new__(cls)
+        msg.id = id
+        msg.opcode = Opcode.QUERY
+        msg.rcode = Rcode.NOERROR
+        msg.is_response = False
+        msg.authoritative = False
+        msg.recursion_desired = recursion_desired
+        msg.recursion_available = False
+        msg.question = Question(name, rrtype)
+        msg.answers = []
+        msg.authority = []
+        msg.additional = []
+        return msg
 
     def make_response(self, rcode: Rcode = Rcode.NOERROR) -> "Message":
         """Build a response skeleton echoing this query."""
-        return Message(
-            id=self.id,
-            opcode=self.opcode,
-            rcode=rcode,
-            is_response=True,
-            recursion_desired=self.recursion_desired,
-            question=self.question,
-        )
+        msg = Message.__new__(Message)
+        msg.id = self.id
+        msg.opcode = self.opcode
+        msg.rcode = rcode
+        msg.is_response = True
+        msg.authoritative = False
+        msg.recursion_desired = self.recursion_desired
+        msg.recursion_available = False
+        msg.question = self.question
+        msg.answers = []
+        msg.authority = []
+        msg.additional = []
+        return msg
 
     def answer_rrset(self, rrtype: Optional[RRType] = None) -> List[ResourceRecord]:
         """Answers filtered to ``rrtype`` (or the question's type)."""

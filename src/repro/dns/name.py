@@ -12,7 +12,7 @@ those transformations.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Dict, Iterable, Iterator, Tuple, Union
 
 from ..errors import NameError_
 
@@ -39,17 +39,63 @@ class Name:
     'Mail.Example.COM'
     """
 
-    __slots__ = ("_labels", "_key")
+    __slots__ = ("_labels", "_key", "_hash")
+
+    # Bounded memo tables for the two hot construction paths.  Both are
+    # cleared wholesale when full: probe names are unique by design, so an
+    # LRU would churn without helping, while the fleet's repeated zone and
+    # MTA names re-warm within one stage.
+    _MEMO_CAP = 65536
+    _FROM_TEXT: Dict[str, "Name"] = {}
+    # Interning is keyed by the *spelled* labels, not the lowercase key —
+    # case variants must stay distinct objects so str() round-trips.
+    _INTERNED: Dict[Tuple[str, ...], "Name"] = {}
 
     def __init__(self, labels: Iterable[str]) -> None:
         labels = tuple(labels)
         for label in labels:
-            _validate_label(label)
+            if not label or len(label) > MAX_LABEL_LENGTH:
+                _validate_label(label)
         joined = ".".join(labels)
         if len(joined) > MAX_NAME_LENGTH:
             raise NameError_(f"name too long ({len(joined)} > {MAX_NAME_LENGTH})")
         self._labels: Tuple[str, ...] = labels
-        self._key: Tuple[str, ...] = tuple(l.lower() for l in labels)
+        # Names are overwhelmingly lowercase already; alias the labels
+        # tuple as the key instead of building a second tuple.
+        if joined.lower() == joined:
+            self._key: Tuple[str, ...] = labels
+        else:
+            self._key = tuple(l.lower() for l in labels)
+        self._hash = None
+
+    @classmethod
+    def _make(cls, labels: Tuple[str, ...], key: Tuple[str, ...]) -> "Name":
+        """Unchecked constructor for names derived from validated ones.
+
+        Callers must pass label/key tuples sliced or reordered from an
+        existing Name, so per-label validation and the length check can
+        be skipped.
+        """
+        self = object.__new__(cls)
+        self._labels = labels
+        self._key = key
+        self._hash = None
+        return self
+
+    def intern(self) -> "Name":
+        """The canonical instance for this spelling.
+
+        Interned names share one object per labels tuple, so hashing and
+        equality hit the identity fast path.  Safe because Name is
+        immutable; bounded by :data:`_MEMO_CAP`.
+        """
+        table = Name._INTERNED
+        canon = table.get(self._labels)
+        if canon is None:
+            if len(table) >= Name._MEMO_CAP:
+                table.clear()
+            table[self._labels] = canon = self
+        return canon
 
     @classmethod
     def root(cls) -> "Name":
@@ -59,10 +105,16 @@ class Name:
     @classmethod
     def from_text(cls, text: str) -> "Name":
         """Parse a presentation-format name. A single ``.`` is the root."""
-        text = text.rstrip(".")
-        if text == "":
-            return cls.root()
-        return cls(text.split("."))
+        memo = cls._FROM_TEXT
+        cached = memo.get(text)
+        if cached is not None:
+            return cached
+        stripped = text.rstrip(".")
+        name = (cls(()) if stripped == "" else cls(stripped.split("."))).intern()
+        if len(memo) >= cls._MEMO_CAP:
+            memo.clear()
+        memo[text] = name
+        return name
 
     # -- basic protocol ---------------------------------------------------
 
@@ -82,12 +134,17 @@ class Name:
         return f"Name({str(self)!r})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, Name):
             return self._key == other._key
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._key)
+        return h
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -109,7 +166,7 @@ class Name:
         """The name with the leftmost label removed."""
         if not self._labels:
             raise NameError_("the root name has no parent")
-        return Name(self._labels[1:])
+        return Name._make(self._labels[1:], self._key[1:])
 
     def tld(self) -> str:
         """The rightmost label, lowercase ('' for the root)."""
@@ -128,7 +185,7 @@ class Name:
         if not self.is_subdomain_of(origin):
             raise NameError_(f"{self} is not a subdomain of {origin}")
         n = len(self._labels) - len(origin._labels)
-        return Name(self._labels[:n])
+        return Name._make(self._labels[:n], self._key[:n])
 
     def concatenate(self, suffix: Union["Name", str]) -> "Name":
         """Append ``suffix``'s labels after this name's labels."""
@@ -144,10 +201,12 @@ class Name:
 
     def reversed_labels(self) -> "Name":
         """Labels in reverse order (the SPF ``r`` transformer)."""
-        return Name(tuple(reversed(self._labels)))
+        return Name._make(self._labels[::-1], self._key[::-1])
 
     def rightmost(self, count: int) -> "Name":
         """Keep only the rightmost ``count`` labels (SPF digit transformer)."""
         if count <= 0:
             raise NameError_("label count must be positive")
-        return Name(self._labels[-count:]) if count < len(self._labels) else self
+        if count >= len(self._labels):
+            return self
+        return Name._make(self._labels[-count:], self._key[-count:])

@@ -46,6 +46,7 @@ class QueryLog:
 
     def __init__(self, base: Name) -> None:
         self.base = base
+        self._base_key = base.key
         self._entries: List[QueryLogEntry] = []
         self._by_labels: Dict[Tuple[str, str], List[QueryLogEntry]] = {}
         # Probe-execution workers append concurrently; per-label slices
@@ -114,14 +115,15 @@ class QueryLog:
         anything further left is macro-expansion output.  Returns ``None``
         for names outside the base or too shallow to carry both labels.
         """
-        if not qname.is_subdomain_of(self.base):
+        base_key = self._base_key
+        blen = len(base_key)
+        qkey = qname.key
+        n = len(qkey) - blen
+        if n < 2:
             return None
-        relative = qname.relativize(self.base)
-        if len(relative) < 2:
+        if blen and qkey[-blen:] != base_key:
             return None
-        suite = relative.labels[-1].lower()
-        test_id = relative.labels[-2].lower()
-        return (suite, test_id)
+        return (qkey[n - 1], qkey[n - 2])
 
     def entries_for(self, suite: str, test_id: str) -> List[QueryLogEntry]:
         """All queries carrying the given suite and test id labels."""
@@ -134,14 +136,15 @@ class QueryLog:
         ``X`` portion (possibly multiple labels).  TXT queries (the policy
         fetch itself, with empty prefix) are excluded.
         """
+        blen = len(self._base_key)
         prefixes = []
         for entry in self.entries_for(suite, test_id):
             if entry.rrtype not in (RRType.A, RRType.AAAA):
                 continue
-            relative = entry.qname.relativize(self.base)
-            prefix_labels = relative.labels[:-2]
-            if prefix_labels:
-                prefixes.append(Name(prefix_labels))
+            qname = entry.qname
+            n = len(qname.labels) - blen - 2
+            if n > 0:
+                prefixes.append(Name._make(qname.labels[:n], qname.key[:n]))
         return prefixes
 
     def saw_policy_fetch(self, suite: str, test_id: str) -> bool:

@@ -16,6 +16,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple, Type, Union
 
+from .. import ipmemo
 from ..errors import WireFormatError
 from .name import Name
 
@@ -74,7 +75,15 @@ class A(Rdata):
     rrtype = RRType.A
 
     def __init__(self, address: Union[str, ipaddress.IPv4Address]) -> None:
-        self.address = ipaddress.IPv4Address(address)
+        if isinstance(address, ipaddress.IPv4Address):
+            self.address = address
+        elif isinstance(address, str):
+            addr = ipmemo.ip_address(address)
+            if not isinstance(addr, ipaddress.IPv4Address):
+                raise ipaddress.AddressValueError(f"not an IPv4 address: {address!r}")
+            self.address = addr
+        else:
+            self.address = ipaddress.IPv4Address(address)
 
     def to_text(self) -> str:
         return str(self.address)
@@ -95,7 +104,15 @@ class AAAA(Rdata):
     rrtype = RRType.AAAA
 
     def __init__(self, address: Union[str, ipaddress.IPv6Address]) -> None:
-        self.address = ipaddress.IPv6Address(address)
+        if isinstance(address, ipaddress.IPv6Address):
+            self.address = address
+        elif isinstance(address, str):
+            addr = ipmemo.ip_address(address)
+            if not isinstance(addr, ipaddress.IPv6Address):
+                raise ipaddress.AddressValueError(f"not an IPv6 address: {address!r}")
+            self.address = addr
+        else:
+            self.address = ipaddress.IPv6Address(address)
 
     def to_text(self) -> str:
         return str(self.address)

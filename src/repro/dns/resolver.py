@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import ipaddress
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ResolutionError
@@ -36,10 +36,25 @@ def _default_clock() -> _dt.datetime:
 
 @dataclass
 class _CacheEntry:
+    inserted: _dt.datetime
     expires: _dt.datetime
     rcode: Rcode
     records: List[ResourceRecord]
     authority: List[ResourceRecord]
+
+    def replay(self, now: _dt.datetime) -> Tuple[List[ResourceRecord], List[ResourceRecord]]:
+        """The cached sections with TTLs decayed by the elapsed time.
+
+        RFC 1035 section 3.2.1: TTL counts down while a record sits in a
+        cache, so a replayed record carries only its *remaining* lifetime,
+        never the original one.  Whole seconds only — the simulation's
+        clock, like real resolvers, tracks TTLs at second granularity.
+        """
+        elapsed = int((now - self.inserted).total_seconds())
+        if elapsed <= 0:
+            return list(self.records), list(self.authority)
+        decay = lambda rr: _dc_replace(rr, ttl=max(0, rr.ttl - elapsed))
+        return [decay(rr) for rr in self.records], [decay(rr) for rr in self.authority]
 
 
 class CachingResolver(DnsBackend):
@@ -53,6 +68,10 @@ class CachingResolver(DnsBackend):
         self._clock = clock or _default_clock
         self.query_count = 0
         self.cache_hits = 0
+        # (obs, queries_counter, hits_counter) — refreshed whenever the
+        # active observability context changes identity, so the hot path
+        # skips two registry lookups per query.
+        self._counters: Optional[tuple] = None
 
     def register(self, suffix: Union[str, Name], backend: DnsBackend) -> None:
         """Delegate all names under ``suffix`` to ``backend``."""
@@ -60,12 +79,16 @@ class CachingResolver(DnsBackend):
         self._backends[name.key] = backend
 
     def _backend_for(self, name: Name) -> Optional[DnsBackend]:
-        best_key: Optional[tuple] = None
-        for key in self._backends:
-            if name.is_subdomain_of(Name(key)):
-                if best_key is None or len(key) > len(best_key):
-                    best_key = key
-        return self._backends.get(best_key) if best_key is not None else None
+        # Longest-match by walking the qname's suffixes from longest to
+        # shortest: one dict probe per label instead of a linear scan over
+        # every registered zone (the root key ``()`` matches last).
+        backends = self._backends
+        key = name.key
+        for i in range(len(key) + 1):
+            backend = backends.get(key[i:])
+            if backend is not None:
+                return backend
+        return None
 
     def query(self, message: Message, *, source: str = "", now: Optional[_dt.datetime] = None) -> Message:
         if message.question is None:
@@ -74,19 +97,26 @@ class CachingResolver(DnsBackend):
         timestamp = now if now is not None else self._clock()
         self.query_count += 1
         obs = _obs.ACTIVE
+        cc = None
         if obs is not None:
-            obs.metrics.counter("dns.resolver.queries").inc(rrtype.name)
+            cc = self._counters
+            if cc is None or cc[0] is not obs:
+                self._counters = cc = (
+                    obs,
+                    obs.metrics.counter("dns.resolver.queries"),
+                    obs.metrics.counter("dns.resolver.cache_hits"),
+                )
+            cc[1].inc(rrtype.name)
 
         cache_key = (qname.key, rrtype)
         entry = self._cache.get(cache_key)
         if entry is not None and entry.expires > timestamp:
             self.cache_hits += 1
-            if obs is not None:
-                obs.metrics.counter("dns.resolver.cache_hits").inc(rrtype.name)
+            if cc is not None:
+                cc[2].inc(rrtype.name)
             response = message.make_response(entry.rcode)
             response.recursion_available = True
-            response.answers = list(entry.records)
-            response.authority = list(entry.authority)
+            response.answers, response.authority = entry.replay(timestamp)
             return response
 
         backend = self._backend_for(qname)
@@ -99,16 +129,19 @@ class CachingResolver(DnsBackend):
         ttl = self._cache_ttl(upstream)
         if ttl > 0:
             self._cache[cache_key] = _CacheEntry(
+                inserted=timestamp,
                 expires=timestamp + _dt.timedelta(seconds=ttl),
                 rcode=upstream.rcode,
                 records=list(upstream.answers),
                 authority=list(upstream.authority),
             )
-        response = message.make_response(upstream.rcode)
-        response.recursion_available = True
-        response.answers = list(upstream.answers)
-        response.authority = list(upstream.authority)
-        return response
+        # The cache keeps its own copies above, and backends build a fresh
+        # response per query, so the upstream message can be returned
+        # directly with its flags adjusted to this resolver's view: a
+        # recursive answer is never authoritative and offers recursion.
+        upstream.authoritative = False
+        upstream.recursion_available = True
+        return upstream
 
     def _cache_ttl(self, upstream: Message) -> int:
         """How long ``upstream`` may be cached, in seconds.
@@ -116,8 +149,13 @@ class CachingResolver(DnsBackend):
         Positive answers use the smallest answer TTL.  Negative answers
         (NXDOMAIN/NODATA) use the RFC 2308 rule: the minimum of the SOA
         record's own TTL and its ``minimum`` field when the authority
-        section carries one, else :data:`NEGATIVE_TTL`.
+        section carries one, else :data:`NEGATIVE_TTL`.  Only NOERROR and
+        NXDOMAIN responses are cacheable (RFC 2308 section 7) — SERVFAIL
+        and other failures signal transient conditions and pass through
+        uncached so recovery is visible on the very next query.
         """
+        if upstream.rcode not in (Rcode.NOERROR, Rcode.NXDOMAIN):
+            return 0
         if upstream.answers:
             return min(rr.ttl for rr in upstream.answers)
         for rr in upstream.authority:

@@ -45,12 +45,13 @@ class AuthoritativeServer(DnsBackend):
 
     def zone_for(self, name: Name) -> Optional[Zone]:
         """Longest-match zone containing ``name``."""
-        best: Optional[Zone] = None
-        for zone in self._zones.values():
-            if name.is_subdomain_of(zone.origin):
-                if best is None or len(zone.origin) > len(best.origin):
-                    best = zone
-        return best
+        zones = self._zones
+        key = name.key
+        for i in range(len(key) + 1):
+            zone = zones.get(key[i:])
+            if zone is not None:
+                return zone
+        return None
 
     def query(self, message: Message, *, source: str = "", now: Optional[_dt.datetime] = None) -> Message:
         if message.question is None:
@@ -123,6 +124,10 @@ class SpfTestResponder(DnsBackend):
         self.answer_address = answer_address
         self.ttl = ttl
         self.log = QueryLog(base)
+        # Hot-path caches: the A rdata and the SOA record never vary, and
+        # both are immutable, so one shared instance serves every answer.
+        self._a_rdata = A(answer_address)
+        self._soa_record: Optional[ResourceRecord] = None
 
     def query(self, message: Message, *, source: str = "", now: Optional[_dt.datetime] = None) -> Message:
         if message.question is None:
@@ -172,7 +177,7 @@ class SpfTestResponder(DnsBackend):
 
         if rrtype == RRType.A:
             response.answers.append(
-                ResourceRecord(name=qname, rdata=A(self.answer_address), ttl=self.ttl)
+                ResourceRecord(name=qname, rdata=self._a_rdata, ttl=self.ttl)
             )
             return response
         if rrtype == RRType.AAAA:
@@ -185,10 +190,13 @@ class SpfTestResponder(DnsBackend):
         return response
 
     def _soa(self) -> ResourceRecord:
-        from .rdata import SOA
+        record = self._soa_record
+        if record is None:
+            from .rdata import SOA
 
-        return ResourceRecord(
-            name=self.base,
-            rdata=SOA(self.base.prepend("ns1"), self.base.prepend("hostmaster")),
-            ttl=self.ttl,
-        )
+            record = self._soa_record = ResourceRecord(
+                name=self.base,
+                rdata=SOA(self.base.prepend("ns1"), self.base.prepend("hostmaster")),
+                ttl=self.ttl,
+            )
+        return record

@@ -41,7 +41,10 @@ class _Encoder:
                 pointer = self.offsets[suffix_key]
                 self.out.extend(struct.pack("!H", 0xC000 | pointer))
                 return
-            if len(self.out) < 0x3FFF:
+            # Pointers encode 14-bit offsets, so 0x3FFF itself is still
+            # addressable; and with compression off there is no point
+            # (and no correctness) in registering targets at all.
+            if compress and len(self.out) <= 0x3FFF:
                 self.offsets[suffix_key] = len(self.out)
             raw = labels[i].encode("ascii", errors="replace")
             self.out.append(len(raw))

@@ -564,7 +564,15 @@ class ProcessShardedExecutor(ProbeExecutor):
     def _pool(self, shard: int) -> ProcessPoolExecutor:
         pool = self._pools.get(shard)
         if pool is None:
-            pool = ProcessPoolExecutor(max_workers=1)
+            from .shardworld import _child_init
+
+            # The world spec crosses the process boundary once, at worker
+            # start; per-stage submissions then carry only event deltas.
+            pool = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_child_init,
+                initargs=(self.world, shard, self.workers),
+            )
             self._pools[shard] = pool
         return pool
 
@@ -651,7 +659,7 @@ class ProcessShardedExecutor(ProbeExecutor):
     def run_stage(
         self, stage: str, tasks: Sequence[ProbeTask]
     ) -> List[DetectionResult]:
-        from .shardworld import StageAssignment, _child_run, shard_of
+        from .shardworld import StageAssignment, _child_events, shard_of
 
         env = self.env
         metrics = self.metrics.begin_stage(stage, workers=self.workers)
@@ -686,9 +694,7 @@ class ProcessShardedExecutor(ProbeExecutor):
             if self._ship_counting:
                 self.ship_payload_bytes += len(pickle.dumps(payload))
             try:
-                futures[shard] = self._pool(shard).submit(
-                    _child_run, self.world, shard, self.workers, payload
-                )
+                futures[shard] = self._pool(shard).submit(_child_events, payload)
             except BrokenExecutor as error:
                 self._note_shard_failure(shard, obs, error)
         # Catch up broken shards in-process while healthy workers run.

@@ -362,15 +362,44 @@ class ShardWorld:
 #: each worker serves exactly one shard for the campaign's lifetime).
 _WORLD: Optional[ShardWorld] = None
 
+#: The (spec, shard_id, num_shards) triple delivered by the pool
+#: initializer — shipped exactly once per worker process, so per-stage
+#: submissions carry only the event delta.
+_SPEC: Optional[Tuple["RunConfig", int, int]] = None
+
+
+def _child_init(spec: "RunConfig", shard_id: int, num_shards: int) -> None:
+    """Pool initializer: pin this worker's world spec (runs once)."""
+    global _SPEC
+    _SPEC = (spec, shard_id, num_shards)
+
+
+def _child_events(events: List[object]) -> ShardStageResult:
+    """Run one batch of world events against the initializer-pinned world."""
+    global _WORLD
+    if _WORLD is None:
+        if _SPEC is None:
+            raise SimulationError("worker process missing _child_init spec")
+        # Forked children inherit the parent's ambient observation;
+        # detach it so replica evidence never leaks into a stale copy.
+        from ..obs import context as _obs
+
+        _obs.ACTIVE = None
+        _WORLD = ShardWorld(*_SPEC)
+    return _WORLD.apply(events)
+
 
 def _child_run(
     spec: "RunConfig", shard_id: int, num_shards: int, events: List[object]
 ) -> ShardStageResult:
-    """Run one batch of world events in a worker process."""
+    """Run one batch of world events in a worker process.
+
+    Kept for callers that ship the spec with every submission; the
+    executor now delivers the spec through :func:`_child_init` and
+    submits :func:`_child_events` instead.
+    """
     global _WORLD
     if _WORLD is None or _WORLD.key != (spec, shard_id, num_shards):
-        # Forked children inherit the parent's ambient observation;
-        # detach it so replica evidence never leaks into a stale copy.
         from ..obs import context as _obs
 
         _obs.ACTIVE = None

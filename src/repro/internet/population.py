@@ -172,6 +172,12 @@ class _AffineSelection:
 CHUNK_ROWS = 4096
 #: Generated chunks kept alive in the table's LRU.
 _CHUNK_CACHE = 64
+#: Scattered single-row lookups memoized outside the chunk LRU.  Bounded
+#: well under the chunk cache's footprint (a row tuple is ~200 bytes, so
+#: the worst case is a few MB against the 64 MB world budget); cleared
+#: wholesale when full because hosting-unit access patterns re-touch a
+#: small working set.
+_ROW_MEMO_CAP = 32768
 
 
 class _Chunk:
@@ -236,6 +242,7 @@ class DomainTable:
             name: i for i, name in enumerate(TOP_EMAIL_PROVIDER_DOMAINS)
         }
         self._chunks: "OrderedDict[int, _Chunk]" = OrderedDict()
+        self._row_memo: Dict[int, Tuple[str, str, int, int]] = {}
         # Read-only cache telemetry (repro.obs.perf counter surface).
         # Plain always-on integers: the counts are deterministic for a
         # given access pattern, so the report can print them, and reading
@@ -349,8 +356,14 @@ class DomainTable:
             raise IndexError(index)
         chunk = self._chunks.get(index // CHUNK_ROWS)
         if chunk is None:
-            self.row_regens += 1
-            return self._generate_row(index)
+            row = self._row_memo.get(index)
+            if row is None:
+                self.row_regens += 1
+                row = self._generate_row(index)
+                if len(self._row_memo) >= _ROW_MEMO_CAP:
+                    self._row_memo.clear()
+                self._row_memo[index] = row
+            return row
         self.chunk_hits += 1
         self._chunks.move_to_end(index // CHUNK_ROWS)
         offset = index % CHUNK_ROWS

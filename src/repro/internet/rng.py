@@ -11,11 +11,21 @@ from __future__ import annotations
 import random
 import string
 import zlib
+from bisect import bisect_right
 from typing import Dict, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
 _ALNUM = string.ascii_lowercase + string.digits
+
+# Cumulative-weight tables memoized per weights dict.  Keyed by id() with
+# a strong reference to the dict held in the value: the reference keeps
+# the id from being reused while cached, and the identity check below
+# catches any collision after a wholesale clear.  The hot callers (TLD
+# weight tables) are module constants, so this caches a handful of
+# entries for millions of draws.
+_WEIGHT_TABLES: Dict[int, tuple] = {}
+_WEIGHT_TABLES_CAP = 256
 
 
 class SeededRng:
@@ -55,16 +65,27 @@ class SeededRng:
         return self._random.sample(items, count)
 
     def weighted_choice(self, weights: Dict[T, float]) -> T:
-        """Choose a key with probability proportional to its weight."""
-        items = list(weights.items())
-        total = sum(w for _, w in items)
+        """Choose a key with probability proportional to its weight.
+
+        Consumes exactly one ``random()`` draw and reproduces the linear
+        cumulative scan bit-for-bit (same left-to-right float sums), so
+        memoizing the table never perturbs generated populations.
+        """
+        cached = _WEIGHT_TABLES.get(id(weights))
+        if cached is None or cached[0] is not weights:
+            keys = list(weights.keys())
+            cumulative = []
+            total = 0.0
+            for w in weights.values():
+                total += w
+                cumulative.append(total)
+            if len(_WEIGHT_TABLES) >= _WEIGHT_TABLES_CAP:
+                _WEIGHT_TABLES.clear()
+            _WEIGHT_TABLES[id(weights)] = cached = (weights, keys, cumulative, total)
+        _, keys, cumulative, total = cached
         point = self._random.random() * total
-        cumulative = 0.0
-        for item, weight in items:
-            cumulative += weight
-            if point < cumulative:
-                return item
-        return items[-1][0]
+        index = bisect_right(cumulative, point)
+        return keys[index] if index < len(keys) else keys[-1]
 
     def categorical(self, outcomes: Sequence[Tuple[T, float]]) -> T:
         """Choose among (outcome, probability) pairs; probabilities may be

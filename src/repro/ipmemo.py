@@ -1,0 +1,47 @@
+"""Memoized IP address/network parsing for hot paths.
+
+``ipaddress`` re-parses its text form on every construction, and the
+simulation parses the same handful of literals millions of times per
+campaign: the shared probe client IP, the measurement server's fixed
+answer address, and each fleet MTA's address.  Parsed ``ipaddress``
+objects are immutable and hashable, so sharing one instance per literal
+is safe.  Both tables are bounded and cleared wholesale when full — the
+working set is tiny, the cap only guards against adversarial inputs.
+
+Networks are parsed with ``strict=False`` (host bits allowed), matching
+every call site in the SPF evaluator and record parser.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+_CAP = 8192
+_ADDRESSES: Dict[str, IPAddress] = {}
+_NETWORKS: Dict[str, IPNetwork] = {}
+
+
+def ip_address(text: str) -> IPAddress:
+    """A shared parsed address for ``text`` (raises ValueError as usual)."""
+    addr = _ADDRESSES.get(text)
+    if addr is None:
+        addr = ipaddress.ip_address(text)
+        if len(_ADDRESSES) >= _CAP:
+            _ADDRESSES.clear()
+        _ADDRESSES[text] = addr
+    return addr
+
+
+def ip_network(text: str) -> IPNetwork:
+    """A shared parsed network for ``text``, always ``strict=False``."""
+    net = _NETWORKS.get(text)
+    if net is None:
+        net = ipaddress.ip_network(text, strict=False)
+        if len(_NETWORKS) >= _CAP:
+            _NETWORKS.clear()
+        _NETWORKS[text] = net
+    return net

@@ -69,7 +69,20 @@ class CBuffer:
                 )
 
     def write_bytes(self, offset: int, data: bytes) -> int:
-        """Write ``data`` starting at ``offset``; returns bytes written."""
+        """Write ``data`` starting at ``offset``; returns bytes written.
+
+        The fully in-bounds case is one slice assignment; any write that
+        starts before 0 or could touch the guard region falls back to the
+        byte loop so underflow/overflow accounting (including one
+        ``overflow_events`` entry per overflowing byte) stays identical.
+        """
+        end = offset + len(data)
+        if data and offset >= 0 and end <= self.size:
+            self._check_alive()
+            self._data[offset:end] = data
+            if end > self.high_water:
+                self.high_water = end
+            return len(data)
         for i, byte in enumerate(data):
             self.write_byte(offset + i, byte)
         return len(data)

@@ -44,6 +44,8 @@ _MACRO_LETTERS = "slodiphcrtv"
 _UNRESERVED = set(
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
 )
+#: The same set as byte values, for membership tests on encoded output.
+_UNRESERVED_BYTES = frozenset(ord(c) for c in _UNRESERVED)
 
 #: Resolves a macro letter (lowercase) to its value, e.g. 'd' -> domain.
 ValueFn = Callable[[str], str]
@@ -101,6 +103,10 @@ def _parse_macro(body: str) -> _Macro:
 
 
 def _split(value: str, delimiters: str) -> List[str]:
+    if len(delimiters) == 1:
+        # str.split matches the scan below exactly for one delimiter
+        # (empty segments included) — and "." is the overwhelming case.
+        return value.split(delimiters)
     parts: List[str] = []
     current = ""
     for ch in value:
@@ -113,37 +119,72 @@ def _split(value: str, delimiters: str) -> List[str]:
     return parts
 
 
+#: Token streams per macro string.  Tokens are immutable (literal text
+#: and frozen ``_Macro`` records), so sharing across expansions is safe;
+#: the same handful of policy templates repeats across an entire
+#: campaign.  Cleared wholesale at the cap.  Errors are not cached.
+_TOKEN_CACHE: Dict[str, List[Tuple[str, object]]] = {}
+_TOKEN_CACHE_CAP = 4096
+
+
 def _tokenize(macro_string: str) -> List[Tuple[str, object]]:
-    """Break a macro-string into ('lit', ch) and ('macro', _Macro) tokens."""
+    """Break a macro-string into ('lit', text) and ('macro', _Macro) tokens.
+
+    Literal runs are coalesced into one token per stretch between macros;
+    the emitted byte stream is identical to the per-character form (each
+    literal character contributes one byte, ``ord(ch) & 0xFF``).
+    """
+    cached = _TOKEN_CACHE.get(macro_string)
+    if cached is not None:
+        return cached
     tokens: List[Tuple[str, object]] = []
+    lits: List[str] = []
+    n = len(macro_string)
     i = 0
-    while i < len(macro_string):
-        ch = macro_string[i]
-        if ch != "%":
-            tokens.append(("lit", ch))
-            i += 1
-            continue
-        if i + 1 >= len(macro_string):
+    while i < n:
+        j = macro_string.find("%", i)
+        if j < 0:
+            lits.append(macro_string[i:])
+            break
+        if j > i:
+            lits.append(macro_string[i:j])
+        if j + 1 >= n:
             raise MacroError("trailing '%'")
-        nxt = macro_string[i + 1]
+        nxt = macro_string[j + 1]
         if nxt == "%":
-            tokens.append(("lit", "%"))
-            i += 2
+            lits.append("%")
+            i = j + 2
         elif nxt == "_":
-            tokens.append(("lit", " "))
-            i += 2
+            lits.append(" ")
+            i = j + 2
         elif nxt == "-":
-            tokens.extend(("lit", c) for c in "%20")
-            i += 2
+            lits.append("%20")
+            i = j + 2
         elif nxt == "{":
-            end = macro_string.find("}", i + 2)
+            end = macro_string.find("}", j + 2)
             if end < 0:
                 raise MacroError(f"unterminated macro in {macro_string!r}")
-            tokens.append(("macro", _parse_macro(macro_string[i + 2 : end])))
+            if lits:
+                tokens.append(("lit", "".join(lits)))
+                lits = []
+            tokens.append(("macro", _parse_macro(macro_string[j + 2 : end])))
             i = end + 1
         else:
             raise MacroError(f"invalid escape '%{nxt}'")
+    if lits:
+        tokens.append(("lit", "".join(lits)))
+    if len(_TOKEN_CACHE) >= _TOKEN_CACHE_CAP:
+        _TOKEN_CACHE.clear()
+    _TOKEN_CACHE[macro_string] = tokens
     return tokens
+
+
+def _lit_bytes(text: str) -> bytes:
+    """A literal run as bytes: one per character, ``ord(ch) & 0xFF``."""
+    try:
+        return text.encode("latin-1")
+    except UnicodeEncodeError:
+        return bytes(ord(ch) & 0xFF for ch in text)
 
 
 class LibSpf2Expander:
@@ -209,7 +250,7 @@ class LibSpf2Expander:
         any_url = False
         for kind, tok in tokens:
             if kind == "lit":
-                buflen += 1
+                buflen += len(tok)  # type: ignore[arg-type]
                 continue
             macro = tok  # type: ignore[assignment]
             value = value_of(macro.letter.lower())
@@ -217,7 +258,7 @@ class LibSpf2Expander:
             if macro.url_escape:
                 any_url = True
                 buflen += sum(
-                    1 if chr(b) in _UNRESERVED else 3 for b in emitted.encode("utf-8")
+                    1 if b in _UNRESERVED_BYTES else 3 for b in emitted.encode("utf-8")
                 )
             else:
                 buflen += len(emitted.encode("utf-8"))
@@ -247,15 +288,14 @@ class LibSpf2Expander:
         try:
             for kind, tok in tokens:
                 if kind == "lit":
-                    buf.write_byte(pos, ord(tok))  # type: ignore[arg-type]
-                    pos += 1
+                    pos += buf.write_bytes(pos, _lit_bytes(tok))  # type: ignore[arg-type]
                     continue
                 macro = tok  # type: ignore[assignment]
                 value = value_of(macro.letter.lower())
                 emitted = ".".join(self._expanded_parts(macro, value))
                 if macro.url_escape:
                     for byte in emitted.encode("utf-8"):
-                        if chr(byte) in _UNRESERVED:
+                        if byte in _UNRESERVED_BYTES:
                             buf.write_byte(pos, byte)
                             pos += 1
                         elif self.patched:
@@ -268,9 +308,7 @@ class LibSpf2Expander:
                                 buf, pos, byte, char_is_signed=self.char_is_signed
                             )
                 else:
-                    for byte in emitted.encode("utf-8"):
-                        buf.write_byte(pos, byte)
-                        pos += 1
+                    pos += buf.write_bytes(pos, emitted.encode("utf-8"))
             buf.write_byte(pos, 0)
         except MemoryCorruptionError as exc:
             crashed = True

@@ -81,12 +81,23 @@ class TraceEvent:
 
 
 class _Scope:
-    """Mutable per-scope state: sequence and span counters."""
+    """Mutable per-scope state: sequence and span counters.
 
-    __slots__ = ("sid", "stage_ord", "lane", "probe", "seq", "spans")
+    ``shared`` scopes (run, stage) may be reached from several threads and
+    emit under the tracer lock; task scopes are single-threaded by design,
+    so their events buffer lock-free in ``buf`` and batch into the global
+    event list when the task closes (or on a same-thread read).
+    """
+
+    __slots__ = ("sid", "stage_ord", "lane", "probe", "seq", "spans", "shared", "buf")
 
     def __init__(
-        self, sid: str, stage_ord: int, lane: int, probe: Optional[str] = None
+        self,
+        sid: str,
+        stage_ord: int,
+        lane: int,
+        probe: Optional[str] = None,
+        shared: bool = True,
     ) -> None:
         self.sid = sid
         self.stage_ord = stage_ord
@@ -94,6 +105,8 @@ class _Scope:
         self.probe = probe
         self.seq = 0
         self.spans = 0
+        self.shared = shared
+        self.buf: List["TraceEvent"] = []
 
 
 class Tracer:
@@ -155,6 +168,27 @@ class Tracer:
     ) -> TraceEvent:
         if vt is None and self.clock is not None:
             vt = self.clock()
+        if not scope.shared:
+            # Task scopes are single-threaded: buffer lock-free and batch
+            # into the global list when the task closes.  The emit-index
+            # slot of the key is assigned at flush time; canonical order
+            # never depends on it because (stage ordinal, lane, seq) is
+            # already unique per event.
+            seq = scope.seq
+            scope.seq += 1
+            event = TraceEvent(
+                name=name,
+                vt=vt,
+                scope=scope.sid,
+                seq=seq,
+                span=span,
+                parent=parent,
+                probe=scope.probe,
+                attrs=attrs or {},
+                key=(scope.stage_ord, lane if lane is not None else scope.lane, seq, 0),
+            )
+            scope.buf.append(event)
+            return event
         with self._lock:
             seq = scope.seq
             scope.seq += 1
@@ -177,6 +211,32 @@ class Tracer:
             )
             self._events.append(event)
         return event
+
+    def _flush_scope(self, scope: _Scope) -> None:
+        """Batch a task scope's buffered events into the global list.
+
+        One lock acquisition per task instead of one per event; the
+        deferred emit-index tiebreak is stamped here, in buffer order.
+        """
+        buf = scope.buf
+        if not buf:
+            return
+        scope.buf = []
+        with self._lock:
+            index = self._emit_counter
+            events = self._events
+            for event in buf:
+                key = event.key
+                object.__setattr__(event, "key", (key[0], key[1], key[2], index))
+                index += 1
+                events.append(event)
+            self._emit_counter = index
+
+    def _flush_local(self) -> None:
+        """Flush the calling thread's open task scope, if any (read path)."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            self._flush_scope(scope)
 
     # -- public emit API ----------------------------------------------------
 
@@ -248,7 +308,7 @@ class Tracer:
         stage = self._stage
         stage_ord = stage.stage_ord if stage is not None else self._stages_begun
         sid = f"s{stage_ord}.t{index}" if stage is not None else f"t{index}"
-        scope = _Scope(sid, stage_ord, index, probe)
+        scope = _Scope(sid, stage_ord, index, probe, shared=False)
         self._local.scope = scope
         self._emit("task.begin", scope, vt=vt, attrs=attrs)
         if self.sink is not None:
@@ -263,13 +323,20 @@ class Tracer:
             if self.sink is not None:
                 self.sink.exit(scope.sid)
             self._emit("task.end", scope, vt=vt, attrs=attrs)
+            self._flush_scope(scope)
         self._local.scope = None
 
     def drop_task(self) -> None:
-        """Abandon the task scope without an event (exception unwind)."""
+        """Abandon the task scope without an event (exception unwind).
+
+        Events the task already emitted are kept (flushed), exactly as
+        they were when emission wrote straight to the global list.
+        """
         scope = getattr(self._local, "scope", None)
-        if scope is not None and self.sink is not None:
-            self.sink.discard(scope.sid)
+        if scope is not None:
+            if self.sink is not None:
+                self.sink.discard(scope.sid)
+            self._flush_scope(scope)
         self._local.scope = None
 
     # -- shard-world support --------------------------------------------------
@@ -290,11 +357,13 @@ class Tracer:
             self._stages_begun = ordinal
 
     def event_count(self) -> int:
+        self._flush_local()
         with self._lock:
             return len(self._events)
 
     def events_since(self, start: int) -> List[TraceEvent]:
         """Events emitted at positions ``start..`` (emission order)."""
+        self._flush_local()
         with self._lock:
             return self._events[start:]
 
@@ -343,6 +412,7 @@ class Tracer:
     # -- export ---------------------------------------------------------------
 
     def events(self) -> List[TraceEvent]:
+        self._flush_local()
         with self._lock:
             return list(self._events)
 
@@ -368,6 +438,9 @@ class Tracer:
         return len(events)
 
     def clear(self) -> None:
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            scope.buf = []
         with self._lock:
             self._events.clear()
 
@@ -389,7 +462,12 @@ class _SpanContext:
         if not tracer.enabled:
             return None
         scope = tracer._current_scope()
-        with tracer._lock:
+        if scope.shared:
+            with tracer._lock:
+                self._sid = f"{scope.sid}#{scope.spans}"
+                scope.spans += 1
+        else:
+            # Task scopes are single-threaded; no lock needed.
             self._sid = f"{scope.sid}#{scope.spans}"
             scope.spans += 1
         stack = tracer._span_stack()

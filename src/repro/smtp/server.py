@@ -19,6 +19,7 @@ import ipaddress
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import ipmemo as _ipmemo
 from ..dns.resolver import StubResolver
 from ..errors import SmtpProtocolError
 from ..obs import context as _obs
@@ -28,6 +29,7 @@ from ..spf.implementations import (
     PatchedLibSpf2Behavior,
     behavior_by_name,
 )
+from ..spf.result import SpfResult as _SpfResult
 from .policies import FailureStage, ServerPolicy, SpfTiming
 from .protocol import (
     Command,
@@ -148,7 +150,7 @@ class SmtpServer:
         if not domain:
             return outcomes
         try:
-            ip = ipaddress.ip_address(client_ip)
+            ip = _ipmemo.ip_address(client_ip)
         except ValueError:
             return outcomes
         obs = _obs.ACTIVE
@@ -221,9 +223,7 @@ class SmtpSession:
         return False
 
     def _spf_failed(self, outcomes: List[CheckHostOutcome]) -> bool:
-        from ..spf.result import SpfResult
-
-        return any(outcome.result == SpfResult.FAIL for outcome in outcomes)
+        return any(outcome.result is _SpfResult.FAIL for outcome in outcomes)
 
     # -- protocol ----------------------------------------------------------------
 
@@ -265,17 +265,7 @@ class SmtpSession:
                     "smtp.command", verb=command.name, server=self.server.ip
                 )
 
-        handler = {
-            Command.HELO: self._on_helo,
-            Command.EHLO: self._on_helo,
-            Command.MAIL: self._on_mail,
-            Command.RCPT: self._on_rcpt,
-            Command.DATA: self._on_data,
-            Command.RSET: self._on_rset,
-            Command.NOOP: lambda _: self._reply(ReplyCode.OK, "ok"),
-            Command.QUIT: self._on_quit,
-        }[command]
-        return handler(argument)
+        return SmtpSession._DISPATCH[command](self, argument)
 
     def _on_helo(self, argument: str) -> Reply:
         if self.server.policy.failure_stage == FailureStage.HELO:
@@ -424,6 +414,9 @@ class SmtpSession:
         self._spf_fail = False
         return self._reply(ReplyCode.OK, "flushed")
 
+    def _on_noop(self, argument: str) -> Reply:
+        return self._reply(ReplyCode.OK, "ok")
+
     def _on_quit(self, argument: str) -> Reply:
         self._close()
         return self._reply(ReplyCode.CLOSING, "bye")
@@ -431,3 +424,15 @@ class SmtpSession:
     def abort(self) -> None:
         """Client dropped the TCP connection (the NoMsg termination)."""
         self._close()
+
+    # Class-level dispatch: built once, not per command line.
+    _DISPATCH = {
+        Command.HELO: _on_helo,
+        Command.EHLO: _on_helo,
+        Command.MAIL: _on_mail,
+        Command.RCPT: _on_rcpt,
+        Command.DATA: _on_data,
+        Command.RSET: _on_rset,
+        Command.NOOP: _on_noop,
+        Command.QUIT: _on_quit,
+    }

@@ -19,6 +19,7 @@ import ipaddress
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from .. import ipmemo as _ipmemo
 from ..dns.name import Name
 from ..dns.resolver import StubResolver
 from ..errors import MacroError, NameError_, ResolutionError, SpfSyntaxError
@@ -26,7 +27,7 @@ from ..obs import context as _obs
 from .implementations.base import MacroExpansionBehavior
 from .implementations.rfc_compliant import RfcCompliantBehavior
 from .macro import MacroContext, contains_macros
-from .record import Mechanism, SpfRecord, looks_like_spf, parse_record
+from .record import Mechanism, SpfRecord, looks_like_spf, parse_record_cached
 from .result import SpfResult
 
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
@@ -211,7 +212,7 @@ class SpfEvaluator:
         if len(spf_texts) > 1:
             return SpfResult.PERMERROR
         try:
-            return parse_record(spf_texts[0])
+            return parse_record_cached(spf_texts[0])
         except SpfSyntaxError:
             return SpfResult.PERMERROR
 
@@ -285,14 +286,14 @@ class SpfEvaluator:
         if not isinstance(ip, ipaddress.IPv4Address):
             return False
         value = mechanism.value or ""
-        network = ipaddress.ip_network(value if "/" in value else value + "/32", strict=False)
+        network = _ipmemo.ip_network(value if "/" in value else value + "/32")
         return isinstance(network, ipaddress.IPv4Network) and ip in network
 
     def _match_ip6(self, mechanism: Mechanism, ip: IPAddress) -> bool:
         if not isinstance(ip, ipaddress.IPv6Address):
             return False
         value = mechanism.value or ""
-        network = ipaddress.ip_network(value if "/" in value else value + "/128", strict=False)
+        network = _ipmemo.ip_network(value if "/" in value else value + "/128")
         return isinstance(network, ipaddress.IPv6Network) and ip in network
 
     def _addresses_match(
@@ -302,16 +303,18 @@ class SpfEvaluator:
             if isinstance(ip, ipaddress.IPv4Address) and isinstance(
                 address, ipaddress.IPv4Address
             ):
-                bits = prefix4 if prefix4 is not None else 32
-                net = ipaddress.ip_network(f"{address}/{bits}", strict=False)
-                if ip in net:
+                if prefix4 is None:
+                    if ip == address:
+                        return True
+                elif ip in _ipmemo.ip_network(f"{address}/{prefix4}"):
                     return True
             elif isinstance(ip, ipaddress.IPv6Address) and isinstance(
                 address, ipaddress.IPv6Address
             ):
-                bits = prefix6 if prefix6 is not None else 128
-                net = ipaddress.ip_network(f"{address}/{bits}", strict=False)
-                if ip in net:
+                if prefix6 is None:
+                    if ip == address:
+                        return True
+                elif ip in _ipmemo.ip_network(f"{address}/{prefix6}"):
                     return True
         return False
 

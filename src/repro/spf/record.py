@@ -180,6 +180,30 @@ def _parse_mechanism(term: str) -> Mechanism:
     return Mechanism(name=name_lower, qualifier=qualifier, prefix_length=p4, prefix_length6=p6)
 
 
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_CAP = 65536
+
+
+def parse_record_cached(text: str) -> SpfRecord:
+    """A shared parsed record for ``text`` (hot-path variant).
+
+    Parsing is pure, so identical record texts always yield equal
+    records; campaigns re-fetch the same fleet policies constantly (and
+    multi-stack suites re-parse one probe's policy per implementation).
+    The returned record is shared across callers and MUST be treated as
+    read-only — the evaluator never mutates records.  Syntax errors are
+    not cached; malformed policies re-raise on every call.  The cache is
+    bounded and cleared wholesale when full.
+    """
+    record = _PARSE_CACHE.get(text)
+    if record is None:
+        record = parse_record(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_CAP:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = record
+    return record
+
+
 def parse_record(text: str) -> SpfRecord:
     """Parse an SPF record's text into an :class:`SpfRecord`.
 

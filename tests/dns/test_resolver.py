@@ -266,6 +266,162 @@ class TestCacheCorrectness:
         assert resolver.query_count == 1
 
 
+class TestTtlDecay:
+    """Regression tests for the PR-9 replay fix: cached records must be
+    served with their *remaining* lifetime (RFC 1035 section 3.2.1), not
+    the TTL they arrived with."""
+
+    def test_answer_ttl_decays_on_cache_hit(self, setup, clock):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        first = query()
+        assert first.answers[0].ttl == 300
+        clock.advance(dt.timedelta(seconds=120))
+        cached = query()
+        assert resolver.cache_hits == 1
+        assert cached.answers[0].ttl == 180
+
+    def test_ttl_decays_monotonically_across_hits(self, setup, clock):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("example.com"), RRType.MX)
+        )
+        query()
+        seen = []
+        for _ in range(3):
+            clock.advance(dt.timedelta(seconds=90))
+            seen.append([rr.ttl for rr in query().answers])
+        assert seen == [[210, 210], [120, 120], [30, 30]]
+        assert resolver.cache_hits == 3
+
+    def test_last_second_replay_serves_remaining_lifetime(self, setup, clock):
+        """Just before expiry the record is alive with exactly 1 s left —
+        never the original TTL, and never past its remaining lifetime."""
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx2.example.com"), RRType.A)
+        )
+        query()
+        clock.advance(dt.timedelta(seconds=299))
+        cached = query()
+        assert resolver.cache_hits == 1
+        assert cached.answers[0].ttl == 1
+
+    def test_authority_ttl_decays_on_negative_hit(self, setup, clock):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("missing.example.com"), RRType.A)
+        )
+        first = query()
+        soa_ttl = first.authority[0].ttl
+        clock.advance(dt.timedelta(seconds=100))
+        cached = query()
+        assert resolver.cache_hits == 1
+        assert cached.authority[0].ttl == soa_ttl - 100
+
+    def test_zero_elapsed_replay_is_identical(self, setup):
+        """With no clock movement the replay is indistinguishable from the
+        first answer — decay must not perturb same-instant hits."""
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        first, cached = query(), query()
+        assert cached.answers == first.answers
+
+
+class _FlakyBackend:
+    """Fails the first ``failures`` queries with ``rcode``, then recovers."""
+
+    def __init__(self, healthy, failures=1, rcode=Rcode.SERVFAIL):
+        self.healthy = healthy
+        self.failures = failures
+        self.rcode = rcode
+        self.calls = 0
+
+    def query(self, message, *, source="", now=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            return message.make_response(self.rcode)
+        return self.healthy.query(message, source=source, now=now)
+
+
+class TestFailurePassthrough:
+    """Regression tests for the PR-9 negative-caching fix: RFC 2308
+    section 7 — only NXDOMAIN and NOERROR/NODATA are cacheable negatives;
+    SERVFAIL and friends signal transient conditions and must pass
+    through uncached."""
+
+    @pytest.fixture()
+    def flaky(self, clock):
+        zone = Zone("example.com")
+        zone.add("mx1", A("192.0.2.1"))
+        backend = _FlakyBackend(AuthoritativeServer([zone]))
+        resolver = CachingResolver(clock=lambda: clock.now)
+        resolver.register("example.com", backend)
+        return resolver, backend
+
+    def test_servfail_not_cached(self, flaky, clock):
+        resolver, backend = flaky
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        first = query()
+        assert first.rcode == Rcode.SERVFAIL
+        clock.advance(dt.timedelta(seconds=1))  # well inside NEGATIVE_TTL
+        second = query()
+        assert backend.calls == 2, "SERVFAIL was cached and masked recovery"
+        assert second.rcode == Rcode.NOERROR
+        assert second.answers
+        assert resolver.cache_hits == 0
+
+    def test_formerr_not_cached(self, flaky, clock):
+        resolver, backend = flaky
+        backend.rcode = Rcode.FORMERR
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        assert query().rcode == Rcode.FORMERR
+        clock.advance(dt.timedelta(seconds=1))
+        assert query().rcode == Rcode.NOERROR
+        assert backend.calls == 2
+
+    def test_recovered_answer_is_cached_normally(self, flaky, clock):
+        resolver, backend = flaky
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.A)
+        )
+        query()  # SERVFAIL, uncached
+        clock.advance(dt.timedelta(seconds=1))
+        query()  # real answer, cached
+        query()  # served from cache
+        assert backend.calls == 2
+        assert resolver.cache_hits == 1
+
+    def test_nodata_negative_still_cached(self, setup, clock):
+        """NOERROR with an empty answer section (NODATA) remains a
+        cacheable negative — only *failures* pass through."""
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("mx1.example.com"), RRType.TXT)
+        )
+        first = query()
+        assert first.rcode == Rcode.NOERROR and not first.answers
+        query()
+        assert resolver.cache_hits == 1
+
+    def test_nxdomain_still_cached(self, setup):
+        resolver, _ = setup
+        query = lambda: resolver.query(
+            Message.make_query(Name.from_text("missing.example.com"), RRType.A)
+        )
+        assert query().rcode == Rcode.NXDOMAIN
+        query()
+        assert resolver.cache_hits == 1
+
+
 class TestStubResolver:
     def test_get_txt(self, setup, clock):
         resolver, _ = setup

@@ -3,7 +3,7 @@
 import struct
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.dns.message import Message, Rcode
 from repro.dns.name import Name
@@ -115,6 +115,56 @@ class TestMalformed:
             from_wire(bogus)
 
 
+class TestCompressionBoundary:
+    """Regression tests for the PR-9 off-by-one: pointers carry 14-bit
+    offsets, so 0x3FFF itself is a legal compression target, and with
+    ``compress=False`` no offsets should be registered at all."""
+
+    def test_offset_0x3fff_is_a_legal_target(self):
+        from repro.dns.wire import _Encoder
+
+        enc = _Encoder()
+        enc.out.extend(b"\x00" * 0x3FFF)  # place the next name at 0x3FFF
+        name = Name(["boundary", "example", "com"])
+        enc.write_name(name)
+        assert enc.offsets[("boundary", "example", "com")] == 0x3FFF
+        mark = len(enc.out)
+        enc.write_name(name)
+        # The repeat must compress to a pointer at the boundary offset —
+        # the all-ones 14-bit pointer 0xC000 | 0x3FFF.
+        assert bytes(enc.out[mark:]) == b"\xff\xff"
+
+    def test_offsets_past_0x3fff_not_registered(self):
+        from repro.dns.wire import _Encoder
+
+        enc = _Encoder()
+        enc.out.extend(b"\x00" * 0x4000)
+        enc.write_name(Name(["past", "example", "com"]))
+        assert ("past", "example", "com") not in enc.offsets
+
+    def test_compress_false_registers_nothing(self):
+        from repro.dns.wire import _Encoder
+
+        enc = _Encoder()
+        enc.write_name(Name(["a", "example", "com"]), compress=False)
+        assert enc.offsets == {}
+
+    def test_large_message_round_trips_across_boundary(self):
+        """A message whose sections straddle 0x3FFF must still decode to
+        the same names and payloads — pointers near the boundary included."""
+        suffix = ["shared-suffix", "example", "com"]
+        names = [Name([f"rec{i:04d}"] + suffix) for i in range(90)]
+        message = Message.make_query(names[0], RRType.TXT).make_response()
+        message.answers = [
+            ResourceRecord(name=name, rdata=TXT("x" * 200)) for name in names
+        ]
+        wire = to_wire(message)
+        assert len(wire) > 0x4000, "message too small to cross the boundary"
+        decoded = from_wire(wire)
+        assert [a.name for a in decoded.answers] == names
+        assert all(a.rdata.text == "x" * 200 for a in decoded.answers)
+
+
 label_st = st.text(
     alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
     min_size=1,
@@ -136,6 +186,23 @@ class TestProperties:
         message = Message.make_query(names[0], RRType.A).make_response()
         message.answers = [
             ResourceRecord(name=name, rdata=A("192.0.2.1")) for name in names
+        ]
+        decoded = from_wire(to_wire(message))
+        assert [a.name for a in decoded.answers] == names
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=70, max_value=110),
+        st.integers(min_value=150, max_value=250),
+        st.lists(label_st, min_size=1, max_size=3),
+    )
+    def test_boundary_straddling_messages_roundtrip(self, count, payload_len, suffix):
+        """Messages sized to land records on either side of the 0x3FFF
+        compression limit round-trip regardless of where names fall."""
+        names = [Name([f"r{i:04d}"] + suffix) for i in range(count)]
+        message = Message.make_query(names[0], RRType.TXT).make_response()
+        message.answers = [
+            ResourceRecord(name=name, rdata=TXT("p" * payload_len)) for name in names
         ]
         decoded = from_wire(to_wire(message))
         assert [a.name for a in decoded.answers] == names
