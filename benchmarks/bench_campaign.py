@@ -6,12 +6,13 @@ suite stays fast; the analysis benches reuse the session-scoped large run.
 
 from conftest import emit
 
+from repro.api import RunConfig
 from repro.simulation import Simulation
 
 
 def test_full_campaign_small_scale(benchmark):
     def run():
-        sim = Simulation.build(scale=0.003, seed=1)
+        sim = Simulation.build(config=RunConfig(scale=0.003, seed=1))
         return sim, sim.run()
 
     sim, result = benchmark.pedantic(run, rounds=1, iterations=1)

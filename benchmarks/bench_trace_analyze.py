@@ -20,6 +20,7 @@ import gc
 import sys
 import time
 
+from repro.api import RunConfig
 from repro.obs import Observation
 from repro.obs.analyze import TraceAnalysis
 from repro.obs.records import parse_jsonl
@@ -34,7 +35,8 @@ def _capture_trace() -> str:
     """One traced campaign run; returns the canonical JSONL text."""
     observation = Observation(trace=True)
     sim = Simulation.build(
-        scale=ANALYZE_SCALE, seed=ANALYZE_SEED, observation=observation
+        config=RunConfig(scale=ANALYZE_SCALE, seed=ANALYZE_SEED),
+        observation=observation,
     )
     sim.run()
     return observation.tracer.export_jsonl()

@@ -18,6 +18,7 @@ from typing import List
 
 import pytest
 
+from repro.api import RunConfig
 from repro.obs import ledger as obs_ledger
 from repro.simulation import Simulation
 
@@ -33,7 +34,9 @@ _EMITTED: List[str] = []
 
 @pytest.fixture(scope="session")
 def sim():
-    simulation = Simulation.build(scale=BENCH_SCALE, seed=BENCH_SEED)
+    simulation = Simulation.build(
+        config=RunConfig(scale=BENCH_SCALE, seed=BENCH_SEED)
+    )
     simulation.run()
     return simulation
 

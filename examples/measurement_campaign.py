@@ -31,19 +31,20 @@ from repro.analysis import (
     render_table4,
     render_table7,
 )
-from repro.simulation import Simulation
+from repro import api
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
     print(f"Building the synthetic Internet at scale {scale} ...")
-    sim = Simulation.build(scale=scale)
+    handle = api.open_run(api.RunConfig(scale=scale))
+    sim = handle.simulation
     print(
         f"  {len(sim.population):,} domains, {len(sim.fleet.units):,} hosting "
         f"units, {len(sim.fleet.all_ips):,} addresses"
     )
     print("Running the four-month campaign (simulated 2021-10-11 to 2022-02-14) ...")
-    result = sim.run()
+    result = handle.run()
     print(
         f"  initial sweep: {len(result.initial.ip_records):,} addresses probed, "
         f"{len(result.initial.vulnerable_ips()):,} vulnerable"

@@ -19,13 +19,14 @@ from repro.analysis import (
     render_table5,
     render_table6,
 )
+from repro import api
 from repro.internet.patching import PatchTrigger
-from repro.simulation import Simulation
 
 
 def main() -> None:
-    sim = Simulation.build(scale=0.02)
-    sim.run()
+    handle = api.open_run(api.RunConfig(scale=0.02))
+    sim = handle.simulation
+    handle.run()
 
     print(render_table6(build_table6()), end="\n\n")
     print(render_notification_funnel(build_notification_funnel(sim)), end="\n\n")

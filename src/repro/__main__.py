@@ -1,923 +1,17 @@
-"""Command-line entry point: run the SPFail reproduction.
+"""``python -m repro``: thin shim over :mod:`repro.cli`.
 
-Usage::
-
-    python -m repro run                   # full campaign at scale 0.01
-    python -m repro run --scale 0.02      # bigger synthetic Internet
-    python -m repro run --artifact table4 # one table/figure only
-    python -m repro run --list            # available artifacts
-    python -m repro run --trace t.jsonl --metrics-out m.json  # observability
-    python -m repro run --store runs/     # checkpoint after every round
-    python -m repro resume --store runs/  # continue an interrupted campaign
-    python -m repro trace summary t.jsonl # analyze a captured trace
-    python -m repro trace diff a.jsonl b.jsonl   # pinpoint first divergence
-    python -m repro run --ledger perf.jsonl      # append a perf-ledger record
-    python -m repro obs history perf.jsonl       # cross-run trend tables
-    python -m repro obs regress BASE CAND        # noise-gated regression gate
-
-The parser is structured around the ``run`` / ``resume`` / ``trace`` /
-``obs`` subcommands.  The pre-subcommand invocation (``python -m repro
---scale 0.02 ...``) keeps working with a deprecation notice: every run
-flag still exists at the top level with the same defaults.
+The implementation lives in the :mod:`repro.cli` package (one module
+per subcommand); this module only keeps the historical import surface —
+``from repro.__main__ import ARTIFACT_NAMES, main`` — working.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from typing import Callable, Dict, Optional
 
-from . import analysis
-from .obs import Observation, attach_trace_handler, configure_logging
-from .obs.logbridge import LEVELS
-from .simulation import Simulation
+from .cli import ARTIFACT_NAMES, main
 
-
-def _artifact_registry(sim: Simulation) -> Dict[str, Callable[[], str]]:
-    result = sim.run()
-    return {
-        "table1": lambda: analysis.render_table1(analysis.build_table1(sim.population)),
-        "table2": lambda: analysis.render_table2(analysis.build_table2(sim.population)),
-        "table3": lambda: analysis.render_table3(
-            analysis.build_table3(sim.population, result.initial)
-        ),
-        "table4": lambda: analysis.render_table4(
-            analysis.build_table4(sim.population, result.initial)
-        ),
-        "table5": lambda: analysis.render_table5(analysis.build_table5(sim)),
-        "table6": lambda: analysis.render_table6(analysis.build_table6()),
-        "table7": lambda: analysis.render_table7(analysis.build_table7(result.initial)),
-        "figure2": lambda: analysis.render_figure2(analysis.build_figure2(sim)),
-        "figure3": lambda: analysis.render_figure3(analysis.build_figure3(sim)),
-        "figure4": lambda: analysis.render_figure4(analysis.build_figure4(sim)),
-        "figure5": lambda: analysis.render_figure5(analysis.build_figure5(sim)),
-        "figure6": lambda: analysis.render_figure6(analysis.build_figure6(sim)),
-        "figure7": lambda: analysis.render_figure7(analysis.build_figure7(sim)),
-        "figure8": lambda: analysis.render_figure8(analysis.build_figure8(sim)),
-        "notification": lambda: analysis.render_notification_funnel(
-            analysis.build_notification_funnel(sim)
-        ),
-    }
-
-
-ARTIFACT_NAMES = (
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "figure8", "notification",
-)
-
-
-# -- parser ---------------------------------------------------------------------
-
-
-def _add_run_flags(
-    parser: argparse.ArgumentParser, *, suppress: bool = False
-) -> None:
-    """The campaign-run flags.
-
-    With ``suppress=True`` (the ``run`` subcommand) every flag defaults
-    to ``argparse.SUPPRESS``: the top-level parser has already installed
-    the real defaults on the shared namespace, and the subcommand must
-    only override what the user typed after ``run``.
-    """
-
-    def add(*names, default, **kwargs):
-        parser.add_argument(
-            *names, default=argparse.SUPPRESS if suppress else default, **kwargs
-        )
-
-    add(
-        "--scale", type=float, default=0.01,
-        help="population scale relative to the paper's 441K domains (default 0.01)",
-    )
-    add("--seed", type=int, default=20211011, help="simulation seed")
-    add(
-        "--workers", type=int, default=1, metavar="N",
-        help="probe-execution worker count (N>1 selects the sharded executor; "
-        "with --executor process, the worker-process/shard count)",
-    )
-    add(
-        "--executor", choices=("serial", "sharded", "process"), default=None,
-        help="probe-execution strategy (default: derived from --workers); "
-        "'process' escapes the GIL by probing shard-local world replicas "
-        "in worker processes; results are byte-identical across strategies "
-        "for the same seed",
-    )
-    add(
-        "--world", choices=("lazy", "eager"), default="lazy",
-        help="world materialization strategy: 'lazy' builds servers on "
-        "first touch (memory tracks the probed set); 'eager' pre-builds "
-        "every server up front; artifacts are byte-identical either way",
-    )
-    add(
-        "--artifact", choices=ARTIFACT_NAMES, action="append", default=None,
-        help="regenerate only the named table/figure (repeatable)",
-    )
-    add(
-        "--list", action="store_true", default=False,
-        help="list available artifacts and exit",
-    )
-    add(
-        "--report", metavar="FILE", default=None,
-        help="write the full paper-vs-measured markdown report to FILE",
-    )
-    add(
-        "--export-csv", metavar="DIR", default=None,
-        help="write machine-readable CSVs for the key series to DIR",
-    )
-    add(
-        "--trace", metavar="FILE", default=None,
-        help="write a canonically ordered virtual-time trace (JSONL) to FILE; "
-        "byte-identical across executor strategies for the same seed",
-    )
-    add(
-        "--metrics-out", metavar="FILE", default=None,
-        help="write the observability metrics registry (JSON) to FILE",
-    )
-    add(
-        "--log-level", choices=sorted(LEVELS), default=None,
-        help="enable stdlib logging for the 'repro' logger at this level",
-    )
-    add(
-        "--progress", action="store_true", default=False,
-        help="render live stage progress (tasks, probes/s, ETA) to stderr; "
-        "never alters trace, report, or CSV output",
-    )
-    add(
-        "--perf", metavar="DIR", default=None,
-        help="record wall-clock span timings and resource samples into DIR "
-        "(a sideband: trace, report, and CSV bytes are unchanged); implies "
-        "tracing; inspect with `python -m repro trace profile`",
-    )
-    add(
-        "--ledger", metavar="FILE", default=None,
-        help="append one performance-ledger record for this run to FILE "
-        "(config hash, env + git commit, throughput, stage wall "
-        "attribution when --perf is on); with --store a record also "
-        "lands in the run directory's ledger.jsonl; inspect with "
-        "`python -m repro obs history` / `obs regress`",
-    )
-
-
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run the SPFail (IMC 2022) reproduction campaign.",
-    )
-    # Legacy pre-subcommand interface: same flags, same defaults, plus a
-    # deprecation notice at runtime.  These defaults also seed the shared
-    # namespace the subcommands override selectively.
-    _add_run_flags(parser)
-
-    sub = parser.add_subparsers(dest="command", metavar="{run,resume,trace}")
-
-    run = sub.add_parser(
-        "run", help="run the campaign (optionally checkpointing into a store)"
-    )
-    _add_run_flags(run, suppress=True)
-    run.add_argument(
-        "--store", metavar="DIR", default=argparse.SUPPRESS,
-        help="checkpoint the run into this store directory after the initial "
-        "sweep and after every completed round (resume with "
-        "`python -m repro resume --store DIR`)",
-    )
-    run.add_argument(
-        "--abort-after-round", type=int, metavar="N", default=argparse.SUPPRESS,
-        help="fault injection: abort the run right after round N's checkpoint "
-        "is persisted (requires --store); used by the interrupt-and-resume "
-        "CI smoke job and the resume tests",
-    )
-
-    resume = sub.add_parser(
-        "resume", help="continue a checkpointed campaign from its store"
-    )
-    resume.add_argument(
-        "--store", metavar="DIR", required=True,
-        help="store directory previously populated by `run --store`",
-    )
-    resume.add_argument(
-        "--scale", type=float, dest="resume_scale", default=argparse.SUPPRESS,
-        help="expected population scale; resume refuses (with the stored "
-        "hashes listed) unless a stored run's config hash matches",
-    )
-    resume.add_argument(
-        "--seed", type=int, dest="resume_seed", default=argparse.SUPPRESS,
-        help="expected simulation seed (see --scale)",
-    )
-    resume.add_argument(
-        "--workers", type=int, dest="resume_workers", metavar="N",
-        default=argparse.SUPPRESS,
-        help="override the stored worker count (results are identical "
-        "across strategies, so this is always safe)",
-    )
-    resume.add_argument(
-        "--executor", choices=("serial", "sharded", "process"),
-        dest="resume_executor", default=argparse.SUPPRESS,
-        help="override the stored probe-execution strategy (see --workers)",
-    )
-    _add_output_flags(resume)
-
-    trace = sub.add_parser(
-        "trace", help="analyze or diff traces produced by --trace"
-    )
-    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
-
-    summary = trace_sub.add_parser(
-        "summary",
-        help="stage/span/critical-path summary of one trace (markdown)",
-    )
-    summary.add_argument("file", help="canonical JSONL trace file")
-    summary.add_argument(
-        "--out", metavar="FILE", default=None,
-        help="write the markdown summary to FILE instead of stdout",
-    )
-    summary.add_argument(
-        "--folded", metavar="FILE", default=None,
-        help="also write folded-stack lines (flamegraph input) to FILE",
-    )
-    summary.add_argument(
-        "--top", type=int, default=20, metavar="N",
-        help="event names listed in the counts table (default 20)",
-    )
-    summary.add_argument(
-        "--json", metavar="FILE", default=None,
-        help="also write the machine-readable stage/span/critical-path "
-        "tables as JSON to FILE ('-' for stdout; suppresses the default "
-        "markdown-to-stdout unless --out is given)",
-    )
-
-    diff = trace_sub.add_parser(
-        "diff",
-        help="compare two traces; pinpoint the first divergent event",
-    )
-    diff.add_argument("left", help="baseline trace (JSONL)")
-    diff.add_argument("right", help="candidate trace (JSONL)")
-    diff.add_argument(
-        "--context", type=int, default=3, metavar="N",
-        help="shared events shown before the divergence (default 3)",
-    )
-
-    profile = trace_sub.add_parser(
-        "profile",
-        help="join a trace with its --perf sideband: wall-vs-virtual "
-        "attribution, hottest spans, cache efficiency, wall flamegraphs",
-    )
-    profile.add_argument("file", help="canonical JSONL trace file")
-    profile.add_argument(
-        "--perf", metavar="DIR", required=True,
-        help="perf sideband directory written by `run --perf DIR`",
-    )
-    profile.add_argument(
-        "--out", metavar="FILE", default=None,
-        help="write the markdown profile to FILE instead of stdout",
-    )
-    profile.add_argument(
-        "--folded", metavar="FILE", default=None,
-        help="also write wall-clock folded stacks (flamegraph input) to FILE",
-    )
-    profile.add_argument(
-        "--top", type=int, default=15, metavar="N",
-        help="span types listed in the hottest-spans table (default 15)",
-    )
-    profile.add_argument(
-        "--json", metavar="FILE", default=None,
-        help="also write the machine-readable wall-vs-virtual attribution "
-        "as JSON to FILE ('-' for stdout; suppresses the default "
-        "markdown-to-stdout unless --out is given); the 'stages' rows "
-        "are exactly what a profiled run's ledger record embeds",
-    )
-
-    obs = sub.add_parser(
-        "obs", help="cross-run performance ledger: history and regression gate"
-    )
-    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
-
-    history = obs_sub.add_parser(
-        "history",
-        help="trend tables over a ledger (per metric, exact percentiles)",
-    )
-    history.add_argument(
-        "ledger",
-        help="ledger JSONL file, a run directory holding ledger.jsonl, or "
-        "a single-record .json file",
-    )
-    history.add_argument(
-        "--metric", action="append", metavar="NAME", default=None,
-        help="metric column(s) to trend (repeatable; default "
-        "probes_per_second and wall_seconds)",
-    )
-    history.add_argument(
-        "--config-hash", metavar="PREFIX", default=None,
-        help="only records whose RunConfig content hash starts with PREFIX",
-    )
-    history.add_argument(
-        "--kind", action="append", metavar="KIND", default=None,
-        help="only records of this kind (run/resume/record/bench; repeatable)",
-    )
-    history.add_argument(
-        "--last", type=int, metavar="N", default=None,
-        help="only the N most recent matching records",
-    )
-    history.add_argument(
-        "--json", metavar="FILE", default=None,
-        help="write the trend data as JSON to FILE ('-' for stdout) "
-        "instead of markdown",
-    )
-
-    regress = obs_sub.add_parser(
-        "regress",
-        help="compare two ledger slices; exit 1 only on a CONFIRMED "
-        "(noise-cleared) regression",
-    )
-    regress.add_argument(
-        "baseline",
-        help="baseline slice: ledger JSONL, run dir, or single-record .json "
-        "(e.g. a committed benchmarks/BASELINE.json)",
-    )
-    regress.add_argument("candidate", help="candidate slice (same spellings)")
-    regress.add_argument(
-        "--metric", default="probes_per_second", metavar="NAME",
-        help="metric to compare (default probes_per_second)",
-    )
-    regress.add_argument(
-        "--threshold", type=float, default=0.15, metavar="FRAC",
-        help="regression budget as a fraction (default 0.15 = 15%%)",
-    )
-    regress.add_argument(
-        "--noise", type=float, default=0.0, metavar="FRAC",
-        help="noise-gate floor: the machine's known identical-run wall "
-        "spread; folded in with any noise the records themselves declare "
-        "and the measured baseline spread (default 0)",
-    )
-    regress.add_argument(
-        "--config-hash", metavar="PREFIX", default=None,
-        help="filter both slices to records whose config hash starts "
-        "with PREFIX",
-    )
-    regress.add_argument(
-        "--last", type=int, metavar="N", default=None,
-        help="use only the N most recent matching records of each slice",
-    )
-    regress.add_argument(
-        "--json", metavar="FILE", default=None,
-        help="also write the full comparison verdict as JSON to FILE "
-        "('-' for stdout)",
-    )
-
-    record = obs_sub.add_parser(
-        "record",
-        help="append a ledger record for an existing run directory "
-        "retroactively",
-    )
-    record.add_argument(
-        "run_dir",
-        help="a RunStore run directory (holds config.json / manifest.json)",
-    )
-    record.add_argument(
-        "--ledger", metavar="FILE", default=None,
-        help="append to FILE instead of <run_dir>/ledger.jsonl",
-    )
-    record.add_argument(
-        "--metrics", metavar="FILE", default=None,
-        help="join executor wall/throughput totals from a --metrics-out "
-        "JSON file of that run",
-    )
-    record.add_argument(
-        "--trace", metavar="FILE", default=None,
-        help="canonical trace of that run (with --perf: join per-stage "
-        "wall attribution)",
-    )
-    record.add_argument(
-        "--perf", metavar="DIR", default=None,
-        help="perf sideband directory of that run (requires --trace)",
-    )
-    record.add_argument(
-        "--noise", type=float, default=None, metavar="FRAC",
-        help="declare the machine's measured identical-run wall spread in "
-        "the record, so later comparisons gate on it",
-    )
-    return parser
-
-
-def _add_output_flags(parser: argparse.ArgumentParser) -> None:
-    """Artifact/observability outputs shared by ``run`` and ``resume``.
-
-    ``SUPPRESS`` defaults: the top-level parser already seeded the shared
-    namespace with the real defaults.
-    """
-    parser.add_argument(
-        "--artifact", choices=ARTIFACT_NAMES, action="append",
-        default=argparse.SUPPRESS,
-        help="regenerate only the named table/figure (repeatable)",
-    )
-    parser.add_argument(
-        "--report", metavar="FILE", default=argparse.SUPPRESS,
-        help="write the full paper-vs-measured markdown report to FILE",
-    )
-    parser.add_argument(
-        "--export-csv", metavar="DIR", default=argparse.SUPPRESS,
-        help="write machine-readable CSVs for the key series to DIR",
-    )
-    parser.add_argument(
-        "--trace", metavar="FILE", default=argparse.SUPPRESS,
-        help="write the canonical virtual-time trace (JSONL) to FILE; "
-        "byte-identical to the uninterrupted run's trace",
-    )
-    parser.add_argument(
-        "--metrics-out", metavar="FILE", default=argparse.SUPPRESS,
-        help="write the observability metrics registry (JSON) to FILE",
-    )
-    parser.add_argument(
-        "--log-level", choices=sorted(LEVELS), default=argparse.SUPPRESS,
-        help="enable stdlib logging for the 'repro' logger at this level",
-    )
-    parser.add_argument(
-        "--progress", action="store_true", default=argparse.SUPPRESS,
-        help="render live stage progress to stderr",
-    )
-    parser.add_argument(
-        "--perf", metavar="DIR", default=argparse.SUPPRESS,
-        help="record wall-clock span timings and resource samples into DIR "
-        "(sideband only; canonical artifacts unchanged)",
-    )
-    parser.add_argument(
-        "--ledger", metavar="FILE", default=argparse.SUPPRESS,
-        help="append one performance-ledger record for the resumed run to "
-        "FILE (a record also lands in the run directory's ledger.jsonl)",
-    )
-
-
-# -- trace subcommands -----------------------------------------------------------
-
-
-def _write_json_payload(dest: str, payload, *, label: str) -> None:
-    """Write a JSON document to a file, or to stdout when dest is ``-``."""
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if dest == "-":
-        print(text)
-        return
-    with open(dest, "w") as handle:
-        handle.write(text + "\n")
-    print(f"{label} written to {dest}", file=sys.stderr)
-
-
-def _trace_summary(args: argparse.Namespace) -> int:
-    from .obs.analyze import TraceAnalysis
-
-    analysis_ = TraceAnalysis.from_file(args.file)
-    if args.out or not args.json:
-        text = analysis_.render_markdown(top_events=args.top)
-        if args.out:
-            with open(args.out, "w") as handle:
-                handle.write(text)
-            print(f"summary written to {args.out}")
-        else:
-            print(text)
-    if args.json:
-        _write_json_payload(
-            args.json, analysis_.to_dict(top_events=args.top), label="summary JSON"
-        )
-    if args.folded:
-        folded = analysis_.folded_stacks()
-        with open(args.folded, "w") as handle:
-            if folded:
-                handle.write(folded + "\n")
-        print(f"folded stacks written to {args.folded}", file=sys.stderr)
-    return 0
-
-
-def _trace_profile(args: argparse.Namespace) -> int:
-    from .obs.perf import PerfProfile
-
-    profile = PerfProfile.load(args.file, args.perf)
-    if args.out or not args.json:
-        text = profile.render_markdown(top_spans=args.top)
-        if args.out:
-            with open(args.out, "w") as handle:
-                handle.write(text)
-            print(f"profile written to {args.out}")
-        else:
-            print(text)
-    if args.json:
-        _write_json_payload(
-            args.json, profile.to_dict(top_spans=args.top), label="profile JSON"
-        )
-    if args.folded:
-        folded = profile.folded_wall_stacks()
-        with open(args.folded, "w") as handle:
-            if folded:
-                handle.write(folded + "\n")
-        print(f"folded wall stacks written to {args.folded}", file=sys.stderr)
-    return 0
-
-
-# -- obs subcommands (the performance ledger) ------------------------------------
-
-
-def _obs_history(args: argparse.Namespace) -> int:
-    from .obs.ledger import (
-        DEFAULT_HISTORY_METRICS,
-        LedgerError,
-        filter_records,
-        history_dict,
-        load_slice,
-        render_history,
-    )
-
-    try:
-        records = filter_records(
-            load_slice(args.ledger),
-            config_hash=args.config_hash,
-            kinds=args.kind,
-            last=args.last,
-        )
-    except LedgerError as error:
-        print(f"obs history failed: {error}", file=sys.stderr)
-        return 2
-    metrics = args.metric or list(DEFAULT_HISTORY_METRICS)
-    if args.json:
-        _write_json_payload(
-            args.json, history_dict(records, metrics), label="history JSON"
-        )
-    else:
-        print(render_history(records, metrics))
-    return 0
-
-
-def _obs_regress(args: argparse.Namespace) -> int:
-    from .obs.ledger import (
-        LedgerError,
-        compare_records,
-        filter_records,
-        load_slice,
-    )
-
-    try:
-        baseline = filter_records(
-            load_slice(args.baseline), config_hash=args.config_hash, last=args.last
-        )
-        candidate = filter_records(
-            load_slice(args.candidate), config_hash=args.config_hash, last=args.last
-        )
-        result = compare_records(
-            baseline,
-            candidate,
-            metric=args.metric,
-            threshold=args.threshold,
-            noise_floor=args.noise,
-        )
-    except LedgerError as error:
-        print(f"obs regress failed: {error}", file=sys.stderr)
-        return 2
-    if args.json:
-        _write_json_payload(args.json, result.to_dict(), label="verdict JSON")
-    print(result.render())
-    return 1 if result.regressed else 0
-
-
-def _obs_record(args: argparse.Namespace) -> int:
-    from .obs.ledger import LedgerError, retro_record
-
-    if args.perf and not args.trace:
-        print("obs record: --perf requires --trace", file=sys.stderr)
-        return 2
-    try:
-        record, path = retro_record(
-            args.run_dir,
-            ledger_path=args.ledger,
-            metrics_path=args.metrics,
-            trace_path=args.trace,
-            perf_dir=args.perf,
-            noise=args.noise,
-        )
-    except LedgerError as error:
-        print(f"obs record failed: {error}", file=sys.stderr)
-        return 2
-    print(
-        f"ledger: record for config {record['config_hash'][:12]} "
-        f"appended to {path}"
-    )
-    return 0
-
-
-def _trace_diff(args: argparse.Namespace) -> int:
-    from .obs.diff import diff_files
-    from .obs.records import load_jsonl
-
-    divergence = diff_files(args.left, args.right, context=args.context)
-    if divergence is None:
-        count = len(load_jsonl(args.left))
-        print(f"traces identical ({count:,} events)")
-        return 0
-    print(divergence.render(args.left, args.right))
-    return 1
-
-
-# -- campaign run ----------------------------------------------------------------
-
-
-def _write_trace(sim: Simulation, path: str) -> int:
-    """Write the canonical JSONL trace; returns the event count."""
-    assert sim.observation is not None
-    return sim.observation.tracer.write_jsonl(path)
-
-
-def _write_metrics(sim: Simulation, path: str) -> None:
-    assert sim.observation is not None and sim.config is not None
-    payload = {
-        "scale": sim.config.resolved_population().scale,
-        "seed": sim.config.seed,
-        "workers": sim.config.workers,
-        "executor": type(sim.campaign.executor).__name__,
-        "metrics": sim.observation.metrics.to_dict(),
-        "histogram_percentiles": sim.observation.metrics.percentiles(),
-        "executor_stages": sim.campaign.executor.metrics.to_dict(),
-    }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
-def _make_observation(args: argparse.Namespace, *, trace: bool) -> Optional[Observation]:
-    perf_dir = getattr(args, "perf", None)
-    observation = None
-    if trace or args.metrics_out or args.log_level or perf_dir:
-        observation = Observation(trace=trace)
-    if perf_dir:
-        from .obs.perf import PerfRecorder
-
-        # Span wall-timing rides the tracer's sink hooks, so callers
-        # force trace=True whenever --perf is given.
-        observation.attach_perf(PerfRecorder(perf_dir))
-    if args.log_level:
-        configure_logging(args.log_level)
-        if observation is not None and observation.tracer.enabled:
-            attach_trace_handler(observation.tracer)
-    return observation
-
-
-def _finalize_perf(observation: Optional[Observation]) -> None:
-    """Merge perf part streams and print a one-line summary."""
-    if observation is None or observation.perf is None:
-        return
-    summary = observation.perf.finalize()
-    print(
-        f"perf: {summary['records']:,} span records, "
-        f"{summary['samples']:,} samples from {len(summary['roles'])} "
-        f"role(s) merged into {summary['directory']}"
-    )
-
-
-def _append_ledger(
-    sim: Simulation,
-    args: argparse.Namespace,
-    *,
-    store,
-    wall_seconds: float,
-    kind: str,
-) -> None:
-    """Append one performance-ledger record for a completed run.
-
-    Targets: the RunStore run directory's ``ledger.jsonl`` (when the run
-    was checkpointed) and the shared ``--ledger`` file (when given).
-    Appending happens strictly *after* every deterministic artifact and
-    the perf merge are on disk — the ledger reads the run, never the
-    other way around, so trace/CSV/report bytes are identical with the
-    ledger on or off.
-    """
-    paths = []
-    if store is not None and sim.config is not None:
-        paths.append(store.ledger_path(sim.config))
-    shared = getattr(args, "ledger", None)
-    if shared:
-        paths.append(shared)
-    if not paths:
-        return
-    from .obs.ledger import append_record, build_record
-
-    record = build_record(
-        sim,
-        kind=kind,
-        wall_seconds=wall_seconds,
-        perf_dir=getattr(args, "perf", None),
-    )
-    for path in paths:
-        append_record(path, record)
-    print(f"ledger: record appended to {', '.join(paths)}")
-
-
-def _emit_outputs(sim: Simulation, args: argparse.Namespace) -> int:
-    """Everything after a (completed) campaign: artifacts + observability."""
-    if args.report:
-        from .analysis.report import generate_report
-
-        text = generate_report(sim)
-        with open(args.report, "w") as handle:
-            handle.write(text)
-        print(f"report written to {args.report}")
-    if args.export_csv:
-        from .analysis.export import export_all
-
-        written = export_all(sim, args.export_csv)
-        print(f"{len(written)} CSV files written to {args.export_csv}")
-
-    if not (args.report or args.export_csv) or args.artifact:
-        registry = _artifact_registry(sim)
-        names = args.artifact or list(ARTIFACT_NAMES)
-        for name in names:
-            print()
-            print(registry[name]())
-
-    if args.trace:
-        count = _write_trace(sim, args.trace)
-        print(f"trace: {count:,} events written to {args.trace}")
-    if args.metrics_out:
-        _write_metrics(sim, args.metrics_out)
-        print(f"metrics written to {args.metrics_out}")
-
-    total = sim.campaign.executor.metrics.total()
-    print()
-    print(
-        f"probe execution: {total.probes_attempted:,} probes "
-        f"({total.retried} retried, {total.refused} refused) in "
-        f"{total.wall_seconds:.2f}s wall / {total.sim_seconds:,.0f}s simulated "
-        f"({total.probes_per_second:,.0f} probes/s)"
-    )
-    return 0
-
-
-def _run(args: argparse.Namespace, *, legacy: bool = False) -> int:
-    from .errors import CampaignAborted
-
-    if args.list:
-        print("\n".join(ARTIFACT_NAMES))
-        return 0
-    if legacy:
-        print(
-            "note: running via top-level flags is deprecated; "
-            "use `python -m repro run ...`",
-            file=sys.stderr,
-        )
-
-    perf_dir = getattr(args, "perf", None)
-    observation = _make_observation(
-        args, trace=bool(args.trace) or bool(perf_dir)
-    )
-
-    from .api import RunConfig
-
-    config = RunConfig(
-        scale=args.scale,
-        seed=args.seed,
-        executor=args.executor,
-        workers=args.workers,
-        trace=bool(args.trace) or bool(perf_dir),
-        world=getattr(args, "world", "lazy"),
-        perf=perf_dir,
-    )
-    print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
-    sim = Simulation.build(config=config, observation=observation)
-    if observation is not None and observation.perf is not None:
-        from .obs.perf import simulation_counters
-
-        observation.perf.start_sampler(lambda: simulation_counters(sim))
-
-    store = None
-    store_dir = getattr(args, "store", None)
-    if store_dir:
-        from .store import RunStore
-
-        store = RunStore(store_dir)
-        store.abort_after_round = getattr(args, "abort_after_round", None)
-    elif getattr(args, "abort_after_round", None) is not None:
-        print("--abort-after-round requires --store", file=sys.stderr)
-        return 2
-
-    if args.progress:
-        from .obs.progress import ProgressReporter
-
-        reporter = ProgressReporter()
-        if observation is not None:
-            reporter.perf = observation.perf
-        sim.campaign.executor.progress = reporter
-    executor_name = type(sim.campaign.executor).__name__
-    print(
-        f"  {len(sim.population):,} domains / {sim.fleet.total_ip_count():,} addresses; "
-        f"running the four-month campaign ({executor_name}, "
-        f"workers={args.workers})..."
-    )
-    from time import perf_counter
-
-    try:
-        started = perf_counter()
-        try:
-            sim.run(store=store)
-        except CampaignAborted as abort:
-            print(f"run aborted: {abort}")
-            return 0
-        run_wall = perf_counter() - started
-        code = _emit_outputs(sim, args)
-    finally:
-        # After sim.run the executor has shut down (its finally), so
-        # every worker's part streams are on disk and safe to merge.
-        _finalize_perf(observation)
-    # The ledger record is built after the perf merge so a profiled
-    # run's record can embed the per-stage wall attribution.
-    _append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="run")
-    return code
-
-
-def _resume(args: argparse.Namespace) -> int:
-    from .api import RunConfig
-    from .store import RunStore, StoreError
-
-    store = RunStore(args.store)
-    expected = None
-    if hasattr(args, "resume_scale") or hasattr(args, "resume_seed"):
-        expected = RunConfig(
-            scale=getattr(args, "resume_scale", 0.01),
-            seed=getattr(args, "resume_seed", 20211011),
-        )
-    try:
-        state = store.load_latest(
-            config_hash=expected.content_hash() if expected is not None else None
-        )
-    except StoreError as error:
-        print(f"resume failed: {error}", file=sys.stderr)
-        return 2
-
-    perf_dir = getattr(args, "perf", None)
-    trace = state.config.trace or bool(args.trace) or bool(perf_dir)
-    if args.trace and not state.config.trace:
-        print(
-            "warning: the stored run was not traced; the resumed trace "
-            "will miss the checkpointed prefix",
-            file=sys.stderr,
-        )
-    observation = _make_observation(args, trace=trace)
-
-    overrides = {}
-    if hasattr(args, "resume_executor"):
-        overrides["executor"] = args.resume_executor
-    if hasattr(args, "resume_workers"):
-        overrides["workers"] = args.resume_workers
-    # Whether the resumed leg is profiled is always this invocation's
-    # choice — never inherited from the checkpointed config.
-    sim = Simulation.resume(
-        state, observation=observation, perf=perf_dir, **overrides
-    )
-    if observation is not None and observation.perf is not None:
-        from .obs.perf import simulation_counters
-
-        observation.perf.start_sampler(lambda: simulation_counters(sim))
-    provenance = sim.provenance
-    print(
-        f"Resuming {state.run_id} (config {provenance.config_hash[:12]}) from "
-        f"checkpoint '{provenance.checkpoint_kind}' with "
-        f"{provenance.rounds_completed} rounds completed..."
-    )
-
-    if args.progress:
-        from .obs.progress import ProgressReporter
-
-        reporter = ProgressReporter()
-        if observation is not None:
-            reporter.perf = observation.perf
-        sim.campaign.executor.progress = reporter
-    from time import perf_counter
-
-    try:
-        started = perf_counter()
-        sim.run(store=store)
-        run_wall = perf_counter() - started
-        code = _emit_outputs(sim, args)
-    finally:
-        _finalize_perf(observation)
-    _append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="resume")
-    return code
-
-
-def main(argv=None) -> int:
-    parser = _build_parser()
-    args = parser.parse_args(argv)
-    command = getattr(args, "command", None)
-    if command == "trace":
-        if args.trace_command == "summary":
-            return _trace_summary(args)
-        if args.trace_command == "profile":
-            return _trace_profile(args)
-        return _trace_diff(args)
-    if command == "obs":
-        if args.obs_command == "history":
-            return _obs_history(args)
-        if args.obs_command == "regress":
-            return _obs_regress(args)
-        return _obs_record(args)
-    if command == "resume":
-        return _resume(args)
-    return _run(args, legacy=command is None)
-
+__all__ = ["ARTIFACT_NAMES", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

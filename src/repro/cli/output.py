@@ -1,0 +1,17 @@
+"""Tiny shared output helpers for the CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def write_json_payload(dest: str, payload, *, label: str) -> None:
+    """Write a JSON document to a file, or to stdout when dest is ``-``."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+        return
+    with open(dest, "w") as handle:
+        handle.write(text + "\n")
+    print(f"{label} written to {dest}", file=sys.stderr)

@@ -1,0 +1,498 @@
+"""The argument parser: every subcommand's flags in one place.
+
+The parser is structured around the ``run`` / ``resume`` / ``serve`` /
+``trace`` / ``obs`` subcommands.  The pre-subcommand invocation
+(``python -m repro --scale 0.02 ...``) keeps working with a deprecation
+notice: every run flag still exists at the top level with the same
+defaults, seeding the shared namespace the subcommands override
+selectively (the ``SUPPRESS`` pattern in :func:`_add_run_flags`).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..obs.logbridge import LEVELS
+from .artifacts import ARTIFACT_NAMES
+
+
+def _add_run_flags(
+    parser: argparse.ArgumentParser, *, suppress: bool = False
+) -> None:
+    """The campaign-run flags.
+
+    With ``suppress=True`` (the ``run`` subcommand) every flag defaults
+    to ``argparse.SUPPRESS``: the top-level parser has already installed
+    the real defaults on the shared namespace, and the subcommand must
+    only override what the user typed after ``run``.
+    """
+
+    def add(*names, default, **kwargs):
+        parser.add_argument(
+            *names, default=argparse.SUPPRESS if suppress else default, **kwargs
+        )
+
+    add(
+        "--scale", type=float, default=0.01,
+        help="population scale relative to the paper's 441K domains (default 0.01)",
+    )
+    add("--seed", type=int, default=20211011, help="simulation seed")
+    add(
+        "--workers", type=int, default=1, metavar="N",
+        help="probe-execution worker count (N>1 selects the sharded executor; "
+        "with --executor process, the worker-process/shard count)",
+    )
+    add(
+        "--executor", choices=("serial", "sharded", "process"), default=None,
+        help="probe-execution strategy (default: derived from --workers); "
+        "'process' escapes the GIL by probing shard-local world replicas "
+        "in worker processes; results are byte-identical across strategies "
+        "for the same seed",
+    )
+    add(
+        "--world", choices=("lazy", "eager"), default="lazy",
+        help="world materialization strategy: 'lazy' builds servers on "
+        "first touch (memory tracks the probed set); 'eager' pre-builds "
+        "every server up front; artifacts are byte-identical either way",
+    )
+    add(
+        "--artifact", choices=ARTIFACT_NAMES, action="append", default=None,
+        help="regenerate only the named table/figure (repeatable)",
+    )
+    add(
+        "--list", action="store_true", default=False,
+        help="list available artifacts and exit",
+    )
+    add(
+        "--report", metavar="FILE", default=None,
+        help="write the full paper-vs-measured markdown report to FILE",
+    )
+    add(
+        "--export-csv", metavar="DIR", default=None,
+        help="write machine-readable CSVs for the key series to DIR",
+    )
+    add(
+        "--trace", metavar="FILE", default=None,
+        help="write a canonically ordered virtual-time trace (JSONL) to FILE; "
+        "byte-identical across executor strategies for the same seed",
+    )
+    add(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the observability metrics registry (JSON) to FILE",
+    )
+    add(
+        "--log-level", choices=sorted(LEVELS), default=None,
+        help="enable stdlib logging for the 'repro' logger at this level",
+    )
+    add(
+        "--progress", action="store_true", default=False,
+        help="render live stage progress (tasks, probes/s, ETA) to stderr; "
+        "never alters trace, report, or CSV output",
+    )
+    add(
+        "--perf", metavar="DIR", default=None,
+        help="record wall-clock span timings and resource samples into DIR "
+        "(a sideband: trace, report, and CSV bytes are unchanged); implies "
+        "tracing; inspect with `python -m repro trace profile`",
+    )
+    add(
+        "--ledger", metavar="FILE", default=None,
+        help="append one performance-ledger record for this run to FILE "
+        "(config hash, env + git commit, throughput, stage wall "
+        "attribution when --perf is on); with --store a record also "
+        "lands in the run directory's ledger.jsonl; inspect with "
+        "`python -m repro obs history` / `obs regress`",
+    )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """Artifact/observability outputs shared by ``run`` and ``resume``.
+
+    ``SUPPRESS`` defaults: the top-level parser already seeded the shared
+    namespace with the real defaults.
+    """
+    parser.add_argument(
+        "--artifact", choices=ARTIFACT_NAMES, action="append",
+        default=argparse.SUPPRESS,
+        help="regenerate only the named table/figure (repeatable)",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the full paper-vs-measured markdown report to FILE",
+    )
+    parser.add_argument(
+        "--export-csv", metavar="DIR", default=argparse.SUPPRESS,
+        help="write machine-readable CSVs for the key series to DIR",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the canonical virtual-time trace (JSONL) to FILE; "
+        "byte-identical to the uninterrupted run's trace",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the observability metrics registry (JSON) to FILE",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(LEVELS), default=argparse.SUPPRESS,
+        help="enable stdlib logging for the 'repro' logger at this level",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", default=argparse.SUPPRESS,
+        help="render live stage progress to stderr",
+    )
+    parser.add_argument(
+        "--perf", metavar="DIR", default=argparse.SUPPRESS,
+        help="record wall-clock span timings and resource samples into DIR "
+        "(sideband only; canonical artifacts unchanged)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default=argparse.SUPPRESS,
+        help="append one performance-ledger record for the resumed run to "
+        "FILE (a record also lands in the run directory's ledger.jsonl)",
+    )
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags for the long-lived scan daemon (``repro serve``)."""
+    world = parser.add_argument_group("resident world")
+    world.add_argument(
+        "--scale", type=float, default=0.01,
+        help="population scale for a fresh resident world (default 0.01)",
+    )
+    world.add_argument("--seed", type=int, default=20211011, help="simulation seed")
+    world.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="probe-execution worker count for the resident campaign",
+    )
+    world.add_argument(
+        "--executor", choices=("serial", "sharded", "process"), default=None,
+        help="probe-execution strategy (default: derived from --workers)",
+    )
+    world.add_argument(
+        "--world", choices=("lazy", "eager"), default="lazy",
+        help="world materialization strategy (default lazy: servers build "
+        "on first probe, so a big world starts serving immediately)",
+    )
+    world.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="resume the latest checkpointed run from this store and hold "
+        "its single-writer lock while serving (a concurrent batch "
+        "`run --store` against the same run is refused)",
+    )
+    world.add_argument(
+        "--warm-rounds", type=int, default=0, metavar="N",
+        help="advance N remeasurement rounds before accepting requests, so "
+        "patch_status_since has history to answer from (default 0; the "
+        "initial sweep always runs)",
+    )
+
+    listen = parser.add_argument_group("listener and admission")
+    listen.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:8753",
+        help="TCP listen address (default 127.0.0.1:8753; port 0 binds an "
+        "ephemeral port and prints it)",
+    )
+    listen.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve over a unix-domain socket at PATH instead of TCP",
+    )
+    listen.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="bounded dispatch queue; a full queue answers 429 instead of "
+        "building backlog (default 64)",
+    )
+    listen.add_argument(
+        "--tenant-connections", type=int, default=250, metavar="N",
+        help="per-tenant in-flight probe cap, enforced by the same "
+        "EthicsControls the campaign uses (default 250)",
+    )
+    listen.add_argument(
+        "--tenant-recontact-wait", type=float, default=90.0, metavar="SECONDS",
+        help="per-tenant minimum wait before re-probing the same target "
+        "(default 90, the paper's reconnect ethics floor); refusals "
+        "carry Retry-After",
+    )
+
+    load = parser.add_argument_group("load testing (serve, test, exit)")
+    load.add_argument(
+        "--loadtest", type=int, metavar="N", default=None,
+        help="instead of serving forever: drive N requests of the default "
+        "read-heavy mix against the live daemon, print the latency "
+        "report, and exit non-zero on any 5xx",
+    )
+    load.add_argument(
+        "--loadtest-threads", type=int, default=8, metavar="N",
+        help="concurrent load-test clients (default 8)",
+    )
+    load.add_argument(
+        "--loadtest-seed", type=int, default=20211011, metavar="SEED",
+        help="seed for the deterministic request plan (default 20211011)",
+    )
+    load.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append the load test's latency record (kind 'serve', "
+        "request_p99_ms and friends) to FILE for `obs history` / "
+        "`obs regress`",
+    )
+    load.add_argument(
+        "--noise", type=float, default=None, metavar="FRAC",
+        help="declare the machine's identical-run latency spread in the "
+        "ledger record, so later comparisons gate on it",
+    )
+    load.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the load-test summary as JSON to FILE ('-' for "
+        "stdout)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the SPFail (IMC 2022) reproduction campaign.",
+    )
+    # Legacy pre-subcommand interface: same flags, same defaults, plus a
+    # deprecation notice at runtime.  These defaults also seed the shared
+    # namespace the subcommands override selectively.
+    _add_run_flags(parser)
+
+    sub = parser.add_subparsers(
+        dest="command", metavar="{run,resume,serve,trace,obs}"
+    )
+
+    run = sub.add_parser(
+        "run", help="run the campaign (optionally checkpointing into a store)"
+    )
+    _add_run_flags(run, suppress=True)
+    run.add_argument(
+        "--store", metavar="DIR", default=argparse.SUPPRESS,
+        help="checkpoint the run into this store directory after the initial "
+        "sweep and after every completed round (resume with "
+        "`python -m repro resume --store DIR`)",
+    )
+    run.add_argument(
+        "--abort-after-round", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="fault injection: abort the run right after round N's checkpoint "
+        "is persisted (requires --store); used by the interrupt-and-resume "
+        "CI smoke job and the resume tests",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed campaign from its store"
+    )
+    resume.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="store directory previously populated by `run --store`",
+    )
+    resume.add_argument(
+        "--scale", type=float, dest="resume_scale", default=argparse.SUPPRESS,
+        help="expected population scale; resume refuses (with the stored "
+        "hashes listed) unless a stored run's config hash matches",
+    )
+    resume.add_argument(
+        "--seed", type=int, dest="resume_seed", default=argparse.SUPPRESS,
+        help="expected simulation seed (see --scale)",
+    )
+    resume.add_argument(
+        "--workers", type=int, dest="resume_workers", metavar="N",
+        default=argparse.SUPPRESS,
+        help="override the stored worker count (results are identical "
+        "across strategies, so this is always safe)",
+    )
+    resume.add_argument(
+        "--executor", choices=("serial", "sharded", "process"),
+        dest="resume_executor", default=argparse.SUPPRESS,
+        help="override the stored probe-execution strategy (see --workers)",
+    )
+    _add_output_flags(resume)
+
+    serve = sub.add_parser(
+        "serve",
+        help="host a resident world behind a JSON scan API "
+        "(probe_domain/check_mta/spf_census_row/patch_status_since/"
+        "run_status)",
+    )
+    _add_serve_flags(serve)
+
+    trace = sub.add_parser(
+        "trace", help="analyze or diff traces produced by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = trace_sub.add_parser(
+        "summary",
+        help="stage/span/critical-path summary of one trace (markdown)",
+    )
+    summary.add_argument("file", help="canonical JSONL trace file")
+    summary.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the markdown summary to FILE instead of stdout",
+    )
+    summary.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="also write folded-stack lines (flamegraph input) to FILE",
+    )
+    summary.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="event names listed in the counts table (default 20)",
+    )
+    summary.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the machine-readable stage/span/critical-path "
+        "tables as JSON to FILE ('-' for stdout; suppresses the default "
+        "markdown-to-stdout unless --out is given)",
+    )
+
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces; pinpoint the first divergent event",
+    )
+    diff.add_argument("left", help="baseline trace (JSONL)")
+    diff.add_argument("right", help="candidate trace (JSONL)")
+    diff.add_argument(
+        "--context", type=int, default=3, metavar="N",
+        help="shared events shown before the divergence (default 3)",
+    )
+
+    profile = trace_sub.add_parser(
+        "profile",
+        help="join a trace with its --perf sideband: wall-vs-virtual "
+        "attribution, hottest spans, cache efficiency, wall flamegraphs",
+    )
+    profile.add_argument("file", help="canonical JSONL trace file")
+    profile.add_argument(
+        "--perf", metavar="DIR", required=True,
+        help="perf sideband directory written by `run --perf DIR`",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the markdown profile to FILE instead of stdout",
+    )
+    profile.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="also write wall-clock folded stacks (flamegraph input) to FILE",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="span types listed in the hottest-spans table (default 15)",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the machine-readable wall-vs-virtual attribution "
+        "as JSON to FILE ('-' for stdout; suppresses the default "
+        "markdown-to-stdout unless --out is given); the 'stages' rows "
+        "are exactly what a profiled run's ledger record embeds",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="cross-run performance ledger: history and regression gate"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    history = obs_sub.add_parser(
+        "history",
+        help="trend tables over a ledger (per metric, exact percentiles)",
+    )
+    history.add_argument(
+        "ledger",
+        help="ledger JSONL file, a run directory holding ledger.jsonl, or "
+        "a single-record .json file",
+    )
+    history.add_argument(
+        "--metric", action="append", metavar="NAME", default=None,
+        help="metric column(s) to trend (repeatable; default "
+        "probes_per_second and wall_seconds)",
+    )
+    history.add_argument(
+        "--config-hash", metavar="PREFIX", default=None,
+        help="only records whose RunConfig content hash starts with PREFIX",
+    )
+    history.add_argument(
+        "--kind", action="append", metavar="KIND", default=None,
+        help="only records of this kind (run/resume/record/bench/serve; "
+        "repeatable)",
+    )
+    history.add_argument(
+        "--last", type=int, metavar="N", default=None,
+        help="only the N most recent matching records",
+    )
+    history.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the trend data as JSON to FILE ('-' for stdout) "
+        "instead of markdown",
+    )
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="compare two ledger slices; exit 1 only on a CONFIRMED "
+        "(noise-cleared) regression",
+    )
+    regress.add_argument(
+        "baseline",
+        help="baseline slice: ledger JSONL, run dir, or single-record .json "
+        "(e.g. a committed benchmarks/BASELINE.json)",
+    )
+    regress.add_argument("candidate", help="candidate slice (same spellings)")
+    regress.add_argument(
+        "--metric", default="probes_per_second", metavar="NAME",
+        help="metric to compare (default probes_per_second)",
+    )
+    regress.add_argument(
+        "--threshold", type=float, default=0.15, metavar="FRAC",
+        help="regression budget as a fraction (default 0.15 = 15%%)",
+    )
+    regress.add_argument(
+        "--noise", type=float, default=0.0, metavar="FRAC",
+        help="noise-gate floor: the machine's known identical-run wall "
+        "spread; folded in with any noise the records themselves declare "
+        "and the measured baseline spread (default 0)",
+    )
+    regress.add_argument(
+        "--config-hash", metavar="PREFIX", default=None,
+        help="filter both slices to records whose config hash starts "
+        "with PREFIX",
+    )
+    regress.add_argument(
+        "--last", type=int, metavar="N", default=None,
+        help="use only the N most recent matching records of each slice",
+    )
+    regress.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full comparison verdict as JSON to FILE "
+        "('-' for stdout)",
+    )
+
+    record = obs_sub.add_parser(
+        "record",
+        help="append a ledger record for an existing run directory "
+        "retroactively",
+    )
+    record.add_argument(
+        "run_dir",
+        help="a RunStore run directory (holds config.json / manifest.json)",
+    )
+    record.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append to FILE instead of <run_dir>/ledger.jsonl",
+    )
+    record.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="join executor wall/throughput totals from a --metrics-out "
+        "JSON file of that run",
+    )
+    record.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="canonical trace of that run (with --perf: join per-stage "
+        "wall attribution)",
+    )
+    record.add_argument(
+        "--perf", metavar="DIR", default=None,
+        help="perf sideband directory of that run (requires --trace)",
+    )
+    record.add_argument(
+        "--noise", type=float, default=None, metavar="FRAC",
+        help="declare the machine's measured identical-run wall spread in "
+        "the record, so later comparisons gate on it",
+    )
+    return parser

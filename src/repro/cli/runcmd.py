@@ -1,0 +1,250 @@
+"""``repro run`` / ``repro resume``: the batch campaign commands.
+
+Both commands go through the public facade in :mod:`repro.api` —
+``api.open_run`` / ``api.resume`` — rather than constructing
+:class:`Simulation` directly, so the CLI exercises exactly the surface
+embedded callers and the serve daemon use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..obs import Observation, attach_trace_handler, configure_logging
+from .artifacts import ARTIFACT_NAMES, emit_outputs
+
+
+def make_observation(
+    args: argparse.Namespace, *, trace: bool
+) -> Optional[Observation]:
+    perf_dir = getattr(args, "perf", None)
+    observation = None
+    if trace or args.metrics_out or args.log_level or perf_dir:
+        observation = Observation(trace=trace)
+    if perf_dir:
+        from ..obs.perf import PerfRecorder
+
+        # Span wall-timing rides the tracer's sink hooks, so callers
+        # force trace=True whenever --perf is given.
+        observation.attach_perf(PerfRecorder(perf_dir))
+    if args.log_level:
+        configure_logging(args.log_level)
+        if observation is not None and observation.tracer.enabled:
+            attach_trace_handler(observation.tracer)
+    return observation
+
+
+def finalize_perf(observation: Optional[Observation]) -> None:
+    """Merge perf part streams and print a one-line summary."""
+    if observation is None or observation.perf is None:
+        return
+    summary = observation.perf.finalize()
+    print(
+        f"perf: {summary['records']:,} span records, "
+        f"{summary['samples']:,} samples from {len(summary['roles'])} "
+        f"role(s) merged into {summary['directory']}"
+    )
+
+
+def append_ledger(
+    sim,
+    args: argparse.Namespace,
+    *,
+    store,
+    wall_seconds: float,
+    kind: str,
+) -> None:
+    """Append one performance-ledger record for a completed run.
+
+    Targets: the RunStore run directory's ``ledger.jsonl`` (when the run
+    was checkpointed) and the shared ``--ledger`` file (when given).
+    Appending happens strictly *after* every deterministic artifact and
+    the perf merge are on disk — the ledger reads the run, never the
+    other way around, so trace/CSV/report bytes are identical with the
+    ledger on or off.
+    """
+    paths = []
+    if store is not None and sim.config is not None:
+        paths.append(store.ledger_path(sim.config))
+    shared = getattr(args, "ledger", None)
+    if shared:
+        paths.append(shared)
+    if not paths:
+        return
+    from ..obs.ledger import append_record, build_record
+
+    record = build_record(
+        sim,
+        kind=kind,
+        wall_seconds=wall_seconds,
+        perf_dir=getattr(args, "perf", None),
+    )
+    for path in paths:
+        append_record(path, record)
+    print(f"ledger: record appended to {', '.join(paths)}")
+
+
+def run_command(args: argparse.Namespace, *, legacy: bool = False) -> int:
+    from ..errors import CampaignAborted
+
+    if args.list:
+        print("\n".join(ARTIFACT_NAMES))
+        return 0
+    if legacy:
+        print(
+            "note: running via top-level flags is deprecated; "
+            "use `python -m repro run ...`",
+            file=sys.stderr,
+        )
+
+    perf_dir = getattr(args, "perf", None)
+    observation = make_observation(
+        args, trace=bool(args.trace) or bool(perf_dir)
+    )
+
+    from .. import api
+
+    config = api.RunConfig(
+        scale=args.scale,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        trace=bool(args.trace) or bool(perf_dir),
+        world=getattr(args, "world", "lazy"),
+        perf=perf_dir,
+    )
+    print(f"Building the synthetic Internet (scale={args.scale}, seed={args.seed})...")
+    handle = api.open_run(config, observation=observation)
+    sim = handle.simulation
+    if observation is not None and observation.perf is not None:
+        from ..obs.perf import simulation_counters
+
+        observation.perf.start_sampler(lambda: simulation_counters(sim))
+
+    store = None
+    store_dir = getattr(args, "store", None)
+    if store_dir:
+        from ..store import RunStore
+
+        store = RunStore(store_dir)
+        store.abort_after_round = getattr(args, "abort_after_round", None)
+    elif getattr(args, "abort_after_round", None) is not None:
+        print("--abort-after-round requires --store", file=sys.stderr)
+        return 2
+
+    if args.progress:
+        from ..obs.progress import ProgressReporter
+
+        reporter = ProgressReporter()
+        if observation is not None:
+            reporter.perf = observation.perf
+        sim.campaign.executor.progress = reporter
+    executor_name = type(sim.campaign.executor).__name__
+    print(
+        f"  {len(sim.population):,} domains / {sim.fleet.total_ip_count():,} addresses; "
+        f"running the four-month campaign ({executor_name}, "
+        f"workers={args.workers})..."
+    )
+    from time import perf_counter
+
+    from ..store import StoreError
+
+    try:
+        started = perf_counter()
+        try:
+            handle.run(store=store)
+        except CampaignAborted as abort:
+            print(f"run aborted: {abort}")
+            return 0
+        except StoreError as error:
+            # Most commonly: another writer (a batch run or a serve
+            # daemon) holds the run's single-writer lock.
+            print(f"run failed: {error}", file=sys.stderr)
+            return 2
+        run_wall = perf_counter() - started
+        code = emit_outputs(sim, args)
+    finally:
+        # After sim.run the executor has shut down (its finally), so
+        # every worker's part streams are on disk and safe to merge.
+        finalize_perf(observation)
+    # The ledger record is built after the perf merge so a profiled
+    # run's record can embed the per-stage wall attribution.
+    append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="run")
+    return code
+
+
+def resume_command(args: argparse.Namespace) -> int:
+    from .. import api
+    from ..store import RunStore, StoreError
+
+    store = RunStore(args.store)
+    expected = None
+    if hasattr(args, "resume_scale") or hasattr(args, "resume_seed"):
+        expected = api.RunConfig(
+            scale=getattr(args, "resume_scale", 0.01),
+            seed=getattr(args, "resume_seed", 20211011),
+        )
+    try:
+        state = store.load_latest(
+            config_hash=expected.content_hash() if expected is not None else None
+        )
+    except StoreError as error:
+        print(f"resume failed: {error}", file=sys.stderr)
+        return 2
+
+    perf_dir = getattr(args, "perf", None)
+    trace = state.config.trace or bool(args.trace) or bool(perf_dir)
+    if args.trace and not state.config.trace:
+        print(
+            "warning: the stored run was not traced; the resumed trace "
+            "will miss the checkpointed prefix",
+            file=sys.stderr,
+        )
+    observation = make_observation(args, trace=trace)
+
+    overrides = {}
+    if hasattr(args, "resume_executor"):
+        overrides["executor"] = args.resume_executor
+    if hasattr(args, "resume_workers"):
+        overrides["workers"] = args.resume_workers
+    # Whether the resumed leg is profiled is always this invocation's
+    # choice — never inherited from the checkpointed config.
+    handle = api.resume(
+        state, observation=observation, perf=perf_dir, **overrides
+    )
+    sim = handle.simulation
+    if observation is not None and observation.perf is not None:
+        from ..obs.perf import simulation_counters
+
+        observation.perf.start_sampler(lambda: simulation_counters(sim))
+    provenance = sim.provenance
+    print(
+        f"Resuming {state.run_id} (config {provenance.config_hash[:12]}) from "
+        f"checkpoint '{provenance.checkpoint_kind}' with "
+        f"{provenance.rounds_completed} rounds completed..."
+    )
+
+    if args.progress:
+        from ..obs.progress import ProgressReporter
+
+        reporter = ProgressReporter()
+        if observation is not None:
+            reporter.perf = observation.perf
+        sim.campaign.executor.progress = reporter
+    from time import perf_counter
+
+    try:
+        started = perf_counter()
+        try:
+            handle.run(store=store)
+        except StoreError as error:
+            print(f"resume failed: {error}", file=sys.stderr)
+            return 2
+        run_wall = perf_counter() - started
+        code = emit_outputs(sim, args)
+    finally:
+        finalize_perf(observation)
+    append_ledger(sim, args, store=store, wall_seconds=run_wall, kind="resume")
+    return code

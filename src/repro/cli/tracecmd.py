@@ -1,0 +1,71 @@
+"""``repro trace``: analyze, profile, and diff captured traces."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .output import write_json_payload
+
+
+def trace_summary(args: argparse.Namespace) -> int:
+    from ..obs.analyze import TraceAnalysis
+
+    analysis_ = TraceAnalysis.from_file(args.file)
+    if args.out or not args.json:
+        text = analysis_.render_markdown(top_events=args.top)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"summary written to {args.out}")
+        else:
+            print(text)
+    if args.json:
+        write_json_payload(
+            args.json, analysis_.to_dict(top_events=args.top), label="summary JSON"
+        )
+    if args.folded:
+        folded = analysis_.folded_stacks()
+        with open(args.folded, "w") as handle:
+            if folded:
+                handle.write(folded + "\n")
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def trace_profile(args: argparse.Namespace) -> int:
+    from ..obs.perf import PerfProfile
+
+    profile = PerfProfile.load(args.file, args.perf)
+    if args.out or not args.json:
+        text = profile.render_markdown(top_spans=args.top)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"profile written to {args.out}")
+        else:
+            print(text)
+    if args.json:
+        write_json_payload(
+            args.json, profile.to_dict(top_spans=args.top), label="profile JSON"
+        )
+    if args.folded:
+        folded = profile.folded_wall_stacks()
+        with open(args.folded, "w") as handle:
+            if folded:
+                handle.write(folded + "\n")
+        print(f"folded wall stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def trace_diff(args: argparse.Namespace) -> int:
+    from ..obs.diff import diff_files
+    from ..obs.records import load_jsonl
+
+    divergence = diff_files(args.left, args.right, context=args.context)
+    if divergence is None:
+        count = len(load_jsonl(args.left))
+        print(f"traces identical ({count:,} events)")
+        return 0
+    print(divergence.render(args.left, args.right))
+    return 1

@@ -244,6 +244,20 @@ class MeasurementCampaign:
         except ResolutionError:
             return []
 
+    def resolve_ips(self, domain_name: str) -> List[str]:
+        """Public single-domain MX→A resolution (RFC 5321 target selection).
+
+        The same resolution path :meth:`run_initial` and the final
+        snapshot use, so API/daemon callers and batch runs agree on a
+        domain's address list.
+        """
+        return self._resolve_one(domain_name)
+
+    def recipient_domain(self, ip: str, default: Optional[str] = None) -> Optional[str]:
+        """The representative hosted domain used as an address's RCPT TO
+        target (learned at initial-measurement time), or ``default``."""
+        return self._ip_domain.get(ip, default)
+
     # -- probe dispatch ------------------------------------------------------------
 
     def _probe_ips(
@@ -279,6 +293,30 @@ class MeasurementCampaign:
                 self._preferred[task.ip] = result.successful_method
             out[task.ip] = result
         return out
+
+    def probe_ips(
+        self,
+        stage: str,
+        ips: Sequence[str],
+        *,
+        use_preferred: bool = True,
+        recipient_domains: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, DetectionResult]:
+        """Public probe dispatch: one stage's work list through the
+        execution engine.
+
+        This is the exact code path of the batch measurement loops
+        (suite allocation, preferred-method learning, per-probe clock
+        advancement), exposed so :class:`repro.api.RunHandle` and the
+        serve daemon produce byte-identical task trace events to a
+        batch run of the same probes.
+        """
+        return self._probe_ips(
+            stage,
+            ips,
+            use_preferred=use_preferred,
+            recipient_domains=recipient_domains,
+        )
 
     def _require_initial(self) -> InitialMeasurement:
         if self.initial is None:

@@ -71,6 +71,10 @@ class CampaignAborted(ReproError):
     or ``--abort-after-round``); the store holds a resumable checkpoint."""
 
 
+class ServeError(ReproError):
+    """The scan service was misconfigured or could not start."""
+
+
 class MemoryCorruptionError(ReproError):
     """The simulated C heap detected an out-of-bounds write.
 

@@ -43,11 +43,12 @@ a metrics source.
 
 Usage::
 
+    from repro.api import RunConfig
     from repro.obs import Observation
     from repro.simulation import Simulation
 
     obs = Observation(trace=True)
-    sim = Simulation.build(scale=0.01, observation=obs)
+    sim = Simulation.build(config=RunConfig(scale=0.01), observation=obs)
     sim.run()
     obs.tracer.write_jsonl("trace.jsonl")
 

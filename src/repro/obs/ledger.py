@@ -127,6 +127,11 @@ LOWER_IS_BETTER = frozenset(
         "parse_seconds",
         "render_seconds",
         "total_seconds",
+        # serve records: request latency percentiles (milliseconds).
+        "request_p50_ms",
+        "request_p90_ms",
+        "request_p99_ms",
+        "request_max_ms",
     }
 )
 

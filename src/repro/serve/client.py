@@ -1,0 +1,174 @@
+"""A minimal typed client for the serve daemon (stdlib only).
+
+:class:`ScanClient` speaks the ``/v1/<method>`` JSON protocol over TCP
+or a unix-domain socket, reusing one keep-alive connection per client
+instance (one client per thread in the load tester).  Probe answers
+deserialize into :class:`repro.api.ProbeResult` — the same value the
+in-process API returns — so a caller can switch between embedding the
+world and talking to a daemon without changing a line of result
+handling.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional, Tuple
+
+from ..api import ProbeResult
+from ..errors import ServeError
+
+
+class _TCPHTTPConnection(http.client.HTTPConnection):
+    """Plain TCP connection with Nagle disabled.
+
+    Headers and body go out as separate small writes; leaving Nagle on
+    lets the second write wait out the server's delayed ACK (~40ms per
+    request), which would dwarf the actual service time.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ScanClient:
+    """One connection to a serve daemon; methods mirror the endpoints."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        socket_path: Optional[str] = None,
+        tenant: str = "public",
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.socket_path:
+                self._conn = _UnixHTTPConnection(
+                    self.socket_path, timeout=self.timeout
+                )
+            else:
+                self._conn = _TCPHTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ScanClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(
+        self, method: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One round trip: ``(http_status, decoded_body)``.
+
+        Transport errors retry once on a fresh connection (a keep-alive
+        peer may have timed the previous one out); anything persistent
+        raises :class:`ServeError`.
+        """
+        body = dict(payload or {})
+        body.setdefault("tenant", self.tenant)
+        encoded = json.dumps(body).encode("utf-8")
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(
+                    "POST",
+                    f"/v1/{method}",
+                    body=encoded,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (OSError, http.client.HTTPException) as error:
+                self.close()
+                if attempt:
+                    raise ServeError(
+                        f"request {method!r} failed: {error}"
+                    ) from error
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ServeError(
+                f"daemon answered non-JSON to {method!r}: {error}"
+            ) from error
+        return response.status, decoded
+
+    def _expect_ok(self, method: str, payload: dict) -> dict:
+        status, body = self.request(method, payload)
+        if status != 200:
+            raise ServeError(
+                f"{method} {payload.get('target', '')!r} failed "
+                f"({status}): {body.get('error', body)}"
+            )
+        return body
+
+    # -- endpoints ------------------------------------------------------------
+
+    def probe_domain(self, domain: str) -> ProbeResult:
+        return ProbeResult.from_dict(
+            self._expect_ok("probe_domain", {"target": domain})
+        )
+
+    def check_mta(self, ip: str) -> ProbeResult:
+        return ProbeResult.from_dict(
+            self._expect_ok("check_mta", {"target": ip})
+        )
+
+    def census_row(self, domain: str) -> dict:
+        return self._expect_ok("spf_census_row", {"target": domain})
+
+    def patch_status_since(self, domain: str, since: int = 0) -> dict:
+        return self._expect_ok(
+            "patch_status_since", {"target": domain, "since": since}
+        )
+
+    def run_status(self) -> dict:
+        return self._expect_ok("run_status", {})
+
+    def healthz(self) -> bool:
+        conn = self._connection()
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            return response.status == 200
+        except (OSError, http.client.HTTPException):
+            self.close()
+            return False

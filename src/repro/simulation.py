@@ -279,6 +279,11 @@ class Simulation:
                 # not leak live children (and a finished one is done
                 # with them: the result is cached above).
                 self.campaign.executor.shutdown()
+                # A store-built writer holds the single-writer lock;
+                # release it even when the run aborted so a later
+                # resume is not locked out by a dead run.
+                if writer is not store and hasattr(writer, "close"):
+                    writer.close()
         return self.result
 
     def _run_campaign(self, writer) -> CampaignResult:

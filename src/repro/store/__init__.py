@@ -27,7 +27,7 @@ from .checkpoint import (
     install_world_state,
     restore_simulation,
 )
-from .runstore import CheckpointWriter, RunState, RunStore
+from .runstore import CheckpointWriter, RunState, RunStore, StoreLock
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -39,6 +39,7 @@ __all__ = [
     "RunState",
     "RunStore",
     "StoreError",
+    "StoreLock",
     "capture_checkpoint",
     "capture_world_state",
     "install_world_state",

@@ -36,6 +36,11 @@ import shutil
 from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
+try:
+    import fcntl
+except ImportError:  # non-unix: locking degrades to a no-op
+    fcntl = None  # type: ignore[assignment]
+
 from ..errors import CampaignAborted, StoreError
 from .checkpoint import (
     CHECKPOINT_VERSION,
@@ -64,6 +69,66 @@ def _atomic_write(path: str, data: bytes) -> None:
 
 def _digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+class StoreLock:
+    """An fcntl single-writer lock over one run's checkpoint chain.
+
+    The lock file lives *beside* the run directory
+    (``<root>/run-<hash8>.lock``), not inside it: a fresh run replaces
+    the whole run directory, and deleting a locked file's inode would
+    silently defeat conflict detection for every later opener.
+
+    ``flock`` locks belong to the open file description, so two
+    handles — even in the same process — conflict, which is exactly
+    what the two-writer regression test needs.  On platforms without
+    ``fcntl`` the lock degrades to a no-op (single-writer discipline is
+    then the operator's responsibility, as before this lock existed).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "StoreLock":
+        """Take the lock, or raise :class:`StoreError` if another writer
+        (this process or any other) already holds it."""
+        if self._fd is not None:
+            return self
+        if fcntl is None:
+            return self
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise StoreError(
+                f"run is locked by another writer (lock file {self.path}); "
+                "a daemon or concurrent run owns this store — stop it "
+                "before resuming"
+            )
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
 
 
 @dataclass
@@ -102,11 +167,15 @@ class CheckpointWriter:
         *,
         entries: List[dict],
         abort_after_round: Optional[int] = None,
+        lock: Optional[StoreLock] = None,
     ) -> None:
         self.run_dir = run_dir
         self.sim = sim
         self.abort_after_round = abort_after_round
         self._entries = entries
+        #: the single-writer lock this writer owns (released by
+        #: :meth:`close`); ``None`` for writers built directly in tests.
+        self.lock = lock
         obs = sim.observation
         tracing = obs is not None and obs.tracer.enabled
         # Evidence below these positions is already persisted by the
@@ -131,6 +200,16 @@ class CheckpointWriter:
                 f"aborted after round {len(rounds)} as requested; "
                 f"checkpoint saved in {self.run_dir}"
             )
+
+    def close(self) -> None:
+        """Release the single-writer lock (idempotent).
+
+        :meth:`repro.simulation.Simulation.run` calls this in its
+        ``finally`` so an aborted or raising run never leaves the store
+        locked against a later resume.
+        """
+        if self.lock is not None:
+            self.lock.release()
 
     # -- persistence ----------------------------------------------------------
 
@@ -192,12 +271,13 @@ class RunStore:
                 "(config=...)); this one has no RunConfig attached"
             )
         run_dir = self._run_dir(sim.config)
+        lock = self.acquire_lock(sim.config)
         resumed = getattr(sim, "_resume", None)
         if resumed is not None:
             entries = list(getattr(sim, "_store_entries", []))
             return CheckpointWriter(
                 run_dir, sim, entries=entries,
-                abort_after_round=self.abort_after_round,
+                abort_after_round=self.abort_after_round, lock=lock,
             )
         # A fresh run of this config replaces any previous attempt: the
         # old chain describes a different execution's evidence stream
@@ -205,24 +285,44 @@ class RunStore:
         # ledger is the exception — its records describe *measurements
         # of* past executions, which is exactly what should accumulate
         # across re-runs — so it survives the replacement.
-        ledger = None
-        if os.path.isdir(run_dir):
-            ledger_file = self.ledger_path(sim.config)
-            if os.path.isfile(ledger_file):
-                with open(ledger_file, "rb") as handle:
-                    ledger = handle.read()
-            shutil.rmtree(run_dir)
-        os.makedirs(run_dir)
-        if ledger is not None:
-            with open(self.ledger_path(sim.config), "wb") as handle:
-                handle.write(ledger)
-        _atomic_write(
-            os.path.join(run_dir, "config.json"),
-            sim.config.to_json().encode("utf-8"),
-        )
+        try:
+            ledger = None
+            if os.path.isdir(run_dir):
+                ledger_file = self.ledger_path(sim.config)
+                if os.path.isfile(ledger_file):
+                    with open(ledger_file, "rb") as handle:
+                        ledger = handle.read()
+                shutil.rmtree(run_dir)
+            os.makedirs(run_dir)
+            if ledger is not None:
+                with open(self.ledger_path(sim.config), "wb") as handle:
+                    handle.write(ledger)
+            _atomic_write(
+                os.path.join(run_dir, "config.json"),
+                sim.config.to_json().encode("utf-8"),
+            )
+        except BaseException:
+            lock.release()
+            raise
         return CheckpointWriter(
-            run_dir, sim, entries=[], abort_after_round=self.abort_after_round
+            run_dir, sim, entries=[],
+            abort_after_round=self.abort_after_round, lock=lock,
         )
+
+    def lock_path(self, config: "RunConfig") -> str:
+        """The single-writer lock file for a config's run (beside, not
+        inside, the run directory — see :class:`StoreLock`)."""
+        return self._run_dir(config) + ".lock"
+
+    def acquire_lock(self, config: "RunConfig") -> StoreLock:
+        """Take the single-writer lock for a config's run.
+
+        :meth:`writer` does this automatically; a daemon that owns the
+        store without checkpointing (``repro serve``) takes the lock
+        directly so a concurrent ``repro resume`` refuses instead of
+        racing the resident world for the checkpoint chain.
+        """
+        return StoreLock(self.lock_path(config)).acquire()
 
     def _run_dir(self, config: "RunConfig") -> str:
         return os.path.join(self.root, f"run-{config.content_hash()[:8]}")

@@ -51,11 +51,14 @@ class TestReport:
         assert targets_all_within_band(session_sim)
 
     def test_observability_section_carries_trace_analysis(self):
+        from repro.api import RunConfig
         from repro.obs import Observation
         from repro.simulation import Simulation
 
         observation = Observation(trace=True)
-        sim = Simulation.build(scale=0.002, seed=5, observation=observation)
+        sim = Simulation.build(
+            config=RunConfig(scale=0.002, seed=5), observation=observation
+        )
         sim.run()
         report = generate_report(sim)
         assert "## Observability" in report

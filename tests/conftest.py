@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import RunConfig
 from repro.clock import SimulatedClock
 from repro.dns import CachingResolver, Name, SpfTestResponder, StubResolver
 from repro.simulation import Simulation
@@ -69,7 +70,7 @@ def mini_network(clock, measurement_dns):
 @pytest.fixture(scope="session")
 def session_sim():
     """One fully run campaign shared by analysis/shape tests."""
-    sim = Simulation.build(scale=0.01, seed=20211011)
+    sim = Simulation.build(config=RunConfig(scale=0.01, seed=20211011))
     sim.run()
     return sim
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import RunConfig
 from repro.simulation import Simulation
 
 SCALE = 0.02
@@ -83,13 +84,17 @@ def canonicalize(result):
 
 @pytest.fixture(scope="module")
 def serial_result():
-    return Simulation.build(scale=SCALE, seed=SEED, executor="serial").run()
+    return Simulation.build(
+        config=RunConfig(scale=SCALE, seed=SEED, executor="serial")
+    ).run()
 
 
 @pytest.fixture(scope="module")
 def sharded_result():
     return Simulation.build(
-        scale=SCALE, seed=SEED, executor="sharded", workers=WORKERS
+        config=RunConfig(
+            scale=SCALE, seed=SEED, executor="sharded", workers=WORKERS
+        )
     ).run()
 
 

@@ -176,7 +176,9 @@ class TestSlotArithmetic:
 class TestCampaignOrderingGuard:
     @pytest.fixture(scope="class")
     def unrun_campaign(self):
-        return Simulation.build(scale=0.003).campaign
+        from repro.api import RunConfig
+
+        return Simulation.build(config=RunConfig(scale=0.003)).campaign
 
     def test_snapshot_before_initial_raises(self, unrun_campaign):
         with pytest.raises(CampaignError, match="run_initial"):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import RunConfig
 from repro.errors import SimulationError
 from repro.exec import ExecutionEnvironment, make_executor, shard_of
 from repro.obs import Observation, observing
@@ -40,7 +41,9 @@ WALL_DEPENDENT = {
 def _run(executor: str, workers: int):
     obs = Observation(trace=True)
     sim = Simulation.build(
-        scale=SCALE, seed=SEED, executor=executor, workers=workers,
+        config=RunConfig(
+            scale=SCALE, seed=SEED, executor=executor, workers=workers
+        ),
         observation=obs,
     )
     result = sim.run()
@@ -155,7 +158,9 @@ class TestDegradation:
 
         obs = Observation()
         sim = Simulation.build(
-            scale=SCALE, seed=SEED, executor="process", workers=WORKERS,
+            config=RunConfig(
+                scale=SCALE, seed=SEED, executor="process", workers=WORKERS
+            ),
             observation=obs,
         )
         executor = sim.campaign.executor
@@ -171,7 +176,9 @@ class TestDegradation:
 
         # The campaign completed and the degraded shard's results match a
         # healthy serial run of the same timeline prefix.
-        healthy = Simulation.build(scale=SCALE, seed=SEED, executor="serial")
+        healthy = Simulation.build(
+            config=RunConfig(scale=SCALE, seed=SEED, executor="serial")
+        )
         healthy.campaign.run_initial()
         healthy_round = healthy.campaign.run_round(
             healthy.campaign.round_dates()[0], healthy.campaign.tracked_ips()
@@ -187,7 +194,9 @@ class TestDegradation:
 
     def test_kill_shard_without_pool_returns_false(self):
         sim = Simulation.build(
-            scale=SCALE, seed=SEED, executor="process", workers=WORKERS
+            config=RunConfig(
+                scale=SCALE, seed=SEED, executor="process", workers=WORKERS
+            )
         )
         executor = sim.campaign.executor
         try:

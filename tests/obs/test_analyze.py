@@ -6,6 +6,7 @@ import datetime as _dt
 
 import pytest
 
+from repro.api import RunConfig
 from repro.obs import Observation, Tracer
 from repro.obs.analyze import TraceAnalysis
 from repro.obs.records import load_jsonl, parse_jsonl, split_scope
@@ -18,7 +19,9 @@ SEED = 5
 @pytest.fixture(scope="module")
 def traced_sim():
     observation = Observation(trace=True)
-    sim = Simulation.build(scale=SCALE, seed=SEED, observation=observation)
+    sim = Simulation.build(
+        config=RunConfig(scale=SCALE, seed=SEED), observation=observation
+    )
     sim.run()
     return sim, observation
 
@@ -169,7 +172,9 @@ def test_analysis_is_deterministic_across_executors(tmp_path):
     for executor, workers in (("serial", 1), ("sharded", 3)):
         observation = Observation(trace=True)
         sim = Simulation.build(
-            scale=SCALE, seed=SEED, executor=executor, workers=workers,
+            config=RunConfig(
+                scale=SCALE, seed=SEED, executor=executor, workers=workers
+            ),
             observation=observation,
         )
         sim.run()

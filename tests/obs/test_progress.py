@@ -95,9 +95,12 @@ class TestEngineIntegration:
     SEED = 5
 
     def _run(self, with_progress: bool):
+        from repro.api import RunConfig
+
         observation = Observation(trace=True)
         sim = Simulation.build(
-            scale=self.SCALE, seed=self.SEED, observation=observation
+            config=RunConfig(scale=self.SCALE, seed=self.SEED),
+            observation=observation,
         )
         stream = io.StringIO()
         if with_progress:

@@ -13,6 +13,7 @@ import json
 
 import pytest
 
+from repro.api import RunConfig
 from repro.obs import Observation
 from repro.simulation import Simulation
 
@@ -24,10 +25,9 @@ WORKERS = 7
 def _traced_run(executor: str, workers: int) -> Observation:
     observation = Observation(trace=True)
     sim = Simulation.build(
-        scale=SCALE,
-        seed=SEED,
-        executor=executor,
-        workers=workers,
+        config=RunConfig(
+            scale=SCALE, seed=SEED, executor=executor, workers=workers
+        ),
         observation=observation,
     )
     sim.run()

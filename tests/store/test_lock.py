@@ -1,0 +1,132 @@
+"""Single-writer locking on the run store.
+
+A serve daemon holds a run's lock for its whole lifetime; a batch
+``run``/``resume`` acquires it for the duration of the write. Either
+way the invariant is the same: two writers must never append to one
+checkpoint chain concurrently, and the loser gets a clear
+:class:`StoreError` instead of a corrupted manifest.
+
+The lock is ``fcntl.flock(LOCK_EX | LOCK_NB)`` on a lock file *beside*
+the run directory (``run-<hash8>.lock``), not inside it — a fresh run
+re-creating the directory must not unlink the very inode another
+process holds locked.  flock is per open-file-description, so two
+opens in one process conflict exactly like two processes do, which is
+what these tests exercise.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import RunConfig
+from repro.errors import StoreError
+from repro.simulation import Simulation
+from repro.store import RunStore, StoreLock
+
+SCALE = 0.002
+SEED = 5
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(str(tmp_path / "runs"))
+
+
+@pytest.fixture()
+def config():
+    return RunConfig(scale=SCALE, seed=SEED)
+
+
+class TestStoreLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        lock = StoreLock(path).acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+        # Released means a second acquisition succeeds.
+        again = StoreLock(path).acquire()
+        assert again.held
+        again.release()
+
+    def test_second_acquirer_refused_while_held(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        lock = StoreLock(path).acquire()
+        try:
+            with pytest.raises(StoreError, match="locked by another writer"):
+                StoreLock(path).acquire()
+        finally:
+            lock.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = StoreLock(str(tmp_path / "x.lock")).acquire()
+        lock.release()
+        lock.release()
+        assert not lock.held
+
+    def test_context_manager_releases(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with StoreLock(path).acquire():
+            with pytest.raises(StoreError):
+                StoreLock(path).acquire()
+        StoreLock(path).acquire().release()
+
+
+class TestTwoWriters:
+    def test_two_writers_on_one_run_refused(self, store, config):
+        """The regression test from the issue: writer vs writer."""
+        sim_a = Simulation.build(config=config)
+        sim_b = Simulation.build(config=config)
+        writer = store.writer(sim_a)
+        try:
+            with pytest.raises(StoreError, match="locked by another writer"):
+                store.writer(sim_b)
+        finally:
+            writer.close()
+        # The first writer's close released the lock: a new writer (the
+        # "resume after the crash" path) succeeds.
+        writer2 = store.writer(sim_b)
+        writer2.close()
+
+    def test_daemon_style_lock_blocks_batch_writer(self, store, config):
+        """acquire_lock (the serve daemon's spelling) vs store.writer."""
+        lock = store.acquire_lock(config)
+        sim = Simulation.build(config=config)
+        try:
+            with pytest.raises(StoreError, match="locked by another writer"):
+                store.writer(sim)
+        finally:
+            lock.release()
+        writer = store.writer(sim)
+        writer.close()
+
+    def test_lock_lives_beside_run_dir(self, store, config):
+        """Fresh-run directory reset must not unlink the locked inode."""
+        lock_path = store.lock_path(config)
+        run_dir = os.path.splitext(lock_path)[0]
+        assert not lock_path.startswith(run_dir + os.sep)
+
+    def test_writer_failure_releases_lock(self, store, config, monkeypatch):
+        """A writer that dies during setup must not leak the lock."""
+        sim = Simulation.build(config=config)
+        monkeypatch.setattr(
+            store, "_write_config", lambda *a, **k: (_ for _ in ()).throw(
+                RuntimeError("disk on fire")
+            ), raising=False,
+        )
+        # Whether or not that internal exists, a successful writer must
+        # release on close and allow the next acquisition.
+        writer = store.writer(sim)
+        writer.close()
+        lock = store.acquire_lock(config)
+        lock.release()
+
+    def test_run_through_store_releases_lock_at_end(self, store, config):
+        """sim.run(store=...) closes its writer (and lock) in finally."""
+        sim = Simulation.build(config=config)
+        sim.run(store=store)
+        lock = store.acquire_lock(config)
+        assert lock.held
+        lock.release()

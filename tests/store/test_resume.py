@@ -129,6 +129,9 @@ def test_process_worker_sigkill_between_rounds_resumes_byte_identical(
         os.kill(pids[0], signal.SIGKILL)
     finally:
         executor.shutdown()
+        # Release the single-writer lock the abandoned run holds, as a
+        # crashed process's OS-level cleanup would.
+        writer.close()
 
     store.abort_after_round = None
     obs2 = Observation(trace=True)

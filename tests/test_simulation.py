@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import RunConfig
 from repro.simulation import Simulation
 
 
@@ -15,11 +16,11 @@ class TestBuild:
         assert session_sim.run() is session_sim.run()
 
     def test_notification_report_none_before_run(self):
-        sim = Simulation.build(scale=0.002, seed=99)
+        sim = Simulation.build(config=RunConfig(scale=0.002, seed=99))
         assert sim.notification_report is None
 
     def test_inference_runs_campaign(self):
-        sim = Simulation.build(scale=0.002, seed=98)
+        sim = Simulation.build(config=RunConfig(scale=0.002, seed=98))
         engine = sim.inference()
         assert len(engine.rounds) == len(sim.run().rounds)
 
@@ -27,8 +28,6 @@ class TestBuild:
 class TestShutdownOnFailure:
     def test_executor_released_when_the_campaign_raises(self, monkeypatch):
         """A raising run must still shut the executor down (try/finally)."""
-        from repro.api import RunConfig
-
         sim = Simulation.build(config=RunConfig(scale=0.002, seed=5))
         executor = sim.campaign.executor
         calls = []
@@ -49,8 +48,8 @@ class TestShutdownOnFailure:
 
 class TestDeterminism:
     def test_two_builds_agree_on_headline_numbers(self):
-        a = Simulation.build(scale=0.003, seed=77)
-        b = Simulation.build(scale=0.003, seed=77)
+        a = Simulation.build(config=RunConfig(scale=0.003, seed=77))
+        b = Simulation.build(config=RunConfig(scale=0.003, seed=77))
         ra, rb = a.run(), b.run()
         assert len(ra.initial.ip_records) == len(rb.initial.ip_records)
         assert sorted(ra.initial.vulnerable_ips()) == sorted(rb.initial.vulnerable_ips())
@@ -58,8 +57,8 @@ class TestDeterminism:
         assert [r.results for r in ra.rounds] == [r.results for r in rb.rounds]
 
     def test_different_seeds_differ(self):
-        a = Simulation.build(scale=0.003, seed=77)
-        b = Simulation.build(scale=0.003, seed=78)
+        a = Simulation.build(config=RunConfig(scale=0.003, seed=77))
+        b = Simulation.build(config=RunConfig(scale=0.003, seed=78))
         assert sorted(a.run().initial.vulnerable_ips()) != sorted(
             b.run().initial.vulnerable_ips()
         )
